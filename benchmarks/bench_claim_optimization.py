@@ -1,0 +1,67 @@
+"""C4 — Sec. 3.3.3: pattern optimisation reduces detection effort.
+
+Applies the optimiser (window merging + irrelevant-coordinate elimination)
+to the learned gesture set and compares, against the unoptimised patterns:
+pose count, predicate count, matcher predicate evaluations per tuple, and
+detection quality (recall must not drop).
+
+The benchmark kernel times one optimiser pass over all learned gestures.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import PatternOptimizer
+from repro.evaluation import DetectionExperiment, ExperimentConfig
+
+
+def test_c4_optimisation_reduces_detection_effort(benchmark, standard_workload):
+    descriptions = DetectionExperiment(
+        standard_workload, ExperimentConfig(training_samples=4)
+    ).learn_descriptions()
+    optimizer = PatternOptimizer()
+
+    def optimise_all():
+        return {name: optimizer.optimize(description)
+                for name, description in descriptions.items()}
+
+    optimised = benchmark(optimise_all)
+
+    per_gesture_rows = []
+    for name, (optimised_description, report) in sorted(optimised.items()):
+        per_gesture_rows.append(
+            {
+                "gesture": name,
+                "poses before": report.poses_before,
+                "poses after": report.poses_after,
+                "predicates before": report.predicates_before,
+                "predicates after": report.predicates_after,
+                "eliminated coords": len(report.eliminated_fields),
+            }
+        )
+    print_table("C4a: optimiser effect per gesture", per_gesture_rows)
+
+    rows = []
+    results = {}
+    for label, optimize in (("unoptimised", False), ("optimised", True)):
+        result = DetectionExperiment(
+            standard_workload, ExperimentConfig(training_samples=4, optimize=optimize)
+        ).run()
+        results[label] = result
+        rows.append(
+            {
+                "variant": label,
+                "total predicates": sum(
+                    d.predicate_count() for d in result.descriptions.values()
+                ),
+                "predicate evals / tuple": f"{result.predicate_evaluations / max(1, result.frames_processed):.1f}",
+                "macro recall": f"{result.macro_recall:.3f}",
+                "macro precision": f"{result.macro_precision:.3f}",
+            }
+        )
+    print_table("C4b: detection effort and quality, unoptimised vs optimised", rows)
+
+    unopt, opt = rows
+    assert opt["total predicates"] < unopt["total predicates"]
+    assert float(opt["predicate evals / tuple"]) <= float(unopt["predicate evals / tuple"])
+    assert results["optimised"].macro_recall >= results["unoptimised"].macro_recall - 0.05

@@ -1,0 +1,49 @@
+"""C1 — "Usually, 3-5 samples are sufficient to achieve acceptable results."
+
+Learns every workload gesture from 1…5 training samples and measures
+precision / recall / F1 on held-out performances by *different* users
+(adult, child, tall adult).  The paper's claim holds if the curve rises
+steeply and saturates by 3–5 samples.
+
+The benchmark kernel times one full detection experiment at 3 training
+samples (learning + deployment + replay + scoring).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.evaluation import DetectionExperiment, ExperimentConfig
+
+
+def test_c1_accuracy_vs_training_samples(benchmark, standard_workload):
+    def run_three_sample_experiment():
+        return DetectionExperiment(
+            standard_workload, ExperimentConfig(training_samples=3)
+        ).run()
+
+    benchmark(run_three_sample_experiment)
+
+    rows = []
+    series = {}
+    for samples in (1, 2, 3, 4, 5):
+        result = DetectionExperiment(
+            standard_workload, ExperimentConfig(training_samples=samples)
+        ).run()
+        series[samples] = result
+        rows.append(
+            {
+                "training samples": samples,
+                "macro precision": f"{result.macro_precision:.3f}",
+                "macro recall": f"{result.macro_recall:.3f}",
+                "macro F1": f"{result.macro_f1:.3f}",
+            }
+        )
+    print_table("C1: detection quality vs number of training samples", rows)
+
+    per_gesture = [metrics.as_row() for metrics in series[4].per_gesture.values()]
+    print_table("C1: per-gesture metrics at 4 training samples", per_gesture)
+
+    # Shape: good by 3-5 samples, and never much worse than with 1 sample.
+    assert series[4].macro_f1 >= 0.85
+    assert series[5].macro_f1 >= 0.85
+    assert series[3].macro_recall >= series[1].macro_recall - 0.05

@@ -1,0 +1,85 @@
+"""F1 — Fig. 1: the generated ``swipe_right`` query and its detection.
+
+Reproduces the paper's running example: a right-hand swipe learned from a
+few samples yields a nested sequence query over three (±1) pose windows at
+roughly (0, 150, -120) → (400, 150, -420) → (800, 150, -120) relative to the
+torso, and that query detects fresh performances of the gesture on the
+sensor stream.
+
+The benchmark kernel times the full learn-and-generate pipeline (sampling,
+merging, query generation) for one gesture.
+"""
+
+import pytest
+
+from benchmarks.conftest import learn_gesture, make_simulator, print_table
+from repro.core import GestureLearner, LearnerConfig, QueryGenerator
+from repro.detection import GestureDetector
+from repro.kinect import SwipeTrajectory
+
+
+def _train_samples(count=4, seed=31):
+    simulator = make_simulator(seed=seed)
+    swipe = SwipeTrajectory("right")
+    return [
+        simulator.perform_variation(swipe, hold_start_s=0.3, hold_end_s=0.3)
+        for _ in range(count)
+    ]
+
+
+def test_fig1_swipe_right_query(benchmark, query_generator):
+    samples = _train_samples()
+
+    def learn_and_generate():
+        learner = GestureLearner("swipe_right", config=LearnerConfig(joints=("rhand",)))
+        description = learner.learn(samples)
+        return description, query_generator.generate(description)
+
+    description, query = benchmark(learn_and_generate)
+
+    rows = []
+    for pose in description.poses:
+        center, width = pose.window.center, pose.window.width
+        rows.append(
+            {
+                "pose": pose.sequence_index,
+                "center (x, y, z)": (
+                    f"({center['rhand_x']:7.1f}, {center['rhand_y']:6.1f}, "
+                    f"{center['rhand_z']:7.1f})"
+                ),
+                "width (x, y, z)": (
+                    f"({width['rhand_x']:5.1f}, {width['rhand_y']:5.1f}, "
+                    f"{width['rhand_z']:5.1f})"
+                ),
+                "support": pose.support,
+            }
+        )
+    print_table("F1: learned swipe_right pose windows (paper Fig. 1)", rows)
+    print("\nGenerated query:\n")
+    print(query.to_query())
+
+    # Deploy and verify detection on unseen performances.
+    detector = GestureDetector()
+    detector.deploy(query)
+    test_simulator = make_simulator(seed=91)
+    hits = 0
+    trials = 5
+    for _ in range(trials):
+        detector.clear()
+        detector.process_frames(
+            test_simulator.perform_variation(
+                SwipeTrajectory("right"), hold_start_s=0.2, hold_end_s=0.2
+            )
+        )
+        hits += int(any(event.gesture == "swipe_right" for event in detector.events))
+    print_table(
+        "F1: end-to-end detection",
+        [{"performances": trials, "detected": hits, "detection rate": f"{hits / trials:.0%}"}],
+    )
+
+    # Shape assertions: structure and geometry of the paper's example.
+    assert 3 <= description.pose_count <= 6
+    assert description.poses[0].window.center["rhand_x"] == pytest.approx(0.0, abs=120.0)
+    assert description.poses[-1].window.center["rhand_x"] == pytest.approx(800.0, abs=150.0)
+    assert "select first consume all" in query.to_query()
+    assert hits >= 4

@@ -1,0 +1,70 @@
+"""F2 — Fig. 2: the full interactive learning workflow.
+
+Runs the stream-driven loop of the paper's architecture figure: wave control
+gesture → record three samples (stationary-pose triggered) → finalise →
+generate + store + deploy the query → testing phase detections.  Reports how
+many control gestures, samples, poses and detections each stage produced.
+
+The benchmark kernel times one complete workflow cycle (3 samples,
+finalisation, one test detection).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.detection import LearningWorkflow, WorkflowConfig
+from repro.kinect import GaussianNoise, KinectSimulator, PushTrajectory, WaveTrajectory
+from repro.streams import SimulatedClock
+
+
+def _run_workflow(seed: int = 3):
+    workflow = LearningWorkflow(config=WorkflowConfig(min_samples=3))
+    simulator = KinectSimulator(
+        clock=SimulatedClock(),
+        noise=GaussianNoise(sigma_mm=5.0, rng=np.random.default_rng(seed)),
+        rng=np.random.default_rng(seed + 1),
+    )
+    gesture = PushTrajectory()
+    wave = WaveTrajectory()
+
+    workflow.begin_gesture("push")
+    attempts = 0
+    while workflow.sample_count < 3 and attempts < 6:
+        attempts += 1
+        for frame in simulator.perform(wave, hold_start_s=0.2, hold_end_s=0.2):
+            workflow.process_frame(frame)
+        for frame in simulator.perform_variation(gesture, hold_start_s=1.0, hold_end_s=1.0):
+            workflow.process_frame(frame)
+    description = workflow.finalize()
+
+    detections = 0
+    trials = 3
+    for _ in range(trials):
+        before = len(workflow.test_events())
+        workflow.process_frames(
+            simulator.perform_variation(gesture, hold_start_s=0.3, hold_end_s=0.3)
+        )
+        detections += int(len(workflow.test_events()) > before)
+    return workflow, description, attempts, detections, trials
+
+
+def test_fig2_interactive_workflow(benchmark):
+    workflow, description, attempts, detections, trials = benchmark(_run_workflow)
+
+    control_messages = sum("wave detected" in message for message in workflow.messages)
+    rows = [
+        {"stage": "control gestures recognised", "value": control_messages},
+        {"stage": "recording attempts needed", "value": attempts},
+        {"stage": "samples recorded", "value": description.sample_count},
+        {"stage": "poses mined", "value": description.pose_count},
+        {"stage": "range predicates generated", "value": description.predicate_count()},
+        {"stage": "gesture stored in database", "value": workflow.database.has_gesture("push")},
+        {"stage": "query deployed", "value": "push" in workflow.detector.deployed_gestures()},
+        {"stage": f"test detections (of {trials})", "value": detections},
+    ]
+    print_table("F2: interactive learning workflow (paper Fig. 2)", rows)
+
+    assert description.sample_count >= 3
+    assert workflow.database.has_gesture("push")
+    assert detections >= trials - 1

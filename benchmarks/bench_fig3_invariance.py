@@ -1,0 +1,88 @@
+"""F3 — Fig. 3: position, orientation and scale invariance.
+
+The paper's transformation (torso shift, heading alignment, forearm-length
+scaling) makes one learned pattern work for users of different heights,
+standing anywhere, turned toward or away from the camera.  The benchmark
+learns ``swipe_right`` once from the reference adult and measures the
+detection rate under each variation, plus the residual coordinate error of
+the transformed paths.
+
+The benchmark kernel times the ``kinect_t`` transformation of one full
+performance (the per-frame cost the paper's view incurs).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import learn_gesture, make_simulator, print_table
+from repro.detection import GestureDetector
+from repro.kinect import SwipeTrajectory
+from repro.transform import KinectTransformer
+
+#: (label, user, position, yaw) variations exercised by the experiment.
+VARIATIONS = [
+    ("reference adult, centred", "adult", (0.0, 0.0, 2200.0), 0.0),
+    ("adult, far left of camera", "adult", (-700.0, 0.0, 2000.0), 0.0),
+    ("adult, far away", "adult", (300.0, 100.0, 3400.0), 0.0),
+    ("adult, turned 25°", "adult", (0.0, 0.0, 2200.0), 25.0),
+    ("child (1.20 m)", "child", (0.0, -300.0, 2000.0), 0.0),
+    ("tall adult (2.00 m)", "tall_adult", (200.0, 100.0, 2600.0), 0.0),
+]
+
+
+def test_fig3_user_invariance(benchmark, query_generator):
+    description = learn_gesture("swipe_right", SwipeTrajectory("right"), seed=17)
+    query = query_generator.generate(description)
+
+    # Benchmark kernel: per-frame transformation cost of one performance.
+    reference_frames = make_simulator(seed=50).perform(SwipeTrajectory("right"))
+
+    def transform_performance():
+        transformer = KinectTransformer()
+        return [transformer.transform(frame) for frame in reference_frames]
+
+    reference_path = benchmark(transform_performance)
+    reference_end = reference_path[-1]
+
+    rows = []
+    trials = 4
+    for label, user, position, yaw in VARIATIONS:
+        simulator = make_simulator(user=user, seed=60 + len(rows), position=position, yaw_deg=yaw)
+        detector = GestureDetector()
+        detector.deploy(query)
+        hits = 0
+        for _ in range(trials):
+            detector.clear()
+            detector.process_frames(
+                simulator.perform_variation(
+                    SwipeTrajectory("right"), hold_start_s=0.2, hold_end_s=0.2
+                )
+            )
+            hits += int(any(event.gesture == "swipe_right" for event in detector.events))
+
+        transformer = KinectTransformer()
+        end = [
+            transformer.transform(frame)
+            for frame in make_simulator(user=user, seed=200 + len(rows),
+                                        position=position, yaw_deg=yaw).perform(
+                SwipeTrajectory("right")
+            )
+        ][-1]
+        residual = float(np.linalg.norm([
+            end["rhand_x"] - reference_end["rhand_x"],
+            end["rhand_y"] - reference_end["rhand_y"],
+            end["rhand_z"] - reference_end["rhand_z"],
+        ]))
+        rows.append(
+            {
+                "variation": label,
+                "detected": f"{hits}/{trials}",
+                "end-pose residual [mm]": f"{residual:6.1f}",
+            }
+        )
+    print_table("F3: detection under user/position/orientation variation", rows)
+
+    detection_rates = [int(row["detected"].split("/")[0]) for row in rows]
+    assert all(rate >= trials - 1 for rate in detection_rates)
+    residuals = [float(row["end-pose residual [mm]"]) for row in rows]
+    assert max(residuals) < 150.0

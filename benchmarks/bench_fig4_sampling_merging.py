@@ -1,0 +1,146 @@
+"""F4 — Fig. 4: distance-based sampling and window merging.
+
+Reproduces the behaviour sketched in the paper's Fig. 4:
+
+* the number of characteristic points ("windows") extracted from one
+  gesture path as a function of the distance threshold,
+* how the merged windows grow as further samples are added, and when the
+  deviation warning fires,
+* the comparison against plain DBSCAN (reference [2]), which loses the pose
+  ordering on closed paths such as the circle gesture.
+
+The benchmark kernel times one distance-based sampling pass over a single
+recorded sample.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import make_simulator, print_table
+from repro.core import (
+    DBSCAN,
+    DBSCANConfig,
+    DistanceBasedSampler,
+    MergeConfig,
+    SamplingConfig,
+    WindowMerger,
+)
+from repro.core.distance import joint_fields
+from repro.kinect import CircleTrajectory, SwipeTrajectory
+from repro.transform import KinectTransformer
+
+FIELDS = joint_fields(["rhand"])
+
+
+def _transformed_sample(trajectory, seed):
+    simulator = make_simulator(seed=seed)
+    transformer = KinectTransformer()
+    return [
+        transformer.transform(frame)
+        for frame in simulator.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
+    ]
+
+
+def test_fig4_sampling_threshold_sweep(benchmark):
+    frames = _transformed_sample(SwipeTrajectory("right"), seed=41)
+
+    sampler = DistanceBasedSampler(SamplingConfig(fields=FIELDS, relative_threshold=0.12))
+    benchmark(sampler.sample, frames)
+
+    rows = []
+    for threshold in (0.05, 0.08, 0.12, 0.2, 0.3, 0.5):
+        sampled = DistanceBasedSampler(
+            SamplingConfig(fields=FIELDS, relative_threshold=threshold)
+        ).sample(frames)
+        rows.append(
+            {
+                "relative max_dist": f"{threshold:.2f}",
+                "absolute max_dist [mm]": f"{sampled.threshold_used:7.1f}",
+                "frames": sampled.frame_count,
+                "windows mined": sampled.pose_count,
+            }
+        )
+    print_table("F4a: windows mined vs distance threshold (swipe_right)", rows)
+    counts = [row["windows mined"] for row in rows]
+    assert counts == sorted(counts, reverse=True)
+    assert counts[0] > counts[-1]
+
+
+def test_fig4_incremental_window_merging(benchmark):
+    merger = WindowMerger("swipe_right", MergeConfig(deviation_warning_factor=1.5))
+    sampler = DistanceBasedSampler(SamplingConfig(fields=FIELDS, relative_threshold=0.12))
+
+    # Benchmark kernel: merging one additional sample into an existing
+    # description (the incremental step of Sec. 3.3.2).
+    warm_up_path = sampler.sample(_transformed_sample(SwipeTrajectory("right"), seed=69))
+
+    def merge_one_sample():
+        scratch = WindowMerger("swipe_right", MergeConfig())
+        scratch.add_sample(warm_up_path)
+        return scratch.description()
+
+    benchmark(merge_one_sample)
+
+    rows = []
+    for index in range(5):
+        frames = _transformed_sample(SwipeTrajectory("right"), seed=70 + index)
+        result = merger.add_sample(sampler.sample(frames))
+        description = merger.description()
+        mean_width = float(
+            np.mean([pose.window.width["rhand_x"] for pose in description.poses])
+        )
+        rows.append(
+            {
+                "samples merged": index + 1,
+                "poses": description.pose_count,
+                "mean window width x [mm]": f"{mean_width:6.1f}",
+                "deviation of new sample": f"{result.deviation:.2f}",
+                "warning": bool(result.warnings),
+            }
+        )
+    print_table("F4b: incremental window merging (swipe_right)", rows)
+
+    widths = [float(row["mean window width x [mm]"]) for row in rows]
+    assert widths[-1] >= widths[0]
+
+    # An outlier sample (performed ~40 cm higher) must trigger the warning.
+    import warnings as _warnings
+
+    outlier = [dict(frame, rhand_y=frame["rhand_y"] + 400.0) for frame in
+               _transformed_sample(SwipeTrajectory("right"), seed=99)]
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("ignore")
+        outlier_result = merger.add_sample(sampler.sample(outlier))
+    print_table(
+        "F4c: outlier sample detection",
+        [{"deviation": f"{outlier_result.deviation:.2f}", "warning raised": bool(outlier_result.warnings)}],
+    )
+    assert outlier_result.warnings
+
+
+def test_fig4_dbscan_baseline_loses_ordering(benchmark):
+    frames = _transformed_sample(CircleTrajectory(), seed=55)
+    sampler = DistanceBasedSampler(SamplingConfig(fields=FIELDS, relative_threshold=0.12))
+    sampled = sampler.sample(frames)
+
+    dbscan = DBSCAN(DBSCANConfig(eps=120.0, min_samples=3), fields=FIELDS)
+    labels = benchmark(dbscan.fit, frames)
+
+    start_label = labels[0]
+    end_label = labels[-1]
+    rows = [
+        {
+            "method": "distance-based sampling (paper)",
+            "clusters": sampled.pose_count,
+            "start/end distinguishable": sampled.points[0].sequence_index
+            != sampled.points[-1].sequence_index,
+        },
+        {
+            "method": "DBSCAN baseline [2]",
+            "clusters": dbscan.cluster_count(labels),
+            "start/end distinguishable": start_label != end_label,
+        },
+    ]
+    print_table("F4d: sequential sampling vs DBSCAN on the circle gesture", rows)
+    assert sampled.pose_count >= 4
+    assert start_label == end_label  # DBSCAN merges the closed path's ends

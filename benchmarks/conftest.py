@@ -1,0 +1,79 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark corresponds to one experiment id from ``DESIGN.md`` /
+``EXPERIMENTS.md`` (F1–F5, C1–C5, A1).  Benchmarks print the table or series
+the experiment reproduces — run with ``pytest benchmarks/ --benchmark-only -s``
+to see them — and additionally time a representative kernel through the
+``benchmark`` fixture so pytest-benchmark collects comparable numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+import pytest
+
+from repro.core import GestureLearner, LearnerConfig, QueryGenerator
+from repro.evaluation import WorkloadConfig, build_workload
+from repro.kinect import GaussianNoise, KinectSimulator, user_by_name
+from repro.streams import SimulatedClock
+
+
+def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
+    """Print a list of dictionaries as an aligned text table."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("  (no rows)")
+        return
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row[column])) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    print("  " + header)
+    print("  " + "-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        print("  " + " | ".join(str(row[column]).ljust(widths[column]) for column in columns))
+
+
+def make_simulator(user: str = "adult", seed: int = 11, **kwargs) -> KinectSimulator:
+    """A deterministic simulator for benchmark training/test data."""
+    return KinectSimulator(
+        user=user_by_name(user),
+        clock=SimulatedClock(),
+        noise=GaussianNoise(sigma_mm=6.0, rng=np.random.default_rng(seed)),
+        rng=np.random.default_rng(seed + 1),
+        **kwargs,
+    )
+
+
+def learn_gesture(name, trajectory, samples=4, seed=11, joints=("rhand",)):
+    """Learn one gesture from ``samples`` simulated performances."""
+    simulator = make_simulator(seed=seed)
+    learner = GestureLearner(name, config=LearnerConfig(joints=tuple(joints)))
+    for _ in range(samples):
+        learner.add_sample(
+            simulator.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
+        )
+    return learner.description()
+
+
+@pytest.fixture(scope="session")
+def query_generator() -> QueryGenerator:
+    return QueryGenerator()
+
+
+@pytest.fixture(scope="session")
+def standard_workload():
+    """The workload used by the accuracy-style experiments (C1, C3, C4)."""
+    return build_workload(
+        WorkloadConfig(
+            gestures=("swipe_right", "swipe_left", "circle", "push"),
+            training_samples=5,
+            test_performances=3,
+            test_users=("adult", "child", "tall_adult"),
+            seed=23,
+        )
+    )

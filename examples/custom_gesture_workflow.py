@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The interactive learning workflow of the paper (Fig. 2), end to end.
+
+This example drives the :class:`repro.detection.LearningWorkflow` the way the
+demo at EDBT drove it — through the sensor stream only:
+
+1. the user performs the *wave* control gesture, which arms the recording
+   controller,
+2. they move to the start pose, hold still, perform their new gesture
+   (a circle), and hold still again — that becomes one training sample,
+3. after three samples the gesture is finalised: the learner merges the
+   samples, generates the CEP query, stores everything in the gesture
+   database and deploys the query,
+4. the testing phase begins: new performances are detected live, and the
+   partial-match feedback shows how far a movement got when it is *not*
+   detected,
+5. finally the learned gesture is bound to an OLAP navigation operation.
+
+Run with::
+
+    python examples/custom_gesture_workflow.py
+"""
+
+import numpy as np
+
+from repro.apps import CubeNavigator, GestureBindings, olap_demo_cube
+from repro.detection import LearningWorkflow
+from repro.kinect import CircleTrajectory, GaussianNoise, KinectSimulator, WaveTrajectory
+from repro.streams import SimulatedClock
+
+
+def main() -> None:
+    workflow = LearningWorkflow()
+    simulator = KinectSimulator(
+        clock=SimulatedClock(),
+        noise=GaussianNoise(sigma_mm=5.0, rng=np.random.default_rng(1)),
+        rng=np.random.default_rng(2),
+    )
+
+    circle = CircleTrajectory()
+    wave = WaveTrajectory()
+
+    print("=== collecting phase ===")
+    workflow.begin_gesture("circle")
+    for attempt in range(3):
+        # Wave -> the control query fires and arms the recording controller.
+        for frame in simulator.perform(wave, hold_start_s=0.2, hold_end_s=0.2):
+            workflow.process_frame(frame)
+        # Move to the start pose, hold, perform the circle, hold again.
+        for frame in simulator.perform_variation(circle, hold_start_s=1.0, hold_end_s=1.0):
+            workflow.process_frame(frame)
+        print(f"  after attempt {attempt + 1}: {workflow.sample_count} sample(s) recorded")
+
+    print("\n=== finalising ===")
+    description = workflow.finalize()
+    record = workflow.database.load_gesture("circle")
+    print(f"  learned '{description.name}': {description.pose_count} poses from "
+          f"{description.sample_count} samples")
+    print(f"  stored query text ({len(record.query_text or '')} characters) in the gesture database")
+
+    print("\n=== testing phase ===")
+    # A complete performance is detected ...
+    workflow.process_frames(
+        simulator.perform_variation(circle, hold_start_s=0.3, hold_end_s=0.3)
+    )
+    print(f"  detections so far: {[event.gesture for event in workflow.test_events()]}")
+
+    # ... an aborted performance is not, but the feedback explains how far it got.
+    frames = simulator.perform_variation(circle, hold_start_s=0.3)
+    workflow.process_frames(frames[: len(frames) // 3])
+    feedback = workflow.feedback()
+    print(f"  aborted movement feedback: {feedback.describe()}")
+    workflow.accept()
+
+    print("\n=== application binding ===")
+    navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+    bindings = GestureBindings(workflow.detector)
+    bindings.bind("circle", navigator.drill_down, name="drill_down")
+    workflow.process_frames(
+        simulator.perform_variation(circle, hold_start_s=0.3, hold_end_s=0.3)
+    )
+    print(f"  OLAP view after gesture: {navigator.describe()}")
+    print(f"  action log: {[entry.action for entry in bindings.log.entries]}")
+
+    print("\nWorkflow messages:")
+    for message in workflow.messages:
+        print(f"  - {message}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Gesture-controlled OLAP navigation (the paper's Data3-style demo).
+
+A whole gesture vocabulary is learned from simulated samples, deployed on
+the CEP engine, and bound to navigation operators of an in-memory OLAP
+cube: swipe right/left drill down / roll up, a push pivots, a raised hand
+resets the view.  The script then simulates an "analysis session" — a user
+standing in front of the camera performing gestures — and prints the cube
+view after every detected command.
+
+Run with::
+
+    python examples/olap_navigation.py
+"""
+
+import numpy as np
+
+from repro.apps import CubeNavigator, GestureBindings, olap_demo_cube
+from repro.core import GestureLearner, LearnerConfig
+from repro.detection import GestureDetector
+from repro.kinect import (
+    GaussianNoise,
+    KinectSimulator,
+    PushTrajectory,
+    RaiseHandTrajectory,
+    SwipeTrajectory,
+    user_by_name,
+)
+from repro.streams import SimulatedClock
+
+#: Gesture name -> (trajectory, bound cube operation name).
+GESTURE_SET = {
+    "swipe_right": SwipeTrajectory(direction="right"),
+    "swipe_left": SwipeTrajectory(direction="left", hand="lhand"),
+    "push": PushTrajectory(),
+    "raise_hand": RaiseHandTrajectory(),
+}
+
+
+def learn_vocabulary(detector: GestureDetector) -> None:
+    """Learn every gesture of the vocabulary from four samples each."""
+    trainer = KinectSimulator(
+        user=user_by_name("adult"),
+        clock=SimulatedClock(),
+        noise=GaussianNoise(sigma_mm=5.0, rng=np.random.default_rng(10)),
+        rng=np.random.default_rng(11),
+    )
+    for name, trajectory in GESTURE_SET.items():
+        learner = GestureLearner(name, config=LearnerConfig())
+        for _ in range(4):
+            learner.add_sample(
+                trainer.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
+            )
+        description = learner.description()
+        detector.deploy(description)
+        print(f"  learned '{name}': {description.pose_count} poses, "
+              f"joints {description.joints}")
+
+
+def main() -> None:
+    print("=== learning the gesture vocabulary ===")
+    detector = GestureDetector()
+    learn_vocabulary(detector)
+
+    print("\n=== binding gestures to OLAP operations ===")
+    navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+    bindings = GestureBindings(detector)
+    bindings.bind("swipe_right", navigator.drill_down, name="drill_down")
+    bindings.bind("swipe_left", navigator.roll_up, name="roll_up")
+    bindings.bind("push", navigator.pivot, name="pivot")
+    bindings.bind("raise_hand", navigator.reset, name="reset")
+    for gesture in bindings.bound_gestures():
+        print(f"  {gesture:12s} -> {bindings.action_name(gesture)}")
+
+    print("\n=== analysis session ===")
+    print(f"initial view: {navigator.describe()}")
+    session = ["swipe_right", "push", "swipe_right", "swipe_left", "raise_hand"]
+    user = KinectSimulator(
+        user=user_by_name("tall_adult"),
+        clock=SimulatedClock(),
+        noise=GaussianNoise(sigma_mm=6.0, rng=np.random.default_rng(20)),
+        rng=np.random.default_rng(21),
+        position=(200.0, 0.0, 2500.0),
+    )
+    for gesture in session:
+        before = len(bindings.log)
+        detector.process_frames(
+            user.perform_variation(GESTURE_SET[gesture], hold_start_s=0.3, hold_end_s=0.3)
+        )
+        user.idle_frames(0.6)
+        executed = bindings.log.entries[before:]
+        actions = ", ".join(entry.action for entry in executed) or "(not detected)"
+        print(f"  performed {gesture:12s} -> {actions:12s} | view: {navigator.describe()}")
+
+    print("\n=== session summary ===")
+    print(f"  commands performed : {len(session)}")
+    print(f"  actions executed   : {len(bindings.log.successes())}")
+    print(f"  failed operations  : {len(bindings.log.failures())}")
+    top = sorted(navigator.view().items(), key=lambda item: -item[1])[:3]
+    print("  top cells in the current view:")
+    for key, value in top:
+        print(f"    {key}: {value:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — Learning Event Patterns for Gesture Detection (EDBT 2014).
+
+A from-scratch reproduction of Beier, Alaqraa, Lai and Sattler,
+*Learning Event Patterns for Gesture Detection*, EDBT 2014: gestures are
+described declaratively as complex-event-processing (CEP) queries over a
+3D-camera skeleton stream, and those queries are *learned* from a handful
+of recorded samples via distance-based sampling and window merging.
+
+The package is organised by subsystem (see ``DESIGN.md`` for the full map):
+
+``repro.streams``
+    push-based streams, simulated clocks, sources.
+``repro.kinect``
+    the Kinect skeleton-stream simulator (trajectories, users, noise).
+``repro.transform``
+    the user-independent ``kinect_t`` coordinate transformation.
+``repro.cep``
+    the CEP engine: query language, NFA matcher, views, sinks.
+``repro.core``
+    the learning pipeline: sampling, merging, validation, optimisation,
+    query generation (the paper's contribution).
+``repro.storage``
+    the gesture database.
+``repro.detection``
+    the gesture detector, recording controller and interactive workflow.
+``repro.apps``
+    gesture-controlled OLAP and graph navigation demos.
+``repro.evaluation``
+    metrics, workload generation and experiment harnesses.
+
+Quickstart
+----------
+>>> from repro import quick_learn_and_detect
+>>> events = quick_learn_and_detect()          # doctest: +SKIP
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "__version__",
+    "quick_learn_and_detect",
+]
+
+
+def quick_learn_and_detect(samples: int = 4, test_performances: int = 3):
+    """Minimal end-to-end demo used by the README quickstart.
+
+    Learns the ``swipe_right`` gesture from a few simulated samples,
+    deploys the generated CEP query, performs the gesture a few more times
+    and returns the resulting gesture events.
+    """
+    from repro.core import GestureLearner, QueryGenerator
+    from repro.detection import GestureDetector
+    from repro.kinect import KinectSimulator, SwipeTrajectory
+    from repro.streams import SimulatedClock
+
+    simulator = KinectSimulator(clock=SimulatedClock())
+    trajectory = SwipeTrajectory(direction="right")
+
+    learner = GestureLearner("swipe_right")
+    for _ in range(samples):
+        learner.add_sample(
+            simulator.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
+        )
+    description = learner.description()
+
+    detector = GestureDetector()
+    detector.deploy(description)
+    for _ in range(test_performances):
+        detector.process_frames(
+            simulator.perform_variation(trajectory, hold_start_s=0.2, hold_end_s=0.2)
+        )
+    return list(detector.events)

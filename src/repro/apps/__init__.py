@@ -1,0 +1,32 @@
+"""Demo applications driven by gestures.
+
+The paper's demonstration (Sec. 4) controls two database UIs with gestures:
+navigation through an OLAP cube (the Data3 demo, [3]) and traversal of a
+graph database (the "Kevin Bacon game", [1]).  This package provides both
+as in-memory substrates plus the binding layer that maps detected gestures
+onto their navigation operations:
+
+* :mod:`repro.apps.olap` — a small multidimensional cube with drill-down,
+  roll-up, pivot and slice operators,
+* :mod:`repro.apps.graph` — a property graph with neighbourhood navigation,
+* :mod:`repro.apps.binding` — :class:`GestureBindings`, which connects a
+  :class:`~repro.detection.detector.GestureDetector` to application actions
+  and lets them be exchanged at runtime (the flexibility the demo shows
+  off).
+"""
+
+from repro.apps.olap import CubeNavigator, Dimension, OlapCube, olap_demo_cube
+from repro.apps.graph import GraphNavigator, PropertyGraph, collaboration_demo_graph
+from repro.apps.binding import ActionLog, GestureBindings
+
+__all__ = [
+    "OlapCube",
+    "Dimension",
+    "CubeNavigator",
+    "olap_demo_cube",
+    "PropertyGraph",
+    "GraphNavigator",
+    "collaboration_demo_graph",
+    "GestureBindings",
+    "ActionLog",
+]

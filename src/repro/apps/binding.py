@@ -1,0 +1,149 @@
+"""Binding detected gestures to application actions.
+
+The selling point of the paper's declarative approach is that "detected
+patterns can be easily mapped to application-specific interfaces" and that
+these mappings can be exchanged at runtime — like keyboard shortcuts.
+:class:`GestureBindings` implements that layer: it subscribes to a
+:class:`~repro.detection.detector.GestureDetector`, maps gesture names onto
+callables (typically the navigation operators of the OLAP or graph
+navigator), keeps an auditable :class:`ActionLog`, and lets bindings be
+re-assigned while the system is running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.detection.detector import GestureDetector
+from repro.detection.events import GestureEvent
+from repro.errors import BindingError, NavigationError
+
+Action = Callable[[], Any]
+
+
+@dataclass
+class ActionLogEntry:
+    """One executed (or failed) gesture-triggered action."""
+
+    gesture: str
+    action: str
+    timestamp: float
+    result: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ActionLog:
+    """The record of everything gestures made the application do."""
+
+    entries: List[ActionLogEntry] = field(default_factory=list)
+
+    def append(self, entry: ActionLogEntry) -> None:
+        self.entries.append(entry)
+
+    def successes(self) -> List[ActionLogEntry]:
+        return [entry for entry in self.entries if entry.succeeded]
+
+    def failures(self) -> List[ActionLogEntry]:
+        return [entry for entry in self.entries if not entry.succeeded]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class GestureBindings:
+    """Runtime-exchangeable mapping of gesture names to application actions."""
+
+    def __init__(self, detector: GestureDetector) -> None:
+        self.detector = detector
+        self.log = ActionLog()
+        self._bindings: Dict[str, Action] = {}
+        self._action_names: Dict[str, str] = {}
+        detector.on_any_gesture(self._on_event)
+
+    # -- binding management ------------------------------------------------------------
+
+    def bind(self, gesture: str, action: Action, name: Optional[str] = None) -> None:
+        """Bind ``gesture`` to ``action`` (replacing any previous binding).
+
+        Parameters
+        ----------
+        gesture:
+            Gesture name as produced by the detector.
+        action:
+            Zero-argument callable; its return value (if any) is stringified
+            into the action log.
+        name:
+            Human-readable action name for the log; defaults to the
+            callable's ``__name__``.
+        """
+        if not callable(action):
+            raise BindingError("an action must be callable")
+        self._bindings[gesture] = action
+        self._action_names[gesture] = name or getattr(action, "__name__", "action")
+
+    def unbind(self, gesture: str) -> None:
+        if gesture not in self._bindings:
+            raise BindingError(f"gesture '{gesture}' is not bound")
+        del self._bindings[gesture]
+        del self._action_names[gesture]
+
+    def rebind(self, gesture: str, action: Action, name: Optional[str] = None) -> None:
+        """Exchange the action bound to a gesture at runtime."""
+        self.bind(gesture, action, name)
+
+    def swap(self, first: str, second: str) -> None:
+        """Swap the actions of two gestures (a favourite demo trick)."""
+        if first not in self._bindings or second not in self._bindings:
+            raise BindingError("both gestures must be bound before swapping")
+        self._bindings[first], self._bindings[second] = (
+            self._bindings[second],
+            self._bindings[first],
+        )
+        self._action_names[first], self._action_names[second] = (
+            self._action_names[second],
+            self._action_names[first],
+        )
+
+    def bound_gestures(self) -> List[str]:
+        return sorted(self._bindings)
+
+    def action_name(self, gesture: str) -> str:
+        try:
+            return self._action_names[gesture]
+        except KeyError:
+            raise BindingError(f"gesture '{gesture}' is not bound") from None
+
+    # -- event handling -----------------------------------------------------------------
+
+    def _on_event(self, event: GestureEvent) -> None:
+        action = self._bindings.get(event.gesture)
+        if action is None:
+            return
+        entry = ActionLogEntry(
+            gesture=event.gesture,
+            action=self._action_names[event.gesture],
+            timestamp=event.timestamp,
+        )
+        try:
+            result = action()
+            entry.result = None if result is None else str(result)
+        except NavigationError as error:
+            # Navigation errors (e.g. "already at the coarsest level") are
+            # expected user-facing outcomes, not crashes.
+            entry.error = str(error)
+        self.log.append(entry)
+
+    def trigger(self, gesture: str, timestamp: float = 0.0) -> ActionLogEntry:
+        """Manually trigger a binding (useful in tests and dry runs)."""
+        if gesture not in self._bindings:
+            raise BindingError(f"gesture '{gesture}' is not bound")
+        self._on_event(
+            GestureEvent(gesture=gesture, timestamp=timestamp, duration=0.0)
+        )
+        return self.log.entries[-1]

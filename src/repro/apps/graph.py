@@ -1,0 +1,233 @@
+"""A property graph with gesture-friendly navigation.
+
+The paper's companion demo [1] lets users play the "Kevin Bacon game":
+navigating a collaboration graph with gestures — select a neighbour, follow
+an edge, step back, jump to the shortest path toward a target.  This module
+provides the substrate: a small in-memory property graph and a
+:class:`GraphNavigator` whose operations map one-to-one onto gestures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import NavigationError
+
+
+class PropertyGraph:
+    """An undirected property graph (nodes and edges carry attribute dicts)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Dict[str, Any]] = {}
+        self._edges: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        self._adjacency: Dict[str, Set[str]] = {}
+
+    # -- construction ------------------------------------------------------------------
+
+    def add_node(self, node_id: str, **properties: Any) -> None:
+        if not node_id:
+            raise ValueError("node id must be non-empty")
+        self._nodes.setdefault(node_id, {}).update(properties)
+        self._adjacency.setdefault(node_id, set())
+
+    def add_edge(self, first: str, second: str, **properties: Any) -> None:
+        if first == second:
+            raise ValueError("self-loops are not supported")
+        for node in (first, second):
+            if node not in self._nodes:
+                self.add_node(node)
+        key = self._edge_key(first, second)
+        self._edges.setdefault(key, {}).update(properties)
+        self._adjacency[first].add(second)
+        self._adjacency[second].add(first)
+
+    @staticmethod
+    def _edge_key(first: str, second: str) -> Tuple[str, str]:
+        return (first, second) if first <= second else (second, first)
+
+    # -- queries -------------------------------------------------------------------------
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def node(self, node_id: str) -> Dict[str, Any]:
+        try:
+            return dict(self._nodes[node_id])
+        except KeyError:
+            raise NavigationError(f"unknown node '{node_id}'") from None
+
+    def edge(self, first: str, second: str) -> Dict[str, Any]:
+        key = self._edge_key(first, second)
+        try:
+            return dict(self._edges[key])
+        except KeyError:
+            raise NavigationError(f"no edge between '{first}' and '{second}'") from None
+
+    def neighbours(self, node_id: str) -> List[str]:
+        if node_id not in self._adjacency:
+            raise NavigationError(f"unknown node '{node_id}'")
+        return sorted(self._adjacency[node_id])
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def shortest_path(self, source: str, target: str) -> List[str]:
+        """Unweighted shortest path (BFS); raises when none exists."""
+        if source not in self._nodes or target not in self._nodes:
+            raise NavigationError("both endpoints must exist in the graph")
+        if source == target:
+            return [source]
+        previous: Dict[str, str] = {}
+        visited = {source}
+        queue = deque([source])
+        while queue:
+            current = queue.popleft()
+            for neighbour in sorted(self._adjacency[current]):
+                if neighbour in visited:
+                    continue
+                previous[neighbour] = current
+                if neighbour == target:
+                    path = [target]
+                    while path[-1] != source:
+                        path.append(previous[path[-1]])
+                    return list(reversed(path))
+                visited.add(neighbour)
+                queue.append(neighbour)
+        raise NavigationError(f"no path between '{source}' and '{target}'")
+
+
+class GraphNavigator:
+    """Stateful graph exploration designed to be driven by gestures.
+
+    The navigator keeps a *current node*, a highlighted neighbour index and
+    a navigation history, so the gesture set of the Kevin-Bacon demo maps
+    directly: swipe left/right cycles the highlighted neighbour, push
+    follows the edge, a back gesture returns, and a "find path" gesture
+    highlights the shortest path to a chosen target.
+    """
+
+    def __init__(self, graph: PropertyGraph, start: str) -> None:
+        if not graph.has_node(start):
+            raise NavigationError(f"start node '{start}' does not exist")
+        self.graph = graph
+        self.current = start
+        self.highlight_index = 0
+        self.history: List[str] = []
+        self.operations: List[str] = []
+        self.target: Optional[str] = None
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def neighbours(self) -> List[str]:
+        return self.graph.neighbours(self.current)
+
+    @property
+    def highlighted(self) -> Optional[str]:
+        neighbours = self.neighbours()
+        if not neighbours:
+            return None
+        return neighbours[self.highlight_index % len(neighbours)]
+
+    def describe(self) -> str:
+        return (
+            f"at '{self.current}', highlighting '{self.highlighted}' "
+            f"({len(self.neighbours())} neighbours)"
+        )
+
+    # -- gesture-bound operations --------------------------------------------------------------
+
+    def highlight_next(self) -> str:
+        """Cycle the highlighted neighbour forward (e.g. swipe right)."""
+        if not self.neighbours():
+            raise NavigationError(f"node '{self.current}' has no neighbours")
+        self.highlight_index = (self.highlight_index + 1) % len(self.neighbours())
+        return self._record(f"highlight {self.highlighted}")
+
+    def highlight_previous(self) -> str:
+        """Cycle the highlighted neighbour backward (e.g. swipe left)."""
+        if not self.neighbours():
+            raise NavigationError(f"node '{self.current}' has no neighbours")
+        self.highlight_index = (self.highlight_index - 1) % len(self.neighbours())
+        return self._record(f"highlight {self.highlighted}")
+
+    def follow(self) -> str:
+        """Move to the highlighted neighbour (e.g. push gesture)."""
+        destination = self.highlighted
+        if destination is None:
+            raise NavigationError(f"node '{self.current}' has no neighbours")
+        self.history.append(self.current)
+        self.current = destination
+        self.highlight_index = 0
+        return self._record(f"follow -> {destination}")
+
+    def back(self) -> str:
+        """Return to the previously visited node."""
+        if not self.history:
+            raise NavigationError("navigation history is empty")
+        self.current = self.history.pop()
+        self.highlight_index = 0
+        return self._record(f"back -> {self.current}")
+
+    def set_target(self, target: str) -> str:
+        """Choose the node the user is trying to reach (Kevin Bacon)."""
+        if not self.graph.has_node(target):
+            raise NavigationError(f"unknown target '{target}'")
+        self.target = target
+        return self._record(f"target {target}")
+
+    def path_to_target(self) -> List[str]:
+        """Shortest path from the current node to the chosen target."""
+        if self.target is None:
+            raise NavigationError("no target set")
+        return self.graph.shortest_path(self.current, self.target)
+
+    def follow_path(self) -> str:
+        """Take one step along the shortest path toward the target."""
+        path = self.path_to_target()
+        if len(path) < 2:
+            return self._record("already at target")
+        self.history.append(self.current)
+        self.current = path[1]
+        self.highlight_index = 0
+        return self._record(f"follow_path -> {self.current}")
+
+    def _record(self, operation: str) -> str:
+        self.operations.append(operation)
+        return operation
+
+
+def collaboration_demo_graph() -> PropertyGraph:
+    """The small actor-collaboration graph used by examples and tests.
+
+    A miniature "Kevin Bacon game" instance: actors are nodes, edges mean
+    "appeared in a film together" and carry the film title.
+    """
+    graph = PropertyGraph()
+    collaborations = [
+        ("kevin_bacon", "tom_hanks", "Apollo 13"),
+        ("tom_hanks", "meg_ryan", "Joe Versus the Volcano"),
+        ("tom_hanks", "robin_wright", "Forrest Gump"),
+        ("robin_wright", "sean_penn", "She's So Lovely"),
+        ("kevin_bacon", "john_lithgow", "Footloose"),
+        ("john_lithgow", "sylvester_stallone", "Cliffhanger"),
+        ("meg_ryan", "billy_crystal", "When Harry Met Sally"),
+        ("billy_crystal", "robert_de_niro", "Analyze This"),
+        ("robert_de_niro", "al_pacino", "Heat"),
+        ("al_pacino", "keanu_reeves", "The Devil's Advocate"),
+        ("keanu_reeves", "sandra_bullock", "Speed"),
+        ("sandra_bullock", "tom_hanks", "Extremely Loud and Incredibly Close"),
+        ("sean_penn", "al_pacino", "Carlito's Way"),
+    ]
+    for first, second, film in collaborations:
+        graph.add_node(first, kind="actor")
+        graph.add_node(second, kind="actor")
+        graph.add_edge(first, second, film=film)
+    return graph

@@ -1,0 +1,302 @@
+"""An in-memory OLAP cube with gesture-friendly navigation operators.
+
+The paper's earlier demo (Data3, ICDE 2012) navigates an OLAP database with
+Kinect gestures: "detected patterns can be easily mapped to
+application-specific interfaces as navigation operators, e.g., drill-down or
+pivot on an OLAP cube".  This module provides that substrate: a small
+multidimensional cube over flat fact rows, dimension hierarchies, and a
+:class:`CubeNavigator` whose operations (drill-down, roll-up, pivot, slice,
+next/previous member) are designed to be bound to gestures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import NavigationError
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One cube dimension with an ordered hierarchy of levels.
+
+    Attributes
+    ----------
+    name:
+        Dimension name (``"time"``, ``"geography"``, …).
+    levels:
+        Hierarchy levels from coarsest to finest, e.g.
+        ``("year", "quarter", "month")``.  Each level must be a column of
+        the fact rows.
+    """
+
+    name: str
+    levels: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ValueError(f"dimension '{self.name}' needs at least one level")
+
+    def level_index(self, level: str) -> int:
+        try:
+            return self.levels.index(level)
+        except ValueError:
+            raise NavigationError(
+                f"dimension '{self.name}' has no level '{level}'; "
+                f"levels are {list(self.levels)}"
+            ) from None
+
+
+class OlapCube:
+    """A fact table plus dimension metadata, aggregated on demand.
+
+    Parameters
+    ----------
+    facts:
+        Flat fact rows; every dimension level and the measure must be a key.
+    dimensions:
+        The cube's dimensions.
+    measure:
+        Name of the numeric measure column.
+
+    Examples
+    --------
+    >>> cube = olap_demo_cube()
+    >>> result = cube.aggregate(group_by=["year"])
+    >>> sorted(result)[:2]
+    [(2011,), (2012,)]
+    """
+
+    def __init__(
+        self,
+        facts: Sequence[Mapping[str, Any]],
+        dimensions: Sequence[Dimension],
+        measure: str,
+    ) -> None:
+        if not facts:
+            raise ValueError("an OLAP cube needs at least one fact row")
+        if not dimensions:
+            raise ValueError("an OLAP cube needs at least one dimension")
+        self.facts = [dict(row) for row in facts]
+        self.dimensions = {dimension.name: dimension for dimension in dimensions}
+        self.measure = measure
+        for dimension in dimensions:
+            for level in dimension.levels:
+                if level not in self.facts[0]:
+                    raise ValueError(
+                        f"fact rows have no column '{level}' required by "
+                        f"dimension '{dimension.name}'"
+                    )
+        if measure not in self.facts[0]:
+            raise ValueError(f"fact rows have no measure column '{measure}'")
+
+    def dimension(self, name: str) -> Dimension:
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise NavigationError(
+                f"unknown dimension '{name}'; cube has {sorted(self.dimensions)}"
+            ) from None
+
+    def members(self, level: str) -> List[Any]:
+        """Distinct values of a hierarchy level, sorted."""
+        return sorted({row[level] for row in self.facts})
+
+    def aggregate(
+        self,
+        group_by: Sequence[str],
+        filters: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[Tuple[Any, ...], float]:
+        """Sum the measure grouped by the given levels under the filters."""
+        filters = filters or {}
+        result: Dict[Tuple[Any, ...], float] = {}
+        for row in self.facts:
+            if any(row.get(column) != value for column, value in filters.items()):
+                continue
+            key = tuple(row[level] for level in group_by)
+            result[key] = result.get(key, 0.0) + float(row[self.measure])
+        return result
+
+
+@dataclass
+class CubeViewState:
+    """The navigator's current viewpoint on the cube."""
+
+    row_dimension: str
+    column_dimension: str
+    row_level_index: int = 0
+    column_level_index: int = 0
+    slice_filters: Dict[str, Any] = field(default_factory=dict)
+
+
+class CubeNavigator:
+    """Stateful cube navigation designed to be driven by gestures.
+
+    Every public operation corresponds to one gesture binding in the demo:
+    ``drill_down`` / ``roll_up`` change the granularity of the row
+    dimension, ``pivot`` swaps row and column dimensions, ``slice_member`` /
+    ``next_member`` / ``previous_member`` restrict to a member of the
+    current level, and ``reset`` returns to the initial view.
+    """
+
+    def __init__(
+        self,
+        cube: OlapCube,
+        row_dimension: Optional[str] = None,
+        column_dimension: Optional[str] = None,
+    ) -> None:
+        names = sorted(cube.dimensions)
+        if len(names) < 2:
+            raise NavigationError("cube navigation needs at least two dimensions")
+        self.cube = cube
+        self.state = CubeViewState(
+            row_dimension=row_dimension or names[0],
+            column_dimension=column_dimension or names[1],
+        )
+        if self.state.row_dimension == self.state.column_dimension:
+            raise NavigationError("row and column dimensions must differ")
+        self.history: List[str] = []
+
+    # -- introspection ------------------------------------------------------------------
+
+    @property
+    def row_level(self) -> str:
+        dimension = self.cube.dimension(self.state.row_dimension)
+        return dimension.levels[self.state.row_level_index]
+
+    @property
+    def column_level(self) -> str:
+        dimension = self.cube.dimension(self.state.column_dimension)
+        return dimension.levels[self.state.column_level_index]
+
+    def describe(self) -> str:
+        filters = ", ".join(f"{k}={v}" for k, v in self.state.slice_filters.items())
+        return (
+            f"rows={self.state.row_dimension}/{self.row_level}, "
+            f"columns={self.state.column_dimension}/{self.column_level}"
+            + (f", slice[{filters}]" if filters else "")
+        )
+
+    def view(self) -> Dict[Tuple[Any, ...], float]:
+        """The currently visible aggregate (rows × columns)."""
+        return self.cube.aggregate(
+            group_by=[self.row_level, self.column_level],
+            filters=self.state.slice_filters,
+        )
+
+    # -- navigation operators -------------------------------------------------------------
+
+    def drill_down(self) -> str:
+        """Move the row dimension one hierarchy level finer."""
+        dimension = self.cube.dimension(self.state.row_dimension)
+        if self.state.row_level_index + 1 >= len(dimension.levels):
+            raise NavigationError(
+                f"already at the finest level of '{dimension.name}'"
+            )
+        self.state.row_level_index += 1
+        return self._record(f"drill_down -> {self.row_level}")
+
+    def roll_up(self) -> str:
+        """Move the row dimension one hierarchy level coarser."""
+        if self.state.row_level_index == 0:
+            raise NavigationError(
+                f"already at the coarsest level of '{self.state.row_dimension}'"
+            )
+        self.state.row_level_index -= 1
+        return self._record(f"roll_up -> {self.row_level}")
+
+    def pivot(self) -> str:
+        """Swap row and column dimensions (and their levels)."""
+        state = self.state
+        state.row_dimension, state.column_dimension = (
+            state.column_dimension,
+            state.row_dimension,
+        )
+        state.row_level_index, state.column_level_index = (
+            state.column_level_index,
+            state.row_level_index,
+        )
+        return self._record("pivot")
+
+    def slice_member(self, member: Any) -> str:
+        """Restrict the view to one member of the current row level."""
+        members = self.cube.members(self.row_level)
+        if member not in members:
+            raise NavigationError(
+                f"'{member}' is not a member of level '{self.row_level}'"
+            )
+        self.state.slice_filters[self.row_level] = member
+        return self._record(f"slice {self.row_level}={member}")
+
+    def next_member(self) -> str:
+        """Slice to the next member of the current row level (wraps around)."""
+        return self._step_member(+1)
+
+    def previous_member(self) -> str:
+        """Slice to the previous member of the current row level."""
+        return self._step_member(-1)
+
+    def _step_member(self, direction: int) -> str:
+        members = self.cube.members(self.row_level)
+        current = self.state.slice_filters.get(self.row_level)
+        if current is None or current not in members:
+            index = 0 if direction > 0 else len(members) - 1
+        else:
+            index = (members.index(current) + direction) % len(members)
+        self.state.slice_filters[self.row_level] = members[index]
+        return self._record(f"slice {self.row_level}={members[index]}")
+
+    def clear_slice(self) -> str:
+        """Remove all slice filters."""
+        self.state.slice_filters.clear()
+        return self._record("clear_slice")
+
+    def reset(self) -> str:
+        """Return to the initial, coarsest view."""
+        self.state.row_level_index = 0
+        self.state.column_level_index = 0
+        self.state.slice_filters.clear()
+        return self._record("reset")
+
+    def _record(self, operation: str) -> str:
+        self.history.append(operation)
+        return operation
+
+
+def olap_demo_cube() -> OlapCube:
+    """The small sales cube used by examples, tests and benchmarks."""
+    regions = {
+        "north": ["berlin", "hamburg"],
+        "south": ["munich", "stuttgart"],
+    }
+    products = {
+        "electronics": ["camera", "sensor"],
+        "furniture": ["desk", "chair"],
+    }
+    facts: List[Dict[str, Any]] = []
+    value = 10.0
+    for year in (2011, 2012, 2013):
+        for quarter in (1, 2, 3, 4):
+            for region, cities in regions.items():
+                for city in cities:
+                    for category, items in products.items():
+                        for product in items:
+                            facts.append(
+                                {
+                                    "year": year,
+                                    "quarter": quarter,
+                                    "region": region,
+                                    "city": city,
+                                    "category": category,
+                                    "product": product,
+                                    "revenue": value,
+                                }
+                            )
+                            value = (value * 1.07) % 997 + 5
+    dimensions = [
+        Dimension("time", ("year", "quarter")),
+        Dimension("geography", ("region", "city")),
+        Dimension("product", ("category", "product")),
+    ]
+    return OlapCube(facts=facts, dimensions=dimensions, measure="revenue")

@@ -1,0 +1,308 @@
+"""The CEP engine: streams, views, deployed queries and sinks.
+
+:class:`CEPEngine` plays the role of AnduIN in the paper's architecture
+(Fig. 2): sensor measurements are pushed into the raw ``kinect`` stream, the
+``kinect_t`` view transforms them on the fly, and every deployed gesture
+query runs an NFA matcher on its input streams.  Detections are delivered to
+the sinks attached to the query (by default a
+:class:`~repro.cep.sinks.CollectingSink` that applications can poll).
+
+Queries can be registered either as parsed :class:`~repro.cep.query.Query`
+objects (what the learning pipeline produces) or as query text in the
+paper's dialect (what an end user might paste for manual fine tuning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.cep.matcher import Detection, MatcherConfig, NFAMatcher
+from repro.cep.nfa import compile_pattern
+from repro.cep.parser import parse_query
+from repro.cep.query import Query
+from repro.cep.sinks import CollectingSink, FanOutSink, Sink
+from repro.cep.udf import FunctionRegistry, default_functions
+from repro.cep.views import View
+from repro.errors import QueryRegistrationError, UnknownStreamError
+from repro.streams.clock import Clock, SimulatedClock
+from repro.streams.stream import Stream, StreamRegistry, Subscription
+
+
+@dataclass
+class DeployedQuery:
+    """A query running inside the engine."""
+
+    query: Query
+    matcher: NFAMatcher
+    sink: FanOutSink
+    collector: CollectingSink
+    subscriptions: List[Subscription] = field(default_factory=list)
+    enabled: bool = True
+
+    @property
+    def name(self) -> str:
+        return self.query.registration_name
+
+    def detections(self) -> List[Detection]:
+        """All detections collected so far for this query."""
+        return list(self.collector.detections)
+
+    def clear_detections(self) -> None:
+        self.collector.clear()
+
+    def progress(self) -> float:
+        """Partial-match progress (Fig. 5 style feedback)."""
+        return self.matcher.progress()
+
+    def __repr__(self) -> str:
+        return (
+            f"DeployedQuery(name={self.name!r}, events={self.query.event_count()}, "
+            f"detections={len(self.collector)})"
+        )
+
+
+class CEPEngine:
+    """A single-node complex event processing engine.
+
+    Parameters
+    ----------
+    clock:
+        Time source used when tuples carry no timestamp.
+    matcher_config:
+        Default NFA runtime configuration applied to deployed queries.
+
+    Examples
+    --------
+    >>> engine = CEPEngine()
+    >>> _ = engine.create_stream("kinect_t")
+    >>> deployed = engine.register_query(
+    ...     'SELECT "hands_up" MATCHING kinect_t(rhand_y > 400);'
+    ... )
+    >>> engine.push("kinect_t", {"ts": 0.0, "rhand_y": 500.0})
+    >>> [d.output for d in deployed.detections()]
+    ['hands_up']
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Clock] = None,
+        matcher_config: Optional[MatcherConfig] = None,
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.matcher_config = matcher_config or MatcherConfig()
+        self.streams = StreamRegistry()
+        self.functions = default_functions()
+        self._queries: Dict[str, DeployedQuery] = {}
+        self._views: Dict[str, View] = {}
+        self.tuples_processed = 0
+
+    # -- stream management ---------------------------------------------------------
+
+    def create_stream(self, name: str, fields: Optional[Iterable[str]] = None) -> Stream:
+        """Create and register a new stream."""
+        return self.streams.create(name, fields=fields)
+
+    def get_stream(self, name: str) -> Stream:
+        return self.streams.get(name)
+
+    def push(self, stream_name: str, record: Mapping[str, Any]) -> None:
+        """Push one tuple into a registered stream."""
+        self.tuples_processed += 1
+        self.streams.get(stream_name).push(record)
+
+    def push_many(self, stream_name: str, records: Iterable[Mapping[str, Any]]) -> int:
+        """Push many tuples; returns the number pushed."""
+        stream = self.streams.get(stream_name)
+        count = 0
+        for record in records:
+            stream.push(record)
+            count += 1
+        self.tuples_processed += count
+        return count
+
+    # -- views ----------------------------------------------------------------------
+
+    def register_view(
+        self,
+        name: str,
+        source: Union[str, Stream],
+        function: Callable[[Mapping[str, Any]], Mapping[str, Any]],
+    ) -> View:
+        """Register a derived stream computed from ``source`` tuple by tuple."""
+        source_stream = self.streams.get(source) if isinstance(source, str) else source
+        if name in self.streams:
+            output_stream = self.streams.get(name)
+        else:
+            output_stream = self.streams.create(name)
+        view = View(name=name, source=source_stream, output=output_stream, function=function)
+        view.start()
+        self._views[name] = view
+        return view
+
+    def get_view(self, name: str) -> View:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise UnknownStreamError(f"no view named '{name}' is installed") from None
+
+    @property
+    def views(self) -> Dict[str, View]:
+        return dict(self._views)
+
+    # -- UDFs --------------------------------------------------------------------------
+
+    def register_function(self, name: str, function: Callable[..., Any], arity: Optional[int] = None) -> None:
+        """Register a user-defined function for use in query expressions."""
+        self.functions.register(name, function, arity)
+
+    # -- query management ----------------------------------------------------------------
+
+    def register_query(
+        self,
+        query: Union[str, Query],
+        name: Optional[str] = None,
+        sink: Optional[Sink] = None,
+        matcher_config: Optional[MatcherConfig] = None,
+        create_missing_streams: bool = False,
+    ) -> DeployedQuery:
+        """Deploy a gesture query.
+
+        Parameters
+        ----------
+        query:
+            A parsed :class:`Query` or query text in the paper's dialect.
+        name:
+            Registration name; defaults to the query's output value.
+        sink:
+            Optional additional sink; a collecting sink is always attached.
+        matcher_config:
+            Per-query override of the NFA runtime configuration.
+        create_missing_streams:
+            If true, streams referenced by the query that do not exist yet
+            are created on the fly (convenient in tests).
+
+        Raises
+        ------
+        QueryRegistrationError
+            If a query with the same name is already deployed.
+        UnknownStreamError
+            If the query references an unregistered stream and
+            ``create_missing_streams`` is false.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        registration_name = name or query.registration_name
+        if registration_name in self._queries:
+            raise QueryRegistrationError(
+                f"a query named '{registration_name}' is already registered"
+            )
+
+        referenced = sorted(query.streams())
+        for stream_name in referenced:
+            if stream_name not in self.streams:
+                if create_missing_streams:
+                    self.streams.create(stream_name)
+                else:
+                    raise UnknownStreamError(
+                        f"query '{registration_name}' references unknown stream "
+                        f"'{stream_name}'; create it or pass create_missing_streams=True"
+                    )
+
+        compiled = compile_pattern(query.pattern)
+        matcher = NFAMatcher(
+            pattern=compiled,
+            output=query.output,
+            query_name=registration_name,
+            functions=self.functions,
+            config=matcher_config or self.matcher_config,
+        )
+        collector = CollectingSink()
+        fan_out = FanOutSink([collector])
+        if sink is not None:
+            fan_out.add(sink)
+
+        deployed = DeployedQuery(
+            query=query, matcher=matcher, sink=fan_out, collector=collector
+        )
+
+        for stream_name in referenced:
+            stream = self.streams.get(stream_name)
+            subscription = stream.subscribe(
+                self._make_handler(deployed, stream_name),
+                name=f"query:{registration_name}",
+            )
+            deployed.subscriptions.append(subscription)
+
+        self._queries[registration_name] = deployed
+        return deployed
+
+    def _make_handler(
+        self, deployed: DeployedQuery, stream_name: str
+    ) -> Callable[[Mapping[str, Any]], None]:
+        def handle(record: Mapping[str, Any]) -> None:
+            if not deployed.enabled:
+                return
+            timestamp = record.get("ts")
+            detections = deployed.matcher.process(
+                record,
+                stream_name,
+                timestamp=float(timestamp) if timestamp is not None else self.clock.now(),
+            )
+            for detection in detections:
+                deployed.sink.emit(detection)
+
+        return handle
+
+    def unregister_query(self, name: str) -> None:
+        """Remove a deployed query and detach it from its streams."""
+        deployed = self._queries.pop(name, None)
+        if deployed is None:
+            raise QueryRegistrationError(f"no query named '{name}' is registered")
+        for subscription in deployed.subscriptions:
+            subscription.cancel()
+        deployed.subscriptions.clear()
+
+    def get_query(self, name: str) -> DeployedQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise QueryRegistrationError(f"no query named '{name}' is registered") from None
+
+    def query_names(self) -> List[str]:
+        return sorted(self._queries)
+
+    @property
+    def queries(self) -> Dict[str, DeployedQuery]:
+        return dict(self._queries)
+
+    def enable_query(self, name: str, enabled: bool = True) -> None:
+        """Pause or resume a deployed query without removing it."""
+        self.get_query(name).enabled = enabled
+
+    # -- detections -----------------------------------------------------------------------
+
+    def detections(self, name: Optional[str] = None) -> List[Detection]:
+        """All detections of one query, or of all queries in time order."""
+        if name is not None:
+            return self.get_query(name).detections()
+        merged: List[Detection] = []
+        for deployed in self._queries.values():
+            merged.extend(deployed.collector.detections)
+        merged.sort(key=lambda detection: detection.timestamp)
+        return merged
+
+    def clear_detections(self) -> None:
+        for deployed in self._queries.values():
+            deployed.clear_detections()
+
+    def reset_matchers(self) -> None:
+        """Discard all partial matches of every deployed query."""
+        for deployed in self._queries.values():
+            deployed.matcher.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"CEPEngine(streams={self.streams.names()}, "
+            f"queries={self.query_names()}, tuples={self.tuples_processed})"
+        )

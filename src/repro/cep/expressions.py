@@ -1,0 +1,341 @@
+"""Expression AST for event predicates.
+
+Gesture queries are built from predicates over tuple fields, e.g.::
+
+    abs(rhand_x - torso_x - 400) < 50 and abs(rhand_y - torso_y - 150) < 50
+
+Expressions are represented as a small immutable AST that can be
+
+* evaluated against a tuple (a mapping of field name to value),
+* rendered back into query text (``to_query()``), which is how the query
+  generator produces the textual queries shown in the paper's Fig. 1,
+* introspected (``fields()`` returns the referenced fields, used by the
+  optimiser to eliminate irrelevant coordinates),
+* counted (``predicate_count()``), used by the optimisation benchmarks to
+  report detection effort.
+
+Function calls are resolved through a
+:class:`~repro.cep.udf.FunctionRegistry`; the default registry provides
+``abs``, ``dist`` (Euclidean distance) and the Roll-Pitch-Yaw operators the
+paper implements as UDFs in AnduIN.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ExpressionError, UnknownFunctionError
+
+EvaluationContext = Mapping[str, Any]
+
+
+class Expression(ABC):
+    """Base class of all expression nodes."""
+
+    @abstractmethod
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> Any:
+        """Evaluate the expression against ``record``."""
+
+    @abstractmethod
+    def to_query(self) -> str:
+        """Render the expression as query text."""
+
+    @abstractmethod
+    def fields(self) -> FrozenSet[str]:
+        """Return the set of field names referenced by the expression."""
+
+    def predicate_count(self) -> int:
+        """Number of atomic comparisons in the expression (detection effort)."""
+        return sum(child.predicate_count() for child in self.children())
+
+    def children(self) -> Tuple["Expression", ...]:
+        """Immediate sub-expressions (empty for leaves)."""
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_query()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expression) and self.to_query() == other.to_query()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.to_query()))
+
+
+class Literal(Expression):
+    """A numeric, string or boolean constant."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> Any:
+        return self.value
+
+    def to_query(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        if isinstance(self.value, float):
+            # Render integral floats without a trailing ".0" for readability,
+            # matching the style of the paper's generated queries.
+            if self.value == int(self.value) and abs(self.value) < 1e15:
+                return str(int(self.value))
+            return repr(self.value)
+        return str(self.value)
+
+    def fields(self) -> FrozenSet[str]:
+        return frozenset()
+
+
+class FieldRef(Expression):
+    """A reference to a tuple field, e.g. ``rhand_x``."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ExpressionError("field reference must have a name")
+        self.name = name
+
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> Any:
+        try:
+            return record[self.name]
+        except KeyError:
+            raise ExpressionError(
+                f"tuple has no field '{self.name}' "
+                f"(available: {sorted(record)[:8]}…)"
+            ) from None
+
+    def to_query(self) -> str:
+        return self.name
+
+    def fields(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+
+class UnaryMinus(Expression):
+    """Arithmetic negation."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> Any:
+        return -self.operand.evaluate(record, functions)
+
+    def to_query(self) -> str:
+        return f"-{self.operand.to_query()}"
+
+    def fields(self) -> FrozenSet[str]:
+        return self.operand.fields()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
+
+
+_ARITHMETIC_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+class BinaryOp(Expression):
+    """Arithmetic operation: ``+``, ``-``, ``*`` or ``/``."""
+
+    def __init__(self, operator: str, left: Expression, right: Expression) -> None:
+        if operator not in _ARITHMETIC_OPS:
+            raise ExpressionError(f"unknown arithmetic operator '{operator}'")
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> Any:
+        left = self.left.evaluate(record, functions)
+        right = self.right.evaluate(record, functions)
+        if self.operator == "/" and right == 0:
+            raise ExpressionError("division by zero while evaluating expression")
+        return _ARITHMETIC_OPS[self.operator](left, right)
+
+    def to_query(self) -> str:
+        return f"{self._render(self.left)} {self.operator} {self._render(self.right)}"
+
+    def _render(self, child: Expression) -> str:
+        # Parenthesise nested additive expressions under * or / for clarity.
+        if isinstance(child, (BinaryOp, Comparison, BooleanOp)):
+            if self.operator in ("*", "/") or isinstance(child, (Comparison, BooleanOp)):
+                return f"({child.to_query()})"
+        return child.to_query()
+
+    def fields(self) -> FrozenSet[str]:
+        return self.left.fields() | self.right.fields()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+
+_COMPARISON_OPS = {
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+}
+
+
+class Comparison(Expression):
+    """A comparison: the atomic predicate of gesture queries."""
+
+    def __init__(self, operator: str, left: Expression, right: Expression) -> None:
+        if operator == "=":
+            operator = "=="
+        if operator == "<>":
+            operator = "!="
+        if operator not in _COMPARISON_OPS:
+            raise ExpressionError(f"unknown comparison operator '{operator}'")
+        self.operator = operator
+        self.left = left
+        self.right = right
+
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> bool:
+        left = self.left.evaluate(record, functions)
+        right = self.right.evaluate(record, functions)
+        return bool(_COMPARISON_OPS[self.operator](left, right))
+
+    def to_query(self) -> str:
+        return f"{self.left.to_query()} {self.operator} {self.right.to_query()}"
+
+    def fields(self) -> FrozenSet[str]:
+        return self.left.fields() | self.right.fields()
+
+    def predicate_count(self) -> int:
+        return 1
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.left, self.right)
+
+
+class BooleanOp(Expression):
+    """Conjunction or disjunction of boolean sub-expressions."""
+
+    def __init__(self, operator: str, operands: Sequence[Expression]) -> None:
+        if operator not in ("and", "or"):
+            raise ExpressionError(f"unknown boolean operator '{operator}'")
+        if not operands:
+            raise ExpressionError(f"'{operator}' needs at least one operand")
+        self.operator = operator
+        self.operands = tuple(operands)
+
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> bool:
+        if self.operator == "and":
+            return all(op.evaluate(record, functions) for op in self.operands)
+        return any(op.evaluate(record, functions) for op in self.operands)
+
+    def to_query(self) -> str:
+        parts = []
+        for operand in self.operands:
+            text = operand.to_query()
+            if isinstance(operand, BooleanOp) and operand.operator != self.operator:
+                text = f"({text})"
+            parts.append(text)
+        return f" {self.operator} ".join(parts)
+
+    def fields(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.fields()
+        return result
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.operands
+
+    @staticmethod
+    def conjunction(operands: Sequence[Expression]) -> Expression:
+        """Build an ``and`` of ``operands``, flattening the trivial cases."""
+        operands = [op for op in operands if op is not None]
+        if not operands:
+            return Literal(True)
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("and", operands)
+
+
+class NotOp(Expression):
+    """Logical negation."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> bool:
+        return not self.operand.evaluate(record, functions)
+
+    def to_query(self) -> str:
+        return f"not ({self.operand.to_query()})"
+
+    def fields(self) -> FrozenSet[str]:
+        return self.operand.fields()
+
+    def children(self) -> Tuple[Expression, ...]:
+        return (self.operand,)
+
+
+class FunctionCall(Expression):
+    """A call to a registered (or built-in) function, e.g. ``abs(...)``."""
+
+    def __init__(self, name: str, arguments: Sequence[Expression]) -> None:
+        if not name:
+            raise ExpressionError("function call must have a name")
+        self.name = name.lower()
+        self.arguments = tuple(arguments)
+
+    def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> Any:
+        values = [arg.evaluate(record, functions) for arg in self.arguments]
+        if functions is not None and functions.has(self.name):
+            return functions.call(self.name, values)
+        # Fall back to the built-in minimum set so expressions remain usable
+        # without an engine (e.g. in the learning pipeline's unit tests).
+        from repro.cep.udf import default_functions
+
+        registry = default_functions()
+        if registry.has(self.name):
+            return registry.call(self.name, values)
+        raise UnknownFunctionError(f"unknown function '{self.name}'")
+
+    def to_query(self) -> str:
+        args = ", ".join(arg.to_query() for arg in self.arguments)
+        return f"{self.name}({args})"
+
+    def fields(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for argument in self.arguments:
+            result |= argument.fields()
+        return result
+
+    def children(self) -> Tuple[Expression, ...]:
+        return self.arguments
+
+
+def abs_diff_predicate(field: str, center: float, width: float) -> Expression:
+    """Build the paper's range predicate ``abs(field - center) < width``.
+
+    This is the predicate template of Sec. 3.3.4: for each joint coordinate
+    constrained by a pose window, the generated query checks that the
+    coordinate lies within ``width`` of the window ``center``.  Negative
+    centres render as ``field + |center|`` exactly like the paper's example
+    (``abs(rHand_z - torso_z + 120) < 50``).
+    """
+    if width <= 0:
+        raise ExpressionError("window width must be positive")
+    centered: Expression
+    if center == 0:
+        centered = BinaryOp("-", FieldRef(field), Literal(0))
+    elif center > 0:
+        centered = BinaryOp("-", FieldRef(field), Literal(float(center)))
+    else:
+        centered = BinaryOp("+", FieldRef(field), Literal(float(-center)))
+    return Comparison("<", FunctionCall("abs", [centered]), Literal(float(width)))
+
+
+# Imported late to avoid a circular import at module load time.
+from repro.cep.udf import FunctionRegistry  # noqa: E402  (documented import cycle)

@@ -1,0 +1,317 @@
+"""NFA runtime for sequence pattern matching.
+
+The :class:`NFAMatcher` consumes one tuple at a time and maintains a set of
+*runs* — partial matches, each remembering which step of the compiled
+pattern it has reached and when each step was matched.  Semantics follow the
+paper's match operator:
+
+* a tuple that satisfies the predicate of a run's next step advances that
+  run (each tuple advances a given run by at most one step),
+* a tuple that satisfies the first step's predicate additionally starts a
+  new run, so a gesture may begin at any time ("skip till next match"),
+* ``within`` constraints bound the time between the first and last event of
+  the corresponding sequence group; runs that can no longer satisfy a
+  constraint are pruned,
+* ``select first`` reports a single detection when several runs complete on
+  the same tuple; ``select all`` reports all of them,
+* ``consume all`` clears every run once a detection fires, so the same
+  movement is not reported twice; ``consume none`` keeps partial matches.
+
+The matcher also exposes the live progress information (how far the best
+partial match has advanced) that the paper's testing phase visualises to
+help users understand why a movement was not detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cep.expressions import Expression
+from repro.cep.nfa import CompiledPattern, Step
+from repro.cep.query import ConsumePolicy, SelectPolicy
+from repro.cep.udf import FunctionRegistry, default_functions
+
+
+@dataclass
+class MatcherConfig:
+    """Tuning knobs of the NFA runtime.
+
+    Attributes
+    ----------
+    max_active_runs:
+        Upper bound on simultaneously tracked partial matches.  A user
+        holding the start pose produces one matching tuple per frame; the
+        bound keeps state (and per-tuple cost) constant.  When the bound is
+        reached no new runs are started until existing ones advance, finish
+        or are pruned.
+    run_ttl_seconds:
+        Optional hard lifetime for a partial match, used when a pattern has
+        no ``within`` constraint at all.  ``None`` disables the TTL.
+    store_matched_tuples:
+        Whether detections keep the full matched tuples (useful for
+        debugging and the Fig. 5 style visual feedback) or only timestamps.
+    timestamp_field:
+        Tuple field carrying the event time in seconds.
+    """
+
+    max_active_runs: int = 256
+    run_ttl_seconds: Optional[float] = 10.0
+    store_matched_tuples: bool = True
+    timestamp_field: str = "ts"
+
+
+@dataclass
+class Detection:
+    """A completed pattern match."""
+
+    output: str
+    query_name: str
+    timestamp: float
+    start_timestamp: float
+    step_timestamps: Tuple[float, ...]
+    matched: Optional[Tuple[Mapping[str, Any], ...]] = None
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and the last matched event."""
+        return self.timestamp - self.start_timestamp
+
+    def __repr__(self) -> str:
+        return (
+            f"Detection(output={self.output!r}, t={self.timestamp:.3f}, "
+            f"duration={self.duration:.3f}s)"
+        )
+
+
+@dataclass
+class _Run:
+    """One partial match."""
+
+    next_step: int
+    start_timestamp: float
+    step_timestamps: List[float] = field(default_factory=list)
+    matched: List[Mapping[str, Any]] = field(default_factory=list)
+    sequence_number: int = 0
+
+    def progress(self, total_steps: int) -> float:
+        return self.next_step / total_steps
+
+
+@dataclass
+class MatcherStats:
+    """Counters exposed for the optimisation / throughput benchmarks."""
+
+    tuples_processed: int = 0
+    predicate_evaluations: int = 0
+    runs_started: int = 0
+    runs_pruned: int = 0
+    runs_suppressed: int = 0
+    detections: int = 0
+
+    def reset(self) -> None:
+        self.tuples_processed = 0
+        self.predicate_evaluations = 0
+        self.runs_started = 0
+        self.runs_pruned = 0
+        self.runs_suppressed = 0
+        self.detections = 0
+
+
+class NFAMatcher:
+    """Evaluates one compiled gesture pattern against a tuple stream."""
+
+    def __init__(
+        self,
+        pattern: CompiledPattern,
+        output: str,
+        query_name: str = "",
+        functions: Optional[FunctionRegistry] = None,
+        config: Optional[MatcherConfig] = None,
+    ) -> None:
+        self.pattern = pattern
+        self.output = output
+        self.query_name = query_name or output
+        self.functions = functions or default_functions()
+        self.config = config or MatcherConfig()
+        self.stats = MatcherStats()
+        self._runs: List[_Run] = []
+        self._run_counter = 0
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def active_runs(self) -> int:
+        """Number of partial matches currently tracked."""
+        return len(self._runs)
+
+    def furthest_step(self) -> int:
+        """Index of the furthest step any partial match has reached.
+
+        This is the "how far did my movement get" feedback of the testing
+        phase: 0 means no pose has been matched yet, ``len(steps)`` would be
+        a full match (which is reported as a detection instead).
+        """
+        if not self._runs:
+            return 0
+        return max(run.next_step for run in self._runs)
+
+    def progress(self) -> float:
+        """Furthest progress as a fraction of the pattern length."""
+        return self.furthest_step() / self.pattern.length
+
+    def reset(self) -> None:
+        """Discard all partial matches (used when a query is redeployed)."""
+        self._runs.clear()
+
+    # -- matching -----------------------------------------------------------------------
+
+    def process(
+        self,
+        record: Mapping[str, Any],
+        stream: str,
+        timestamp: Optional[float] = None,
+    ) -> List[Detection]:
+        """Feed one tuple; return the detections it completed (possibly none).
+
+        Parameters
+        ----------
+        record:
+            The tuple.
+        stream:
+            Name of the stream the tuple arrived on; steps of other streams
+            ignore it.
+        timestamp:
+            Event time; defaults to the tuple's timestamp field.
+        """
+        self.stats.tuples_processed += 1
+        if timestamp is None:
+            timestamp = float(record.get(self.config.timestamp_field, 0.0))
+
+        self._prune(timestamp)
+
+        completed: List[_Run] = []
+        steps = self.pattern.steps
+
+        # Advance existing runs (each run by at most one step per tuple).
+        for run in list(self._runs):
+            step = steps[run.next_step]
+            if step.stream != stream:
+                continue
+            if not self._evaluate(step.predicate, record):
+                continue
+            if not self._satisfies_constraints(run, timestamp):
+                self._remove_run(run)
+                self.stats.runs_pruned += 1
+                continue
+            run.next_step += 1
+            run.step_timestamps.append(timestamp)
+            if self.config.store_matched_tuples:
+                run.matched.append(dict(record))
+            if run.next_step >= len(steps):
+                completed.append(run)
+                self._remove_run(run)
+
+        # Possibly start a new run from this tuple.
+        first_step = steps[0]
+        if first_step.stream == stream and self._evaluate(first_step.predicate, record):
+            if len(self._runs) >= self.config.max_active_runs:
+                self.stats.runs_suppressed += 1
+            else:
+                run = _Run(
+                    next_step=1,
+                    start_timestamp=timestamp,
+                    step_timestamps=[timestamp],
+                    matched=[dict(record)] if self.config.store_matched_tuples else [],
+                    sequence_number=self._run_counter,
+                )
+                self._run_counter += 1
+                self.stats.runs_started += 1
+                if len(steps) == 1:
+                    completed.append(run)
+                else:
+                    self._runs.append(run)
+
+        if not completed:
+            return []
+        return self._report(completed, timestamp)
+
+    def process_many(
+        self,
+        records: Sequence[Mapping[str, Any]],
+        stream: str,
+    ) -> List[Detection]:
+        """Feed a whole recording; return all detections in order."""
+        detections: List[Detection] = []
+        for record in records:
+            detections.extend(self.process(record, stream))
+        return detections
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _evaluate(self, predicate: Expression, record: Mapping[str, Any]) -> bool:
+        self.stats.predicate_evaluations += predicate.predicate_count() or 1
+        return bool(predicate.evaluate(record, self.functions))
+
+    def _satisfies_constraints(self, run: _Run, timestamp: float) -> bool:
+        """Check the ``within`` constraints that end at the step being entered."""
+        entering = run.next_step  # index of the step about to be recorded
+        for constraint in self.pattern.constraints_ending_at(entering):
+            start_time = run.step_timestamps[constraint.first]
+            if timestamp - start_time > constraint.seconds:
+                return False
+        return True
+
+    def _prune(self, timestamp: float) -> None:
+        """Drop runs that can no longer complete within their time windows."""
+        if not self._runs:
+            return
+        survivors: List[_Run] = []
+        for run in self._runs:
+            expired = False
+            for constraint in self.pattern.constraints_covering(run.next_step - 1):
+                if constraint.first < len(run.step_timestamps):
+                    start_time = run.step_timestamps[constraint.first]
+                    if timestamp - start_time > constraint.seconds:
+                        expired = True
+                        break
+            if not expired and self.config.run_ttl_seconds is not None:
+                if timestamp - run.start_timestamp > self.config.run_ttl_seconds:
+                    expired = True
+            if expired:
+                self.stats.runs_pruned += 1
+            else:
+                survivors.append(run)
+        self._runs = survivors
+
+    def _remove_run(self, run: _Run) -> None:
+        try:
+            self._runs.remove(run)
+        except ValueError:
+            pass
+
+    def _report(self, completed: List[_Run], timestamp: float) -> List[Detection]:
+        completed.sort(key=lambda run: run.sequence_number)
+        if self.pattern.select is SelectPolicy.FIRST:
+            selected = [completed[0]]
+        elif self.pattern.select is SelectPolicy.LAST:
+            selected = [completed[-1]]
+        else:
+            selected = completed
+
+        detections = [
+            Detection(
+                output=self.output,
+                query_name=self.query_name,
+                timestamp=timestamp,
+                start_timestamp=run.start_timestamp,
+                step_timestamps=tuple(run.step_timestamps),
+                matched=tuple(run.matched) if self.config.store_matched_tuples else None,
+            )
+            for run in selected
+        ]
+        self.stats.detections += len(detections)
+
+        if self.pattern.consume is ConsumePolicy.ALL:
+            self._runs.clear()
+        return detections

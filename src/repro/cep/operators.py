@@ -1,0 +1,190 @@
+"""Relational-style stream operators.
+
+Besides the NFA match operator, a handful of classic data stream operators
+are useful around the gesture pipeline: filtering (drop frames of other
+players), projection (forward only the joints a query needs), mapping
+(the ``kinect_t`` transformation is a map), and simple sliding-window
+aggregation (used by the motion detector to decide whether the user is
+stationary).  Each operator subscribes to an input stream and pushes its
+results to an output stream, so operators compose into pipelines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.cep.expressions import Expression
+from repro.cep.udf import FunctionRegistry, default_functions
+from repro.streams.stream import Stream, Subscription
+
+
+class StreamOperator:
+    """Base class: subscribes to ``input_stream`` and feeds ``output_stream``."""
+
+    def __init__(self, input_stream: Stream, output_stream: Stream) -> None:
+        self.input_stream = input_stream
+        self.output_stream = output_stream
+        self.processed = 0
+        self._subscription: Optional[Subscription] = None
+
+    def start(self) -> None:
+        """Attach the operator to its input stream."""
+        if self._subscription is None:
+            self._subscription = self.input_stream.subscribe(
+                self._on_tuple, name=type(self).__name__
+            )
+
+    def stop(self) -> None:
+        """Detach the operator."""
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    def _on_tuple(self, record: Mapping[str, Any]) -> None:
+        self.processed += 1
+        self.handle(record)
+
+    def handle(self, record: Mapping[str, Any]) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class FilterOperator(StreamOperator):
+    """Forwards only tuples satisfying a predicate expression."""
+
+    def __init__(
+        self,
+        input_stream: Stream,
+        output_stream: Stream,
+        predicate: Expression,
+        functions: Optional[FunctionRegistry] = None,
+    ) -> None:
+        super().__init__(input_stream, output_stream)
+        self.predicate = predicate
+        self.functions = functions or default_functions()
+        self.passed = 0
+
+    def handle(self, record: Mapping[str, Any]) -> None:
+        if self.predicate.evaluate(record, self.functions):
+            self.passed += 1
+            self.output_stream.push(record)
+
+
+class ProjectOperator(StreamOperator):
+    """Forwards only the listed fields of each tuple."""
+
+    def __init__(
+        self,
+        input_stream: Stream,
+        output_stream: Stream,
+        fields: Sequence[str],
+    ) -> None:
+        super().__init__(input_stream, output_stream)
+        if not fields:
+            raise ValueError("projection needs at least one field")
+        self.fields = tuple(fields)
+
+    def handle(self, record: Mapping[str, Any]) -> None:
+        projected = {name: record[name] for name in self.fields if name in record}
+        self.output_stream.push(projected)
+
+
+class MapOperator(StreamOperator):
+    """Applies a function to every tuple (views are maps)."""
+
+    def __init__(
+        self,
+        input_stream: Stream,
+        output_stream: Stream,
+        function: Callable[[Mapping[str, Any]], Mapping[str, Any]],
+    ) -> None:
+        super().__init__(input_stream, output_stream)
+        self.function = function
+
+    def handle(self, record: Mapping[str, Any]) -> None:
+        self.output_stream.push(self.function(record))
+
+
+class SlidingWindowAggregate(StreamOperator):
+    """Aggregates a numeric field over a sliding count-based window.
+
+    Emits one output tuple per input tuple once the window is full, carrying
+    the aggregate value plus the window bounds.  Supported aggregates:
+    ``mean``, ``min``, ``max``, ``sum``, ``range`` (max - min) and ``stddev``.
+    """
+
+    _AGGREGATES = ("mean", "min", "max", "sum", "range", "stddev")
+
+    def __init__(
+        self,
+        input_stream: Stream,
+        output_stream: Stream,
+        field: str,
+        window_size: int,
+        aggregate: str = "mean",
+        output_field: Optional[str] = None,
+    ) -> None:
+        super().__init__(input_stream, output_stream)
+        if window_size < 1:
+            raise ValueError("window size must be at least 1")
+        if aggregate not in self._AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate '{aggregate}'; expected one of {self._AGGREGATES}"
+            )
+        self.field = field
+        self.window_size = window_size
+        self.aggregate = aggregate
+        self.output_field = output_field or f"{aggregate}_{field}"
+        self._window: Deque[float] = deque(maxlen=window_size)
+
+    def handle(self, record: Mapping[str, Any]) -> None:
+        if self.field not in record:
+            return
+        self._window.append(float(record[self.field]))
+        if len(self._window) < self.window_size:
+            return
+        value = self._compute()
+        output = dict(record)
+        output[self.output_field] = value
+        self.output_stream.push(output)
+
+    def _compute(self) -> float:
+        values = list(self._window)
+        if self.aggregate == "mean":
+            return sum(values) / len(values)
+        if self.aggregate == "min":
+            return min(values)
+        if self.aggregate == "max":
+            return max(values)
+        if self.aggregate == "sum":
+            return sum(values)
+        if self.aggregate == "range":
+            return max(values) - min(values)
+        mean = sum(values) / len(values)
+        return (sum((v - mean) ** 2 for v in values) / len(values)) ** 0.5
+
+
+class Pipeline:
+    """A linear chain of operators over intermediate streams.
+
+    Mostly a convenience for tests and examples: builds the intermediate
+    streams, wires the operators, and starts/stops them together.
+    """
+
+    def __init__(self, operators: Iterable[StreamOperator]) -> None:
+        self.operators: List[StreamOperator] = list(operators)
+
+    def start(self) -> None:
+        for operator in self.operators:
+            operator.start()
+
+    def stop(self) -> None:
+        for operator in self.operators:
+            operator.stop()
+
+    def __enter__(self) -> "Pipeline":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,93 @@
+"""Sinks: where detections go.
+
+On gesture detection, the paper's engine produces "a result tuple …  which
+can be used to trigger arbitrary actions in any listening application".
+A :class:`Sink` receives :class:`~repro.cep.matcher.Detection` objects; the
+engine attaches one (or more) to every deployed query.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional
+
+from repro.cep.matcher import Detection
+
+
+class Sink(ABC):
+    """A consumer of detections."""
+
+    @abstractmethod
+    def emit(self, detection: Detection) -> None:
+        """Handle one detection."""
+
+
+class CollectingSink(Sink):
+    """Stores all detections in memory (the default sink; tests rely on it).
+
+    Parameters
+    ----------
+    capacity:
+        Optional bound on the number of stored detections; older detections
+        are dropped first, which keeps long-running sessions bounded.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive when given")
+        self.capacity = capacity
+        self.detections: List[Detection] = []
+
+    def emit(self, detection: Detection) -> None:
+        self.detections.append(detection)
+        if self.capacity is not None and len(self.detections) > self.capacity:
+            del self.detections[0: len(self.detections) - self.capacity]
+
+    def clear(self) -> None:
+        self.detections.clear()
+
+    def outputs(self) -> List[str]:
+        """Just the output values, in detection order."""
+        return [d.output for d in self.detections]
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    def last(self) -> Optional[Detection]:
+        return self.detections[-1] if self.detections else None
+
+
+class CallbackSink(Sink):
+    """Invokes a callable for every detection (application integration)."""
+
+    def __init__(self, callback: Callable[[Detection], None]) -> None:
+        self.callback = callback
+        self.emitted = 0
+
+    def emit(self, detection: Detection) -> None:
+        self.callback(detection)
+        self.emitted += 1
+
+
+class NullSink(Sink):
+    """Counts detections but keeps nothing (benchmarking)."""
+
+    def __init__(self) -> None:
+        self.emitted = 0
+
+    def emit(self, detection: Detection) -> None:
+        self.emitted += 1
+
+
+class FanOutSink(Sink):
+    """Forwards every detection to several sinks."""
+
+    def __init__(self, sinks: List[Sink]) -> None:
+        self.sinks = list(sinks)
+
+    def emit(self, detection: Detection) -> None:
+        for sink in self.sinks:
+            sink.emit(detection)
+
+    def add(self, sink: Sink) -> None:
+        self.sinks.append(sink)

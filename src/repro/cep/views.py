@@ -1,0 +1,83 @@
+"""Derived streams (views).
+
+The paper defines a ``kinect_t`` view that applies the whole
+user-independent transformation "on-the-fly when new training samples are
+recorded" so that "only a single step needs to be performed on the incoming
+data stream" (Sec. 3.2).  A :class:`View` here is exactly that: a derived
+stream computed by applying a per-tuple function to a source stream.
+:func:`install_kinect_view` wires the standard transformation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import for type hints only
+    from repro.cep.engine import CEPEngine
+
+from repro.streams.stream import Stream, Subscription
+from repro.transform.pipeline import KinectTransformer, TransformConfig
+
+#: Default names of the raw and transformed Kinect streams.
+RAW_STREAM_NAME = "kinect"
+TRANSFORMED_STREAM_NAME = "kinect_t"
+
+
+class View:
+    """A derived stream: ``output = function(tuple)`` for every source tuple."""
+
+    def __init__(
+        self,
+        name: str,
+        source: Stream,
+        output: Stream,
+        function: Callable[[Mapping[str, Any]], Mapping[str, Any]],
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.output = output
+        self.function = function
+        self.tuples_processed = 0
+        self._subscription: Optional[Subscription] = None
+
+    def start(self) -> None:
+        if self._subscription is None:
+            self._subscription = self.source.subscribe(self._on_tuple, name=self.name)
+
+    def stop(self) -> None:
+        if self._subscription is not None:
+            self._subscription.cancel()
+            self._subscription = None
+
+    @property
+    def active(self) -> bool:
+        return self._subscription is not None
+
+    def _on_tuple(self, record: Mapping[str, Any]) -> None:
+        self.tuples_processed += 1
+        self.output.push(self.function(record))
+
+    def __repr__(self) -> str:
+        return (
+            f"View(name={self.name!r}, source={self.source.name!r}, "
+            f"output={self.output.name!r}, processed={self.tuples_processed})"
+        )
+
+
+def install_kinect_view(
+    engine: "CEPEngine",
+    transform_config: Optional[TransformConfig] = None,
+    raw_name: str = RAW_STREAM_NAME,
+    view_name: str = TRANSFORMED_STREAM_NAME,
+) -> View:
+    """Create the raw Kinect stream and its transformed ``kinect_t`` view.
+
+    Registers two streams with the engine (if not present yet) and installs
+    the transformation view between them.  Returns the installed view; its
+    transformer is available as ``view.function`` (a
+    :class:`~repro.transform.pipeline.KinectTransformer`).
+    """
+    if raw_name not in engine.streams:
+        engine.create_stream(raw_name)
+    transformer = KinectTransformer(transform_config)
+    return engine.register_view(view_name, raw_name, transformer)

@@ -1,0 +1,73 @@
+"""Gesture pattern learning — the paper's primary contribution (Sec. 3.3).
+
+The learning pipeline turns a handful of recorded gesture samples into a
+declarative CEP query:
+
+1. :mod:`repro.core.sampling` — *distance-based sampling*: a density-based
+   clustering pass over one sample that extracts the characteristic points
+   of the gesture path (Sec. 3.3.1),
+2. :mod:`repro.core.merging` — *window merging*: characteristic points with
+   the same sequence number from different samples are merged into minimal
+   bounding rectangles; merging is incremental and warns when a new sample
+   deviates too much (Sec. 3.3.2),
+3. :mod:`repro.core.validation` / :mod:`repro.core.optimization` — overlap
+   checks between gestures and pattern simplification (Sec. 3.3.3),
+4. :mod:`repro.core.querygen` — range predicates and sequence operators are
+   generated for the CEP engine (Sec. 3.3.4).
+
+:class:`repro.core.learner.GestureLearner` orchestrates the steps;
+:mod:`repro.core.clustering` provides the DBSCAN baseline the paper cites
+([2], Ester et al.) for comparison benchmarks.
+"""
+
+from repro.core.distance import (
+    DistanceMetric,
+    EuclideanDistance,
+    EveryKTuples,
+    ManhattanDistance,
+    WeightedEuclideanDistance,
+)
+from repro.core.windows import PoseWindow, Window
+from repro.core.description import GestureDescription
+from repro.core.sampling import (
+    CharacteristicPoint,
+    DistanceBasedSampler,
+    SampledPath,
+    SamplingConfig,
+)
+from repro.core.merging import MergeConfig, MergeResult, WindowMerger
+from repro.core.learner import GestureLearner, LearnerConfig
+from repro.core.validation import OverlapReport, PatternValidator, ValidationConfig
+from repro.core.optimization import OptimizationReport, PatternOptimizer, OptimizerConfig
+from repro.core.querygen import QueryGenerator, QueryGenConfig
+from repro.core.clustering import DBSCAN, DBSCANConfig
+
+__all__ = [
+    "DistanceMetric",
+    "EuclideanDistance",
+    "ManhattanDistance",
+    "WeightedEuclideanDistance",
+    "EveryKTuples",
+    "Window",
+    "PoseWindow",
+    "GestureDescription",
+    "CharacteristicPoint",
+    "SampledPath",
+    "SamplingConfig",
+    "DistanceBasedSampler",
+    "MergeConfig",
+    "MergeResult",
+    "WindowMerger",
+    "GestureLearner",
+    "LearnerConfig",
+    "ValidationConfig",
+    "PatternValidator",
+    "OverlapReport",
+    "OptimizerConfig",
+    "PatternOptimizer",
+    "OptimizationReport",
+    "QueryGenerator",
+    "QueryGenConfig",
+    "DBSCAN",
+    "DBSCANConfig",
+]

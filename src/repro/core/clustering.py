@@ -1,0 +1,178 @@
+"""DBSCAN — the density-based clustering baseline the paper builds on.
+
+The paper describes its distance-based sampling as "comparable to
+density-based clustering [2]" (Ester et al., KDD 1996).  To let the
+benchmarks compare both, this module implements classic DBSCAN from scratch
+over the same flat frame dictionaries the sampler consumes.
+
+The comparison in benchmark C2/F4 makes the paper's design choice visible:
+DBSCAN groups *all* spatially close measurements regardless of when they
+were taken, so a gesture that passes through the same region twice (e.g. a
+circle's start and end) collapses into one cluster and the *ordering* of
+poses — which the CEP sequence operator needs — is lost.  The paper's
+sequential, single-pass variant preserves order by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distance import DistanceMetric, EuclideanDistance
+
+#: Label used for points not assigned to any cluster.
+NOISE = -1
+
+
+@dataclass(frozen=True)
+class DBSCANConfig:
+    """DBSCAN parameters.
+
+    Attributes
+    ----------
+    eps:
+        Neighbourhood radius.
+    min_samples:
+        Minimum neighbourhood size (including the point itself) for a point
+        to be a core point.
+    """
+
+    eps: float
+    min_samples: int = 3
+
+    def __post_init__(self) -> None:
+        if self.eps <= 0:
+            raise ValueError("eps must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+
+
+@dataclass
+class ClusterSummary:
+    """Centroid and size of one DBSCAN cluster."""
+
+    label: int
+    center: Dict[str, float]
+    size: int
+    first_index: int
+    last_index: int
+
+
+class DBSCAN:
+    """Density-based spatial clustering of applications with noise.
+
+    Parameters
+    ----------
+    config:
+        ``eps`` / ``min_samples``.
+    fields:
+        Frame fields to cluster over.
+    metric:
+        Distance metric; Euclidean over ``fields`` by default.
+    """
+
+    def __init__(
+        self,
+        config: DBSCANConfig,
+        fields: Sequence[str],
+        metric: Optional[DistanceMetric] = None,
+    ) -> None:
+        if not fields:
+            raise ValueError("DBSCAN needs at least one field")
+        self.config = config
+        self.fields = tuple(fields)
+        self.metric = metric or EuclideanDistance(self.fields)
+
+    # -- clustering -----------------------------------------------------------------
+
+    def fit(self, frames: Sequence[Mapping[str, float]]) -> List[int]:
+        """Cluster ``frames``; return one label per frame (``-1`` = noise)."""
+        count = len(frames)
+        labels = [None] * count  # type: List[Optional[int]]
+        neighbourhoods = self._neighbourhoods(frames)
+        cluster_id = 0
+        for index in range(count):
+            if labels[index] is not None:
+                continue
+            neighbours = neighbourhoods[index]
+            if len(neighbours) < self.config.min_samples:
+                labels[index] = NOISE
+                continue
+            labels[index] = cluster_id
+            seeds = [n for n in neighbours if n != index]
+            position = 0
+            while position < len(seeds):
+                neighbour = seeds[position]
+                position += 1
+                if labels[neighbour] == NOISE:
+                    labels[neighbour] = cluster_id
+                if labels[neighbour] is not None:
+                    continue
+                labels[neighbour] = cluster_id
+                next_neighbours = neighbourhoods[neighbour]
+                if len(next_neighbours) >= self.config.min_samples:
+                    seeds.extend(n for n in next_neighbours if n not in seeds)
+            cluster_id += 1
+        return [NOISE if label is None else label for label in labels]
+
+    def _neighbourhoods(
+        self, frames: Sequence[Mapping[str, float]]
+    ) -> List[List[int]]:
+        """Precompute eps-neighbourhood index lists (O(n²), fine at 30 Hz scale)."""
+        count = len(frames)
+        matrix = np.zeros((count, len(self.fields)))
+        for row, frame in enumerate(frames):
+            for column, name in enumerate(self.fields):
+                matrix[row, column] = float(frame.get(name, 0.0))
+        neighbourhoods: List[List[int]] = []
+        for index in range(count):
+            if isinstance(self.metric, EuclideanDistance):
+                distances = np.linalg.norm(matrix - matrix[index], axis=1)
+                neighbours = np.nonzero(distances <= self.config.eps)[0].tolist()
+            else:
+                neighbours = [
+                    other
+                    for other in range(count)
+                    if self.metric.distance(frames[index], frames[other]) <= self.config.eps
+                ]
+            neighbourhoods.append(neighbours)
+        return neighbourhoods
+
+    # -- summaries -------------------------------------------------------------------
+
+    def summarise(
+        self, frames: Sequence[Mapping[str, float]], labels: Sequence[int]
+    ) -> List[ClusterSummary]:
+        """Return centroids of all clusters (noise excluded), by label."""
+        clusters: Dict[int, List[int]] = {}
+        for index, label in enumerate(labels):
+            if label == NOISE:
+                continue
+            clusters.setdefault(label, []).append(index)
+        summaries: List[ClusterSummary] = []
+        for label in sorted(clusters):
+            indices = clusters[label]
+            center = {
+                name: float(
+                    np.mean([float(frames[i].get(name, 0.0)) for i in indices])
+                )
+                for name in self.fields
+            }
+            summaries.append(
+                ClusterSummary(
+                    label=label,
+                    center=center,
+                    size=len(indices),
+                    first_index=min(indices),
+                    last_index=max(indices),
+                )
+            )
+        return summaries
+
+    def cluster_count(self, labels: Sequence[int]) -> int:
+        return len({label for label in labels if label != NOISE})
+
+    def noise_count(self, labels: Sequence[int]) -> int:
+        return sum(1 for label in labels if label == NOISE)

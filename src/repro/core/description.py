@@ -1,0 +1,149 @@
+"""Gesture descriptions: the learned, engine-independent pattern.
+
+A :class:`GestureDescription` is what the learning pipeline produces and the
+gesture database stores: an ordered sequence of pose windows over the
+transformed coordinate space, plus the bookkeeping needed to generate a CEP
+query (which joints are involved, how long performances took, how many
+samples contributed).  It deliberately contains no engine objects so it can
+be serialised, post-processed and re-deployed at any time — the property the
+paper highlights as the benefit of declarative gesture definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.windows import PoseWindow, Window
+
+
+@dataclass
+class GestureDescription:
+    """A learned gesture pattern.
+
+    Attributes
+    ----------
+    name:
+        Gesture name; also the output value of the generated query.
+    poses:
+        Ordered pose windows (sequence index 0 … n-1).
+    joints:
+        Skeleton joints the gesture constrains (e.g. ``["rhand"]``).
+    stream:
+        Stream the generated query reads from (the transformed view).
+    sample_count:
+        Number of samples merged into this description.
+    mean_duration_s / max_duration_s:
+        Statistics over the training samples, used to derive the ``within``
+        time constraints of the generated query.
+    metadata:
+        Free-form annotations (learning parameters, creation time, …).
+    """
+
+    name: str
+    poses: List[PoseWindow] = field(default_factory=list)
+    joints: List[str] = field(default_factory=list)
+    stream: str = "kinect_t"
+    sample_count: int = 0
+    mean_duration_s: float = 0.0
+    max_duration_s: float = 0.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a gesture description needs a name")
+
+    # -- structure -----------------------------------------------------------------
+
+    @property
+    def pose_count(self) -> int:
+        return len(self.poses)
+
+    def fields(self) -> Tuple[str, ...]:
+        """All coordinate fields constrained by at least one pose."""
+        names: List[str] = []
+        for pose in self.poses:
+            for name in pose.window.fields:
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
+
+    def predicate_count(self) -> int:
+        """Number of range predicates a generated query would contain."""
+        return sum(len(pose.window.center) for pose in self.poses)
+
+    def windows(self) -> List[Window]:
+        return [pose.window for pose in self.poses]
+
+    # -- matching helpers (used by validation and tests) ------------------------------
+
+    def matches_path(self, frames: Sequence[Mapping[str, float]]) -> bool:
+        """Check whether a frame sequence passes through all poses in order.
+
+        This is an offline convenience used by validation and tests; the
+        deployed detection uses the CEP engine's NFA matcher instead.
+        """
+        if not self.poses:
+            return False
+        pose_iter = iter(self.poses)
+        current = next(pose_iter)
+        for frame in frames:
+            if current.contains(frame):
+                try:
+                    current = next(pose_iter)
+                except StopIteration:
+                    return True
+        return False
+
+    def scaled(self, factor: float) -> "GestureDescription":
+        """Return a copy with every pose window scaled by ``factor``."""
+        return GestureDescription(
+            name=self.name,
+            poses=[
+                PoseWindow(
+                    sequence_index=pose.sequence_index,
+                    window=pose.window.scaled(factor),
+                    support=pose.support,
+                )
+                for pose in self.poses
+            ],
+            joints=list(self.joints),
+            stream=self.stream,
+            sample_count=self.sample_count,
+            mean_duration_s=self.mean_duration_s,
+            max_duration_s=self.max_duration_s,
+            metadata=dict(self.metadata),
+        )
+
+    # -- serialisation -------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "stream": self.stream,
+            "joints": list(self.joints),
+            "sample_count": self.sample_count,
+            "mean_duration_s": self.mean_duration_s,
+            "max_duration_s": self.max_duration_s,
+            "metadata": dict(self.metadata),
+            "poses": [pose.to_dict() for pose in self.poses],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "GestureDescription":
+        return cls(
+            name=str(data["name"]),
+            stream=str(data.get("stream", "kinect_t")),
+            joints=list(data.get("joints", [])),  # type: ignore[arg-type]
+            sample_count=int(data.get("sample_count", 0)),  # type: ignore[arg-type]
+            mean_duration_s=float(data.get("mean_duration_s", 0.0)),  # type: ignore[arg-type]
+            max_duration_s=float(data.get("max_duration_s", 0.0)),  # type: ignore[arg-type]
+            metadata=dict(data.get("metadata", {})),  # type: ignore[arg-type]
+            poses=[PoseWindow.from_dict(p) for p in data.get("poses", [])],  # type: ignore[union-attr]
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GestureDescription(name={self.name!r}, poses={self.pose_count}, "
+            f"joints={self.joints}, samples={self.sample_count})"
+        )

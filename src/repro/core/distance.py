@@ -1,0 +1,124 @@
+"""Distance metrics for the distance-based sampling step.
+
+The paper makes the distance function of the sampling step configurable "to
+express several gesture semantics, e.g., the Euclidean distance can be used
+to express spatial differences between successive poses, or metrics like
+'every x tuples' can be used for time-based constraints" (Sec. 3.3.1).
+
+A metric measures how different two sensor frames are with respect to the
+fields relevant for the gesture (typically the coordinates of the moving
+joints).  All metrics operate on the flat, transformed ``kinect_t`` frames.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+
+class DistanceMetric(ABC):
+    """Distance between two frames over a set of fields."""
+
+    def __init__(self, fields: Sequence[str]) -> None:
+        if not fields:
+            raise ValueError("a distance metric needs at least one field")
+        self.fields = tuple(fields)
+
+    @abstractmethod
+    def distance(self, first: Mapping[str, float], second: Mapping[str, float]) -> float:
+        """Return a non-negative distance between two frames."""
+
+    def __call__(self, first: Mapping[str, float], second: Mapping[str, float]) -> float:
+        return self.distance(first, second)
+
+    def _deltas(
+        self, first: Mapping[str, float], second: Mapping[str, float]
+    ) -> Iterable[float]:
+        for field in self.fields:
+            yield float(second.get(field, 0.0)) - float(first.get(field, 0.0))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(fields={list(self.fields)})"
+
+
+class EuclideanDistance(DistanceMetric):
+    """Spatial (L2) distance over the selected coordinate fields.
+
+    This is the paper's default metric: it expresses "spatial differences
+    between successive poses", so a new characteristic point is created
+    whenever the tracked joints have moved far enough.
+    """
+
+    def distance(self, first: Mapping[str, float], second: Mapping[str, float]) -> float:
+        return math.sqrt(sum(delta * delta for delta in self._deltas(first, second)))
+
+
+class ManhattanDistance(DistanceMetric):
+    """L1 distance; more tolerant of single-axis noise spikes than L2."""
+
+    def distance(self, first: Mapping[str, float], second: Mapping[str, float]) -> float:
+        return sum(abs(delta) for delta in self._deltas(first, second))
+
+
+class WeightedEuclideanDistance(DistanceMetric):
+    """Euclidean distance with per-field weights.
+
+    Allows emphasising particular axes, e.g. weighting the depth axis lower
+    because Kinect depth measurements are noisier than lateral ones.
+    """
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise ValueError("weights must not be empty")
+        if any(weight < 0 for weight in weights.values()):
+            raise ValueError("weights must be non-negative")
+        super().__init__(tuple(weights))
+        self.weights: Dict[str, float] = dict(weights)
+
+    def distance(self, first: Mapping[str, float], second: Mapping[str, float]) -> float:
+        total = 0.0
+        for field in self.fields:
+            delta = float(second.get(field, 0.0)) - float(first.get(field, 0.0))
+            total += self.weights[field] * delta * delta
+        return math.sqrt(total)
+
+
+class EveryKTuples(DistanceMetric):
+    """Count-based pseudo-distance: "every x tuples" (time-based sampling).
+
+    The distance between two frames is the number of sensor frames elapsed
+    between them (estimated from their timestamps and the stream frequency),
+    so with a threshold of ``k`` a new characteristic point is emitted after
+    every ``k`` frames regardless of how far the joints moved.  At the
+    Kinect's 30 Hz this expresses "one pose every k/30 seconds" — the
+    time-based constraint semantics the paper mentions.
+    """
+
+    def __init__(
+        self,
+        fields: Optional[Sequence[str]] = None,
+        frequency_hz: float = 30.0,
+        timestamp_field: str = "ts",
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        super().__init__(tuple(fields) if fields else (timestamp_field,))
+        self.frequency_hz = frequency_hz
+        self.timestamp_field = timestamp_field
+
+    def distance(self, first: Mapping[str, float], second: Mapping[str, float]) -> float:
+        first_ts = float(first.get(self.timestamp_field, 0.0))
+        second_ts = float(second.get(self.timestamp_field, 0.0))
+        return abs(second_ts - first_ts) * self.frequency_hz
+
+
+def joint_fields(joints: Sequence[str], axes: Tuple[str, ...] = ("x", "y", "z")) -> Tuple[str, ...]:
+    """Expand joint names into their coordinate field names.
+
+    >>> joint_fields(["rhand"])
+    ('rhand_x', 'rhand_y', 'rhand_z')
+    """
+    if not joints:
+        raise ValueError("at least one joint is required")
+    return tuple(f"{joint}_{axis}" for joint in joints for axis in axes)

@@ -1,0 +1,267 @@
+"""The gesture learner: sampling + merging orchestrated per gesture.
+
+:class:`GestureLearner` is the component labelled "Gesture Learner" in the
+paper's Fig. 2.  For one gesture it
+
+1. optionally transforms raw sensor frames into the user-independent
+   ``kinect_t`` space (or accepts already-transformed frames),
+2. determines which joints actually move during the gesture (so a one-hand
+   swipe does not constrain the idle hand),
+3. runs distance-based sampling on each sample separately,
+4. merges the per-sample results incrementally into pose windows, warning
+   when a new sample deviates too much,
+5. exposes the merged :class:`~repro.core.description.GestureDescription`,
+   from which :class:`~repro.core.querygen.QueryGenerator` produces the CEP
+   query.
+
+The paper notes that "usually, 3-5 samples are sufficient to achieve
+acceptable results"; benchmark C1 measures exactly that curve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.description import GestureDescription
+from repro.core.distance import joint_fields
+from repro.core.merging import MergeConfig, MergeResult, WindowMerger
+from repro.core.sampling import DistanceBasedSampler, SampledPath, SamplingConfig
+from repro.errors import EmptySampleError
+from repro.kinect.skeleton import JOINTS
+from repro.transform.pipeline import KinectTransformer
+
+#: Joints never considered "moving": the torso is the origin of the
+#: transformed space by construction, so it cannot characterise a gesture.
+_EXCLUDED_JOINTS: Tuple[str, ...] = ("torso",)
+
+
+@dataclass
+class LearnerConfig:
+    """Configuration of the gesture learner.
+
+    Attributes
+    ----------
+    joints:
+        Joints to constrain.  When empty, moving joints are detected
+        automatically from the first sample.
+    min_joint_path_mm:
+        A joint whose spatial extent (diagonal of the bounding box of its
+        positions in the transformed space) is below this value is
+        considered stationary during auto-detection.  Extent, not
+        accumulated path length, is used because sensor jitter accumulates
+        into large path lengths even for joints that do not move.
+    joint_path_fraction:
+        A joint is considered moving when its extent is at least this
+        fraction of the most-moving joint's extent (in addition to the
+        absolute minimum above).
+    sampling:
+        Distance-based sampling configuration; its ``fields`` entry is
+        filled in from the selected joints.
+    merging:
+        Window-merging configuration.
+    transform_input:
+        Whether ``add_sample`` receives raw camera frames that must first be
+        transformed (the usual case) or frames already in ``kinect_t``
+        space.
+    stream:
+        The stream name written into the description (and later the query).
+    """
+
+    joints: Tuple[str, ...] = ()
+    min_joint_path_mm: float = 250.0
+    joint_path_fraction: float = 0.35
+    sampling: SamplingConfig = field(default_factory=SamplingConfig)
+    merging: MergeConfig = field(default_factory=MergeConfig)
+    transform_input: bool = True
+    stream: str = "kinect_t"
+
+    def __post_init__(self) -> None:
+        unknown = [joint for joint in self.joints if joint not in JOINTS]
+        if unknown:
+            raise ValueError(f"unknown joints in learner config: {unknown}")
+        if self.min_joint_path_mm < 0:
+            raise ValueError("min_joint_path_mm must be non-negative")
+        if not 0.0 < self.joint_path_fraction <= 1.0:
+            raise ValueError("joint_path_fraction must be in (0, 1]")
+
+
+def detect_moving_joints(
+    frames: Sequence[Mapping[str, float]],
+    min_path_mm: float = 250.0,
+    fraction_of_max: float = 0.35,
+    candidates: Sequence[str] = JOINTS,
+) -> List[str]:
+    """Return the joints that move significantly during ``frames``.
+
+    A joint's movement is measured as its *spatial extent*: the diagonal of
+    the bounding box its positions cover in the transformed coordinate
+    space.  Extent is robust against sensor jitter — a stationary joint with
+    5–10 mm of per-frame noise accumulates hundreds of millimetres of path
+    length over a two-second recording, but its extent stays small.  Joints
+    below both the absolute threshold and the given fraction of the most
+    active joint are treated as stationary and excluded from the gesture
+    description — this keeps a right-hand swipe from accidentally
+    constraining the left hand.
+    """
+    if not frames:
+        return []
+    extents: Dict[str, float] = {}
+    for joint in candidates:
+        if joint in _EXCLUDED_JOINTS:
+            continue
+        fields = joint_fields([joint])
+        if not all(name in frames[0] for name in fields):
+            continue
+        extent_sq = 0.0
+        for name in fields:
+            values = [float(frame[name]) for frame in frames if name in frame]
+            if not values:
+                continue
+            span = max(values) - min(values)
+            extent_sq += span * span
+        extents[joint] = math.sqrt(extent_sq)
+    if not extents:
+        return []
+    largest = max(extents.values())
+    if largest <= 0:
+        return []
+    moving = [
+        joint
+        for joint, extent in extents.items()
+        if extent >= min_path_mm and extent >= fraction_of_max * largest
+    ]
+    # Preserve the canonical joint order for deterministic descriptions.
+    return [joint for joint in candidates if joint in moving]
+
+
+class GestureLearner:
+    """Learns one gesture from a few recorded samples."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[LearnerConfig] = None,
+        transformer: Optional[KinectTransformer] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("the learner needs a gesture name")
+        self.name = name
+        self.config = config or LearnerConfig()
+        self.transformer = transformer or KinectTransformer()
+        self._merger = WindowMerger(name, self.config.merging)
+        self._joints: Optional[List[str]] = (
+            list(self.config.joints) if self.config.joints else None
+        )
+        self._sampler: Optional[DistanceBasedSampler] = None
+        self._sample_results: List[MergeResult] = []
+
+    # -- properties -------------------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        return self._merger.sample_count
+
+    @property
+    def joints(self) -> Optional[List[str]]:
+        """Joints the gesture constrains (``None`` until the first sample)."""
+        return list(self._joints) if self._joints is not None else None
+
+    @property
+    def results(self) -> List[MergeResult]:
+        """Merge results of all added samples (including their warnings)."""
+        return list(self._sample_results)
+
+    # -- learning -----------------------------------------------------------------------
+
+    def add_sample(self, frames: Sequence[Mapping[str, float]]) -> MergeResult:
+        """Add one recorded sample (a list of sensor frames) to the gesture.
+
+        Frames are transformed into the user-independent space unless the
+        configuration says they already are.  The first sample fixes the
+        gesture's joints (auto-detected if not configured) and its reference
+        pose count; further samples refine the windows.
+        """
+        if not frames:
+            raise EmptySampleError(f"empty sample for gesture '{self.name}'")
+        transformed = self._transform(frames)
+        if self._joints is None:
+            detected = detect_moving_joints(
+                transformed,
+                min_path_mm=self.config.min_joint_path_mm,
+                fraction_of_max=self.config.joint_path_fraction,
+            )
+            if not detected:
+                raise EmptySampleError(
+                    f"no moving joints detected in the first sample of "
+                    f"'{self.name}'; was the user standing still?"
+                )
+            self._joints = detected
+        sampler = self._resolve_sampler()
+        path = sampler.sample(transformed)
+        result = self._merger.add_sample(path)
+        self._sample_results.append(result)
+        return result
+
+    def learn(
+        self, samples: Sequence[Sequence[Mapping[str, float]]]
+    ) -> GestureDescription:
+        """Add all ``samples`` and return the merged description."""
+        for sample in samples:
+            self.add_sample(sample)
+        return self.description()
+
+    def description(self) -> GestureDescription:
+        """The merged gesture description for the samples added so far."""
+        description = self._merger.description()
+        description.stream = self.config.stream
+        description.metadata.setdefault("learner", {})
+        description.metadata["learner"] = {
+            "relative_threshold": self.config.sampling.relative_threshold,
+            "max_dist": self.config.sampling.max_dist,
+            "auto_joints": not bool(self.config.joints),
+        }
+        return description
+
+    def sample_path(self, frames: Sequence[Mapping[str, float]]) -> SampledPath:
+        """Run sampling only (no merging) — used by inspection tooling."""
+        transformed = self._transform(frames)
+        if self._joints is None:
+            self._joints = detect_moving_joints(
+                transformed,
+                min_path_mm=self.config.min_joint_path_mm,
+                fraction_of_max=self.config.joint_path_fraction,
+            ) or ["rhand"]
+        return self._resolve_sampler().sample(transformed)
+
+    def reset(self) -> None:
+        """Discard all samples (and re-detect joints on the next one)."""
+        self._merger.reset()
+        self._sample_results.clear()
+        self._sampler = None
+        if not self.config.joints:
+            self._joints = None
+
+    # -- internals --------------------------------------------------------------------------
+
+    def _transform(
+        self, frames: Sequence[Mapping[str, float]]
+    ) -> List[Dict[str, float]]:
+        if not self.config.transform_input:
+            return [dict(frame) for frame in frames]
+        return [self.transformer.transform(frame) for frame in frames]
+
+    def _resolve_sampler(self) -> DistanceBasedSampler:
+        if self._sampler is None:
+            assert self._joints is not None
+            fields = joint_fields(self._joints)
+            sampling_config = replace(self.config.sampling, fields=fields)
+            self._sampler = DistanceBasedSampler(sampling_config)
+        return self._sampler
+
+    def __repr__(self) -> str:
+        return (
+            f"GestureLearner(name={self.name!r}, samples={self.sample_count}, "
+            f"joints={self._joints})"
+        )

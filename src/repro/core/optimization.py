@@ -1,0 +1,217 @@
+"""Pattern optimisation (paper Sec. 3.3.3).
+
+The paper's optional post-processing step optimises mined patterns "e.g.,
+by merging windows to decrease the detection effort or by eliminating
+certain coordinates that are not relevant for the recorded gesture".  Both
+transformations are implemented here:
+
+* **window merging** — consecutive poses whose windows essentially coincide
+  (the joint barely moved between them) are collapsed into a single pose;
+  fewer NFA steps mean fewer predicate evaluations per tuple,
+* **coordinate elimination** — a coordinate whose window centres barely
+  change across the whole gesture does not help ordering the poses; it can
+  be dropped from all but the first pose (keeping one anchor preserves
+  selectivity against movements elsewhere in space) or dropped entirely.
+
+The optimiser never invents new constraints; it only removes redundancy, so
+recall cannot decrease (the windows only get easier to satisfy).  The
+precision impact of coordinate elimination is measured by benchmark C4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.description import GestureDescription
+from repro.core.windows import PoseWindow, Window
+
+
+@dataclass(frozen=True)
+class OptimizerConfig:
+    """Configuration of the pattern optimiser.
+
+    Attributes
+    ----------
+    merge_windows:
+        Enable collapsing of consecutive, nearly identical pose windows.
+    merge_overlap_ratio:
+        Two consecutive windows are merged when their intersection covers at
+        least this fraction of the smaller window's volume.
+    eliminate_coordinates:
+        Enable dropping coordinates that do not vary across the gesture.
+    elimination_mode:
+        ``"keep_first"`` keeps the coordinate in the first pose only
+        (anchored start pose, fewer predicates later); ``"drop"`` removes it
+        everywhere.
+    min_center_range_mm:
+        A coordinate is "irrelevant" when the spread of its window centres
+        across all poses is below this value.
+    min_remaining_fields:
+        Never reduce a window below this many constrained coordinates.
+    """
+
+    merge_windows: bool = True
+    merge_overlap_ratio: float = 0.6
+    eliminate_coordinates: bool = True
+    elimination_mode: str = "keep_first"
+    min_center_range_mm: float = 120.0
+    min_remaining_fields: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.merge_overlap_ratio <= 1.0:
+            raise ValueError("merge_overlap_ratio must be in (0, 1]")
+        if self.elimination_mode not in ("keep_first", "drop"):
+            raise ValueError("elimination_mode must be 'keep_first' or 'drop'")
+        if self.min_center_range_mm < 0:
+            raise ValueError("min_center_range_mm must be non-negative")
+        if self.min_remaining_fields < 1:
+            raise ValueError("min_remaining_fields must be at least 1")
+
+
+@dataclass
+class OptimizationReport:
+    """What the optimiser did and what it saved."""
+
+    poses_before: int
+    predicates_before: int
+    poses_after: int = 0
+    predicates_after: int = 0
+    merged_pose_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    eliminated_fields: List[str] = field(default_factory=list)
+
+    @property
+    def predicates_saved(self) -> int:
+        return self.predicates_before - self.predicates_after
+
+    @property
+    def poses_saved(self) -> int:
+        return self.poses_before - self.poses_after
+
+    def summary(self) -> str:
+        return (
+            f"poses {self.poses_before} → {self.poses_after}, "
+            f"predicates {self.predicates_before} → {self.predicates_after} "
+            f"(merged {len(self.merged_pose_pairs)} pose pair(s), "
+            f"eliminated {len(self.eliminated_fields)} coordinate(s))"
+        )
+
+
+class PatternOptimizer:
+    """Simplifies gesture descriptions to reduce detection effort."""
+
+    def __init__(self, config: Optional[OptimizerConfig] = None) -> None:
+        self.config = config or OptimizerConfig()
+
+    def optimize(
+        self, description: GestureDescription
+    ) -> Tuple[GestureDescription, OptimizationReport]:
+        """Return an optimised copy of ``description`` plus a report."""
+        report = OptimizationReport(
+            poses_before=description.pose_count,
+            predicates_before=description.predicate_count(),
+        )
+        poses = [
+            PoseWindow(
+                sequence_index=pose.sequence_index,
+                window=Window(center=dict(pose.window.center), width=dict(pose.window.width)),
+                support=pose.support,
+            )
+            for pose in sorted(description.poses, key=lambda p: p.sequence_index)
+        ]
+        if self.config.merge_windows:
+            poses = self._merge_consecutive(poses, report)
+        if self.config.eliminate_coordinates:
+            poses = self._eliminate_coordinates(poses, report)
+        poses = [
+            PoseWindow(sequence_index=index, window=pose.window, support=pose.support)
+            for index, pose in enumerate(poses)
+        ]
+        optimised = GestureDescription(
+            name=description.name,
+            poses=poses,
+            joints=list(description.joints),
+            stream=description.stream,
+            sample_count=description.sample_count,
+            mean_duration_s=description.mean_duration_s,
+            max_duration_s=description.max_duration_s,
+            metadata={**description.metadata, "optimized": True},
+        )
+        report.poses_after = optimised.pose_count
+        report.predicates_after = optimised.predicate_count()
+        return optimised, report
+
+    # -- window merging ---------------------------------------------------------------
+
+    def _merge_consecutive(
+        self, poses: List[PoseWindow], report: OptimizationReport
+    ) -> List[PoseWindow]:
+        if len(poses) < 2:
+            return poses
+        merged: List[PoseWindow] = [poses[0]]
+        for pose in poses[1:]:
+            previous = merged[-1]
+            smaller_first = previous.window.volume() <= pose.window.volume()
+            ratio = (
+                previous.window.intersection_volume_ratio(pose.window)
+                if smaller_first
+                else pose.window.intersection_volume_ratio(previous.window)
+            )
+            if ratio >= self.config.merge_overlap_ratio:
+                merged[-1] = PoseWindow(
+                    sequence_index=previous.sequence_index,
+                    window=previous.window.merged_with(pose.window),
+                    support=max(previous.support, pose.support),
+                )
+                report.merged_pose_pairs.append(
+                    (previous.sequence_index, pose.sequence_index)
+                )
+            else:
+                merged.append(pose)
+        return merged
+
+    # -- coordinate elimination ----------------------------------------------------------
+
+    def _eliminate_coordinates(
+        self, poses: List[PoseWindow], report: OptimizationReport
+    ) -> List[PoseWindow]:
+        if not poses:
+            return poses
+        fields = sorted({name for pose in poses for name in pose.window.center})
+        irrelevant: List[str] = []
+        for name in fields:
+            centers = [
+                pose.window.center[name] for pose in poses if name in pose.window.center
+            ]
+            if len(centers) < len(poses):
+                continue
+            if max(centers) - min(centers) < self.config.min_center_range_mm:
+                irrelevant.append(name)
+
+        if not irrelevant:
+            return poses
+
+        result: List[PoseWindow] = []
+        for position, pose in enumerate(poses):
+            keep_anchor = position == 0 and self.config.elimination_mode == "keep_first"
+            removable = [] if keep_anchor else [
+                name
+                for name in irrelevant
+                if name in pose.window.center
+                and len(pose.window.center) - 1 >= self.config.min_remaining_fields
+            ]
+            window = pose.window
+            for name in removable:
+                if len(window.center) <= self.config.min_remaining_fields:
+                    break
+                window = window.without_fields([name])
+                if name not in report.eliminated_fields:
+                    report.eliminated_fields.append(name)
+            result.append(
+                PoseWindow(
+                    sequence_index=pose.sequence_index,
+                    window=window,
+                    support=pose.support,
+                )
+            )
+        return result

@@ -1,0 +1,178 @@
+"""CEP query generation from gesture descriptions (paper Sec. 3.3.4).
+
+For every pose window the generator emits one range predicate per
+constrained coordinate::
+
+    abs(<field> - <center>) < <width>
+
+and combines the poses with nested sequence (``->``) operators carrying
+``within`` time constraints and ``select first consume all`` policies — the
+exact query shape of the paper's Fig. 1.  The output is both a structured
+:class:`~repro.cep.query.Query` (deployed directly on the engine) and its
+textual rendering (stored in the gesture database and available for manual
+fine tuning).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cep.expressions import BooleanOp, Expression, abs_diff_predicate
+from repro.cep.query import (
+    ConsumePolicy,
+    EventPattern,
+    PatternNode,
+    Query,
+    SelectPolicy,
+    SequencePattern,
+)
+from repro.core.description import GestureDescription
+from repro.core.windows import PoseWindow
+from repro.errors import QueryGenerationError
+
+
+@dataclass(frozen=True)
+class QueryGenConfig:
+    """Configuration of the query generator.
+
+    Attributes
+    ----------
+    within_slack:
+        The generated ``within`` bound is the maximum observed sample
+        duration multiplied by this slack factor (users are slower when
+        they do not concentrate on training).
+    min_within_seconds / max_within_seconds:
+        Clamp on the generated time constraint.  The paper's example uses
+        1 second per nesting level.
+    round_within_to:
+        The time constraint is rounded *up* to a multiple of this value so
+        generated queries stay human-readable.
+    nested:
+        ``True`` generates the paper's left-nested pair structure
+        ``((p0 -> p1) within W) -> p2 within W``; ``False`` generates one
+        flat sequence with a single ``within``.
+    coordinate_precision:
+        Number of decimal places kept for centres and widths.
+    select / consume:
+        Policies written into every sequence level.
+    """
+
+    within_slack: float = 1.5
+    min_within_seconds: float = 1.0
+    max_within_seconds: float = 10.0
+    round_within_to: float = 0.5
+    nested: bool = True
+    coordinate_precision: int = 0
+    select: SelectPolicy = SelectPolicy.FIRST
+    consume: ConsumePolicy = ConsumePolicy.ALL
+
+    def __post_init__(self) -> None:
+        if self.within_slack <= 0:
+            raise ValueError("within_slack must be positive")
+        if self.min_within_seconds <= 0:
+            raise ValueError("min_within_seconds must be positive")
+        if self.max_within_seconds < self.min_within_seconds:
+            raise ValueError("max_within_seconds must be >= min_within_seconds")
+        if self.round_within_to <= 0:
+            raise ValueError("round_within_to must be positive")
+        if self.coordinate_precision < 0:
+            raise ValueError("coordinate_precision must be non-negative")
+
+
+class QueryGenerator:
+    """Generates deployable CEP queries from gesture descriptions."""
+
+    def __init__(self, config: Optional[QueryGenConfig] = None) -> None:
+        self.config = config or QueryGenConfig()
+
+    # -- public API ---------------------------------------------------------------------
+
+    def generate(self, description: GestureDescription) -> Query:
+        """Build the :class:`Query` for ``description``.
+
+        Raises
+        ------
+        QueryGenerationError
+            If the description has no poses.
+        """
+        if not description.poses:
+            raise QueryGenerationError(
+                f"gesture '{description.name}' has no poses to generate a query from"
+            )
+        events = [
+            self._event_pattern(description.stream, pose)
+            for pose in sorted(description.poses, key=lambda p: p.sequence_index)
+        ]
+        within = self._within_seconds(description)
+        if self.config.nested and len(events) > 2:
+            pattern = self._nested_sequence(events, within)
+        else:
+            pattern = SequencePattern(
+                elements=tuple(events),
+                within_seconds=within,
+                select=self.config.select,
+                consume=self.config.consume,
+            )
+        return Query(output=description.name, pattern=pattern)
+
+    def generate_text(self, description: GestureDescription) -> str:
+        """Build the textual query (the Fig. 1 representation)."""
+        return self.generate(description).to_query()
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _event_pattern(self, stream: str, pose: PoseWindow) -> EventPattern:
+        predicates: List[Expression] = []
+        window = pose.window
+        for name in sorted(window.center):
+            center = self._round(window.center[name])
+            width = self._round_width(window.width[name])
+            predicates.append(abs_diff_predicate(name, center, width))
+        return EventPattern(
+            stream=stream,
+            predicate=BooleanOp.conjunction(predicates),
+            label=f"pose_{pose.sequence_index}",
+        )
+
+    def _nested_sequence(
+        self, events: Sequence[EventPattern], within: float
+    ) -> SequencePattern:
+        """Left-nested pairs, the structure of the paper's generated queries."""
+        current: PatternNode = SequencePattern(
+            elements=(events[0], events[1]),
+            within_seconds=within,
+            select=self.config.select,
+            consume=self.config.consume,
+        )
+        for event in events[2:]:
+            current = SequencePattern(
+                elements=(current, event),
+                within_seconds=within,
+                select=self.config.select,
+                consume=self.config.consume,
+            )
+        assert isinstance(current, SequencePattern)
+        return current
+
+    def _within_seconds(self, description: GestureDescription) -> float:
+        base = description.max_duration_s or description.mean_duration_s
+        if base <= 0:
+            base = self.config.min_within_seconds
+        value = base * self.config.within_slack
+        step = self.config.round_within_to
+        value = math.ceil(value / step) * step
+        return min(
+            max(value, self.config.min_within_seconds),
+            self.config.max_within_seconds,
+        )
+
+    def _round(self, value: float) -> float:
+        return round(value, self.config.coordinate_precision)
+
+    def _round_width(self, value: float) -> float:
+        rounded = round(value, self.config.coordinate_precision)
+        # Widths must stay positive after rounding.
+        minimum = 10.0 ** (-self.config.coordinate_precision)
+        return max(rounded, minimum)

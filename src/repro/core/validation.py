@@ -1,0 +1,186 @@
+"""Validation: detecting the overlap problem (paper Sec. 3.3.2 / 3.3.3).
+
+Widening pose windows makes a gesture easier to detect but risks that
+"patterns of different gestures detect the same movement".  The validator
+performs the intersection tests the paper describes as an optional
+post-processing step:
+
+* **window overlap** — which pose windows of two gestures intersect, and by
+  how much of their volume,
+* **subsumption** — whether one gesture's pattern would fire on the other
+  gesture's canonical path (its window centres visited in order), which is
+  the user-visible symptom of the overlap problem,
+* **self checks** — degenerate descriptions (a single pose, adjacent poses
+  whose windows coincide) that usually indicate too coarse sampling.
+
+The validator only *reports*; resolving a conflict is left to the user
+(adding separating constraints) or to the optimiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.description import GestureDescription
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class WindowOverlap:
+    """One intersecting pair of pose windows from two different gestures."""
+
+    gesture_a: str
+    pose_a: int
+    gesture_b: str
+    pose_b: int
+    volume_ratio: float
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowOverlap({self.gesture_a}#{self.pose_a} ∩ "
+            f"{self.gesture_b}#{self.pose_b}, ratio={self.volume_ratio:.2f})"
+        )
+
+
+@dataclass
+class OverlapReport:
+    """Validation result for a set of gesture descriptions."""
+
+    overlaps: List[WindowOverlap] = field(default_factory=list)
+    subsumptions: List[Tuple[str, str]] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def has_conflicts(self) -> bool:
+        """True when at least one gesture would detect another's movement."""
+        return bool(self.subsumptions)
+
+    def conflicting_pairs(self) -> List[Tuple[str, str]]:
+        return list(self.subsumptions)
+
+    def overlaps_between(self, gesture_a: str, gesture_b: str) -> List[WindowOverlap]:
+        return [
+            overlap
+            for overlap in self.overlaps
+            if {overlap.gesture_a, overlap.gesture_b} == {gesture_a, gesture_b}
+        ]
+
+    def summary(self) -> str:
+        lines = [
+            f"{len(self.overlaps)} window overlap(s), "
+            f"{len(self.subsumptions)} gesture conflict(s)"
+        ]
+        for first, second in self.subsumptions:
+            lines.append(f"  conflict: pattern '{first}' detects movement of '{second}'")
+        lines.extend(f"  warning: {message}" for message in self.warnings)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ValidationConfig:
+    """Configuration of the validator.
+
+    Attributes
+    ----------
+    min_overlap_ratio:
+        Window intersections below this volume ratio are ignored (tiny
+        touching corners are not a practical problem).
+    strict:
+        When true, :meth:`PatternValidator.validate` raises
+        :class:`~repro.errors.ValidationError` on conflicts instead of only
+        reporting them.
+    """
+
+    min_overlap_ratio: float = 0.05
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_overlap_ratio <= 1.0:
+            raise ValueError("min_overlap_ratio must be in [0, 1]")
+
+
+class PatternValidator:
+    """Cross-checks a set of gesture descriptions for conflicts."""
+
+    def __init__(self, config: Optional[ValidationConfig] = None) -> None:
+        self.config = config or ValidationConfig()
+
+    def validate(self, descriptions: Sequence[GestureDescription]) -> OverlapReport:
+        """Run all checks over ``descriptions``.
+
+        Raises
+        ------
+        ValidationError
+            In strict mode, when a subsumption conflict is found.
+        """
+        report = OverlapReport()
+        for description in descriptions:
+            self._self_check(description, report)
+        for index, first in enumerate(descriptions):
+            for second in descriptions[index + 1:]:
+                self._check_pair(first, second, report)
+        if self.config.strict and report.has_conflicts:
+            raise ValidationError(report.summary())
+        return report
+
+    # -- individual checks ---------------------------------------------------------
+
+    def _self_check(self, description: GestureDescription, report: OverlapReport) -> None:
+        if description.pose_count < 2:
+            report.warnings.append(
+                f"gesture '{description.name}' has only {description.pose_count} "
+                "pose(s); a single pose matches any time the joint passes through it"
+            )
+        for earlier, later in zip(description.poses, description.poses[1:]):
+            ratio = earlier.window.intersection_volume_ratio(later.window)
+            if ratio > 0.9:
+                report.warnings.append(
+                    f"gesture '{description.name}' poses {earlier.sequence_index} and "
+                    f"{later.sequence_index} almost coincide (overlap {ratio:.0%}); "
+                    "consider a larger sampling threshold or the optimiser"
+                )
+
+    def _check_pair(
+        self,
+        first: GestureDescription,
+        second: GestureDescription,
+        report: OverlapReport,
+    ) -> None:
+        for pose_a in first.poses:
+            for pose_b in second.poses:
+                if not pose_a.window.intersects(pose_b.window):
+                    continue
+                ratio = pose_a.window.intersection_volume_ratio(pose_b.window)
+                if ratio < self.config.min_overlap_ratio:
+                    continue
+                report.overlaps.append(
+                    WindowOverlap(
+                        gesture_a=first.name,
+                        pose_a=pose_a.sequence_index,
+                        gesture_b=second.name,
+                        pose_b=pose_b.sequence_index,
+                        volume_ratio=ratio,
+                    )
+                )
+        if self._subsumes(first, second):
+            report.subsumptions.append((first.name, second.name))
+        if self._subsumes(second, first):
+            report.subsumptions.append((second.name, first.name))
+
+    @staticmethod
+    def _subsumes(pattern: GestureDescription, other: GestureDescription) -> bool:
+        """Would ``pattern`` fire on the canonical path of ``other``?
+
+        The canonical path is the sequence of ``other``'s window centres —
+        the "average" movement its own samples exhibited.  Both gestures
+        must constrain at least one common field for the check to be
+        meaningful.
+        """
+        if pattern.name == other.name:
+            return False
+        shared = set(pattern.fields()) & set(other.fields())
+        if not shared:
+            return False
+        path = [dict(pose.window.center) for pose in other.poses]
+        return pattern.matches_path(path)

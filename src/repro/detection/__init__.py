@@ -1,0 +1,49 @@
+"""Gesture detection and the interactive learning workflow.
+
+This package connects the learning pipeline (:mod:`repro.core`) with the
+CEP engine (:mod:`repro.cep`) the way the paper's Fig. 2 describes:
+
+* :mod:`repro.detection.events` — the gesture events and feedback objects
+  applications receive,
+* :mod:`repro.detection.detector` — :class:`GestureDetector`, which deploys
+  learned gestures as CEP queries and dispatches detections to handlers,
+* :mod:`repro.detection.controller` — motion/stationary detection and the
+  recording state machine driven by control gestures (wave to record, both
+  hands to finalise),
+* :mod:`repro.detection.workflow` — :class:`LearningWorkflow`, the
+  end-to-end interactive loop: record samples, mine patterns, merge, deploy
+  and test, with visual-feedback hooks.
+"""
+
+from repro.detection.events import DetectionFeedback, GestureEvent
+from repro.detection.detector import GestureDetector
+from repro.detection.controller import (
+    ControllerConfig,
+    MotionDetector,
+    RecordingController,
+    RecordingPhase,
+)
+from repro.detection.workflow import LearningWorkflow, WorkflowConfig, WorkflowPhase
+from repro.detection.visualization import (
+    AttemptReport,
+    describe_attempt,
+    describe_gesture,
+    render_gesture_ascii,
+)
+
+__all__ = [
+    "AttemptReport",
+    "describe_attempt",
+    "describe_gesture",
+    "render_gesture_ascii",
+    "GestureEvent",
+    "DetectionFeedback",
+    "GestureDetector",
+    "MotionDetector",
+    "RecordingController",
+    "RecordingPhase",
+    "ControllerConfig",
+    "LearningWorkflow",
+    "WorkflowConfig",
+    "WorkflowPhase",
+]

@@ -1,0 +1,274 @@
+"""Motion detection and the sample-recording state machine (paper Sec. 3.1).
+
+Recording training samples must itself be touchless, so the paper drives it
+with control gestures and stationary-pose detection:
+
+* the user triggers recording with a *wave* gesture,
+* to avoid capturing the control gesture itself, the user first moves to
+  the gesture's start pose; "the actual recording is triggered after the
+  user did not move for some time",
+* recording "lasts until the user stops at the end pose",
+* a *two-hand swipe* finalises the learning phase.
+
+:class:`MotionDetector` decides "is the user currently moving?" from a short
+sliding window of transformed frames; :class:`RecordingController` is the
+state machine that turns that signal plus the control-gesture events into
+recorded samples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.distance import EuclideanDistance, joint_fields
+from repro.errors import RecordingError
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Tuning of motion detection and the recording state machine.
+
+    Attributes
+    ----------
+    motion_window_s:
+        Length of the sliding window used to decide stationarity.
+    frequency_hz:
+        Sensor frame rate (window length in frames = window_s × rate).
+    stationary_threshold_mm:
+        The user counts as stationary when each observed joint stays within
+        a bounding box of this diagonal over the whole window.  The default
+        leaves ample headroom above Kinect-class sensor jitter (a joint held
+        still with ~5-10 mm noise covers 40-70 mm over a 0.4 s window) while
+        staying far below the several hundred millimetres an actual gesture
+        movement covers.
+    stationary_hold_s:
+        How long the user must remain stationary before recording starts
+        (and before a running recording is considered finished).
+    watched_joints:
+        Joints whose movement is monitored (hands by default — they carry
+        gesture movement).
+    max_recording_s:
+        Safety bound: a recording longer than this raises
+        :class:`~repro.errors.RecordingError` (the user likely walked away).
+    min_recording_frames:
+        Recordings shorter than this are rejected as accidental twitches.
+    """
+
+    motion_window_s: float = 0.4
+    frequency_hz: float = 30.0
+    stationary_threshold_mm: float = 100.0
+    stationary_hold_s: float = 0.5
+    watched_joints: Tuple[str, ...] = ("rhand", "lhand")
+    max_recording_s: float = 15.0
+    min_recording_frames: int = 8
+
+    def __post_init__(self) -> None:
+        if self.motion_window_s <= 0:
+            raise ValueError("motion_window_s must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency_hz must be positive")
+        if self.stationary_threshold_mm <= 0:
+            raise ValueError("stationary_threshold_mm must be positive")
+        if self.stationary_hold_s < 0:
+            raise ValueError("stationary_hold_s must be non-negative")
+        if self.max_recording_s <= 0:
+            raise ValueError("max_recording_s must be positive")
+        if self.min_recording_frames < 1:
+            raise ValueError("min_recording_frames must be at least 1")
+
+    @property
+    def window_frames(self) -> int:
+        return max(2, int(round(self.motion_window_s * self.frequency_hz)))
+
+    @property
+    def hold_frames(self) -> int:
+        return max(1, int(round(self.stationary_hold_s * self.frequency_hz)))
+
+
+class MotionDetector:
+    """Sliding-window movement detector over transformed frames."""
+
+    def __init__(self, config: Optional[ControllerConfig] = None) -> None:
+        self.config = config or ControllerConfig()
+        self._fields = joint_fields(list(self.config.watched_joints))
+        self._window: Deque[Mapping[str, float]] = deque(
+            maxlen=self.config.window_frames
+        )
+
+    def reset(self) -> None:
+        self._window.clear()
+
+    def observe(self, frame: Mapping[str, float]) -> bool:
+        """Add a frame; return True when the user is currently stationary.
+
+        Until the window is full the user is reported as *moving* — starting
+        to record on insufficient evidence would capture garbage.
+        """
+        self._window.append(frame)
+        if len(self._window) < self.config.window_frames:
+            return False
+        return self.current_extent() <= self.config.stationary_threshold_mm
+
+    def current_extent(self) -> float:
+        """Largest per-joint bounding-box diagonal over the window (mm).
+
+        The per-joint maximum (instead of a sum over all watched joints)
+        keeps the stationarity decision independent of how many joints are
+        watched: sensor jitter on several idle joints must not add up to a
+        "movement".
+        """
+        if not self._window:
+            return 0.0
+        largest = 0.0
+        for joint in self.config.watched_joints:
+            total = 0.0
+            for axis in ("x", "y", "z"):
+                name = f"{joint}_{axis}"
+                values = [float(frame[name]) for frame in self._window if name in frame]
+                if not values:
+                    continue
+                span = max(values) - min(values)
+                total += span * span
+            largest = max(largest, total ** 0.5)
+        return largest
+
+
+class RecordingPhase(str, Enum):
+    """States of the sample-recording state machine."""
+
+    IDLE = "idle"
+    ARMED = "armed"              # control gesture seen; waiting for start pose
+    READY = "ready"              # user is stationary at the start pose
+    RECORDING = "recording"      # movement in progress
+    FINISHING = "finishing"      # user became stationary; confirming the end pose
+    COMPLETE = "complete"        # a sample is available via take_sample()
+
+
+@dataclass
+class _RecordingState:
+    frames: List[Dict[str, float]] = field(default_factory=list)
+    stationary_streak: int = 0
+    start_ts: float = 0.0
+
+
+class RecordingController:
+    """Turns the motion signal into recorded gesture samples.
+
+    The controller is fed *transformed* frames one at a time via
+    :meth:`observe`; control-gesture detections arrive via :meth:`arm` (the
+    wave gesture) and are usually wired up by the
+    :class:`~repro.detection.workflow.LearningWorkflow`.
+    """
+
+    def __init__(self, config: Optional[ControllerConfig] = None) -> None:
+        self.config = config or ControllerConfig()
+        self.motion = MotionDetector(self.config)
+        self.phase = RecordingPhase.IDLE
+        self._state = _RecordingState()
+        self._completed: Optional[List[Dict[str, float]]] = None
+
+    # -- control ---------------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Arm the controller (the user performed the record control gesture)."""
+        self.phase = RecordingPhase.ARMED
+        self.motion.reset()
+        self._state = _RecordingState()
+        self._completed = None
+
+    def cancel(self) -> None:
+        """Abort any recording in progress."""
+        self.phase = RecordingPhase.IDLE
+        self._state = _RecordingState()
+        self._completed = None
+        self.motion.reset()
+
+    # -- data path --------------------------------------------------------------------
+
+    def observe(self, frame: Mapping[str, float]) -> RecordingPhase:
+        """Feed one transformed frame; returns the controller phase after it."""
+        stationary = self.motion.observe(frame)
+        timestamp = float(frame.get("ts", 0.0))
+
+        if self.phase in (RecordingPhase.IDLE, RecordingPhase.COMPLETE):
+            return self.phase
+
+        if self.phase is RecordingPhase.ARMED:
+            if stationary:
+                self._state.stationary_streak += 1
+                if self._state.stationary_streak >= self.config.hold_frames:
+                    self.phase = RecordingPhase.READY
+                    self._state.stationary_streak = 0
+            else:
+                self._state.stationary_streak = 0
+            return self.phase
+
+        if self.phase is RecordingPhase.READY:
+            if not stationary:
+                # Movement started: this frame is the first of the sample.
+                self.phase = RecordingPhase.RECORDING
+                self._state.frames = [dict(frame)]
+                self._state.start_ts = timestamp
+            return self.phase
+
+        if self.phase is RecordingPhase.RECORDING:
+            self._state.frames.append(dict(frame))
+            self._check_duration(timestamp)
+            if stationary:
+                self._state.stationary_streak += 1
+                if self._state.stationary_streak >= self.config.hold_frames:
+                    self._finish()
+            else:
+                self._state.stationary_streak = 0
+            return self.phase
+
+        return self.phase
+
+    def _check_duration(self, timestamp: float) -> None:
+        if timestamp - self._state.start_ts > self.config.max_recording_s:
+            self.cancel()
+            raise RecordingError(
+                "recording exceeded the maximum duration of "
+                f"{self.config.max_recording_s:.0f}s and was cancelled"
+            )
+
+    def _finish(self) -> None:
+        frames = self._state.frames
+        # Drop the trailing stationary frames (the end-pose hold) except for
+        # a short tail that anchors the end pose.
+        tail = self.config.hold_frames
+        if len(frames) > tail:
+            frames = frames[: len(frames) - tail + 1]
+        if len(frames) < self.config.min_recording_frames:
+            # Too short to be a deliberate gesture: go back to READY and wait.
+            self.phase = RecordingPhase.READY
+            self._state = _RecordingState()
+            return
+        self._completed = frames
+        self.phase = RecordingPhase.COMPLETE
+
+    # -- results ------------------------------------------------------------------------
+
+    @property
+    def has_sample(self) -> bool:
+        return self._completed is not None
+
+    def take_sample(self) -> List[Dict[str, float]]:
+        """Return the recorded sample and reset to IDLE.
+
+        Raises
+        ------
+        RecordingError
+            If no completed sample is available.
+        """
+        if self._completed is None:
+            raise RecordingError("no completed recording is available")
+        sample = self._completed
+        self._completed = None
+        self.phase = RecordingPhase.IDLE
+        self._state = _RecordingState()
+        self.motion.reset()
+        return sample

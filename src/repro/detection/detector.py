@@ -1,0 +1,197 @@
+"""The gesture detector: deploys learned gestures and dispatches events.
+
+:class:`GestureDetector` is the runtime face of the system once learning is
+done.  It owns (or is handed) a CEP engine with the ``kinect`` /
+``kinect_t`` streams, turns gesture descriptions into queries via the
+query generator, deploys them, and converts engine detections into
+:class:`~repro.detection.events.GestureEvent` objects delivered to
+registered handlers — exactly the "Controller / Application" interface of
+the paper's Fig. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.cep.engine import CEPEngine, DeployedQuery
+from repro.cep.matcher import Detection
+from repro.cep.query import Query
+from repro.cep.sinks import CallbackSink
+from repro.cep.views import TRANSFORMED_STREAM_NAME, install_kinect_view
+from repro.core.description import GestureDescription
+from repro.core.querygen import QueryGenConfig, QueryGenerator
+from repro.detection.events import DetectionFeedback, GestureEvent
+from repro.errors import BindingError, GestureNotFoundError
+from repro.storage.database import GestureDatabase
+from repro.streams.clock import Clock, SimulatedClock
+
+GestureHandler = Callable[[GestureEvent], None]
+
+
+class GestureDetector:
+    """Deploys gesture patterns on a CEP engine and dispatches events.
+
+    Parameters
+    ----------
+    engine:
+        An existing engine to deploy on; a new one (with the Kinect view
+        installed) is created when omitted.
+    clock:
+        Time source for a newly created engine.
+    querygen_config:
+        Configuration used when deploying :class:`GestureDescription`
+        objects (ignored for pre-built queries).
+
+    Examples
+    --------
+    >>> detector = GestureDetector()
+    >>> events = []
+    >>> from repro.core import GestureDescription, PoseWindow, Window
+    >>> description = GestureDescription(
+    ...     name="hands_up",
+    ...     poses=[PoseWindow(0, Window({"rhand_y": 500.0}, {"rhand_y": 200.0}))],
+    ... )
+    >>> detector.deploy(description)
+    >>> detector.on_gesture("hands_up", events.append)
+    >>> detector.process_frame({"ts": 0.0, "torso_x": 0, "torso_y": 0, "torso_z": 0,
+    ...                         "rhand_x": 0, "rhand_y": 400, "rhand_z": 0,
+    ...                         "relbow_x": 0, "relbow_y": 200, "relbow_z": 0})
+    """
+
+    def __init__(
+        self,
+        engine: Optional[CEPEngine] = None,
+        clock: Optional[Clock] = None,
+        querygen_config: Optional[QueryGenConfig] = None,
+    ) -> None:
+        if engine is None:
+            engine = CEPEngine(clock=clock or SimulatedClock())
+            install_kinect_view(engine)
+        self.engine = engine
+        self.generator = QueryGenerator(querygen_config)
+        self._handlers: Dict[str, List[GestureHandler]] = {}
+        self._global_handlers: List[GestureHandler] = []
+        self._deployed: Dict[str, DeployedQuery] = {}
+        self.events: List[GestureEvent] = []
+
+    # -- deployment ------------------------------------------------------------------
+
+    def deploy(
+        self,
+        gesture: Union[GestureDescription, Query, str],
+        name: Optional[str] = None,
+    ) -> DeployedQuery:
+        """Deploy a gesture description, a query object, or query text.
+
+        Returns the engine's deployed-query handle.  The gesture becomes
+        active immediately; previously deployed gestures keep running.
+        """
+        if isinstance(gesture, GestureDescription):
+            query: Union[Query, str] = self.generator.generate(gesture)
+            registration = name or gesture.name
+        else:
+            query = gesture
+            registration = name
+
+        sink = CallbackSink(self._dispatch)
+        deployed = self.engine.register_query(
+            query,
+            name=registration,
+            sink=sink,
+            create_missing_streams=True,
+        )
+        self._deployed[deployed.name] = deployed
+        return deployed
+
+    def deploy_from_database(
+        self, database: GestureDatabase, enabled_only: bool = True
+    ) -> List[str]:
+        """Deploy every gesture stored in ``database``; return their names."""
+        deployed: List[str] = []
+        for record in database.all_gestures(enabled_only=enabled_only):
+            self.deploy(record.description)
+            deployed.append(record.name)
+        return deployed
+
+    def undeploy(self, name: str) -> None:
+        """Remove a deployed gesture."""
+        if name not in self._deployed:
+            raise GestureNotFoundError(f"gesture '{name}' is not deployed")
+        self.engine.unregister_query(name)
+        del self._deployed[name]
+
+    def deployed_gestures(self) -> List[str]:
+        return sorted(self._deployed)
+
+    def set_enabled(self, name: str, enabled: bool) -> None:
+        """Pause/resume a deployed gesture (e.g. while its query is tuned)."""
+        if name not in self._deployed:
+            raise GestureNotFoundError(f"gesture '{name}' is not deployed")
+        self.engine.enable_query(name, enabled)
+
+    # -- handlers ---------------------------------------------------------------------
+
+    def on_gesture(self, name: str, handler: GestureHandler) -> None:
+        """Register a handler called whenever gesture ``name`` is detected."""
+        if not callable(handler):
+            raise BindingError("gesture handler must be callable")
+        self._handlers.setdefault(name, []).append(handler)
+
+    def on_any_gesture(self, handler: GestureHandler) -> None:
+        """Register a handler called for every detection."""
+        if not callable(handler):
+            raise BindingError("gesture handler must be callable")
+        self._global_handlers.append(handler)
+
+    def _dispatch(self, detection: Detection) -> None:
+        event = GestureEvent.from_detection(detection)
+        self.events.append(event)
+        for handler in self._handlers.get(event.gesture, []):
+            handler(event)
+        for handler in self._global_handlers:
+            handler(event)
+
+    # -- data path --------------------------------------------------------------------------
+
+    def process_frame(self, frame: Mapping[str, float], stream: str = "kinect") -> None:
+        """Push one raw sensor frame into the engine."""
+        self.engine.push(stream, frame)
+
+    def process_frames(
+        self, frames: Sequence[Mapping[str, float]], stream: str = "kinect"
+    ) -> int:
+        """Push a whole recording; returns the number of frames pushed."""
+        return self.engine.push_many(stream, frames)
+
+    # -- feedback / introspection --------------------------------------------------------------
+
+    def feedback(self) -> DetectionFeedback:
+        """Current partial-match progress of every deployed gesture."""
+        timestamp = self.engine.clock.now()
+        progress = {
+            name: deployed.matcher.progress()
+            for name, deployed in self._deployed.items()
+        }
+        active = {
+            name: deployed.matcher.active_runs
+            for name, deployed in self._deployed.items()
+        }
+        return DetectionFeedback(
+            timestamp=timestamp, progress=progress, active_runs=active
+        )
+
+    def detections(self, name: Optional[str] = None) -> List[Detection]:
+        """Raw engine detections (see :meth:`events` for application events)."""
+        return self.engine.detections(name)
+
+    def clear(self) -> None:
+        """Drop collected events/detections and all partial matches."""
+        self.events.clear()
+        self.engine.clear_detections()
+        self.engine.reset_matchers()
+
+    def __repr__(self) -> str:
+        return (
+            f"GestureDetector(deployed={self.deployed_gestures()}, "
+            f"events={len(self.events)})"
+        )

@@ -1,0 +1,92 @@
+"""Events delivered to applications and to the learning GUI.
+
+Two kinds of objects leave the detection layer:
+
+* :class:`GestureEvent` — "the output tuple sent to the application on
+  gesture detection" (paper Sec. 3.3.4): the gesture name plus optional
+  measures computed during detection (duration, involved joints, matched
+  pose timestamps),
+* :class:`DetectionFeedback` — the live progress information the paper's
+  testing phase visualises (Fig. 5 / Sec. 3.1): how far each deployed
+  pattern's best partial match has advanced, which helps users understand
+  *why* a movement was not detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cep.matcher import Detection
+
+
+@dataclass(frozen=True)
+class GestureEvent:
+    """A detected gesture, as delivered to application callbacks."""
+
+    gesture: str
+    timestamp: float
+    duration: float
+    pose_timestamps: Tuple[float, ...] = ()
+    measures: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_detection(cls, detection: Detection) -> "GestureEvent":
+        """Build an application event from an engine detection."""
+        measures: Dict[str, float] = {}
+        if detection.matched:
+            last = detection.matched[-1]
+            for key in ("rhand_x", "rhand_y", "rhand_z", "lhand_x", "lhand_y", "lhand_z"):
+                if key in last:
+                    measures[key] = float(last[key])
+        return cls(
+            gesture=detection.output,
+            timestamp=detection.timestamp,
+            duration=detection.duration,
+            pose_timestamps=detection.step_timestamps,
+            measures=measures,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"GestureEvent(gesture={self.gesture!r}, t={self.timestamp:.3f}, "
+            f"duration={self.duration:.3f}s)"
+        )
+
+
+@dataclass(frozen=True)
+class DetectionFeedback:
+    """Progress snapshot of all deployed gesture patterns.
+
+    Attributes
+    ----------
+    timestamp:
+        Time the snapshot was taken.
+    progress:
+        Gesture name → fraction of the pattern's poses already matched by
+        its best partial match (0.0 … < 1.0; a completed match becomes a
+        :class:`GestureEvent` instead).
+    active_runs:
+        Gesture name → number of partial matches currently tracked.
+    """
+
+    timestamp: float
+    progress: Dict[str, float] = field(default_factory=dict)
+    active_runs: Dict[str, int] = field(default_factory=dict)
+
+    def best_candidate(self) -> Optional[str]:
+        """The gesture the user currently seems closest to completing."""
+        if not self.progress:
+            return None
+        name, value = max(self.progress.items(), key=lambda item: item[1])
+        return name if value > 0 else None
+
+    def describe(self) -> str:
+        """Human-readable one-liner for console feedback."""
+        if not self.progress:
+            return "no gestures deployed"
+        parts = [
+            f"{name}: {value:.0%}"
+            for name, value in sorted(self.progress.items(), key=lambda i: -i[1])
+        ]
+        return ", ".join(parts)

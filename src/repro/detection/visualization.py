@@ -1,0 +1,187 @@
+"""Textual visualisation of gesture patterns and detection attempts.
+
+The original demo renders an animated 3D body model with the learned windows
+and tracked joint paths overlaid (paper Fig. 5) so users can see *why* a
+movement was or was not detected.  Without a GUI this module provides the
+closest faithful substitute: structured scene descriptions and compact ASCII
+renderings that examples, logs and tests can emit.
+
+Two artefacts are produced:
+
+* :func:`describe_gesture` / :func:`render_gesture_ascii` — the learned pose
+  windows of one gesture, projected onto a chosen coordinate plane,
+* :func:`describe_attempt` — a detection attempt: which poses of the pattern
+  a recorded movement passed through, where it left the expected corridor,
+  and the final partial-match progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.description import GestureDescription
+
+
+@dataclass
+class AttemptReport:
+    """How far a recorded movement got through a gesture's pose sequence."""
+
+    gesture: str
+    poses_total: int
+    poses_reached: int
+    frames: int
+    first_unreached_pose: Optional[int]
+    worst_miss_mm: float
+    per_pose_hits: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def progress(self) -> float:
+        if self.poses_total == 0:
+            return 0.0
+        return self.poses_reached / self.poses_total
+
+    @property
+    def detected(self) -> bool:
+        return self.poses_reached == self.poses_total
+
+    def summary(self) -> str:
+        state = "DETECTED" if self.detected else "not detected"
+        lines = [
+            f"gesture '{self.gesture}': {state} "
+            f"({self.poses_reached}/{self.poses_total} poses, {self.frames} frames)"
+        ]
+        if not self.detected and self.first_unreached_pose is not None:
+            lines.append(
+                f"  movement never reached pose {self.first_unreached_pose}; "
+                f"closest approach missed it by {self.worst_miss_mm:.0f} mm"
+            )
+        for index in sorted(self.per_pose_hits):
+            lines.append(f"  pose {index}: {self.per_pose_hits[index]} matching frame(s)")
+        return "\n".join(lines)
+
+
+def describe_gesture(description: GestureDescription) -> List[Dict[str, object]]:
+    """Return one row per pose window (centre/width per constrained field)."""
+    rows: List[Dict[str, object]] = []
+    for pose in description.poses:
+        row: Dict[str, object] = {"pose": pose.sequence_index, "support": pose.support}
+        for name in pose.window.fields:
+            row[name] = (
+                round(pose.window.center[name], 1),
+                round(pose.window.width[name], 1),
+            )
+        rows.append(row)
+    return rows
+
+
+def describe_attempt(
+    description: GestureDescription,
+    frames: Sequence[Mapping[str, float]],
+) -> AttemptReport:
+    """Explain how far ``frames`` progressed through ``description``.
+
+    The analysis walks the pose sequence the same way the NFA matcher does
+    (each frame may advance by at most one pose) but additionally records,
+    for the first pose that was never reached, how close the movement came —
+    the number the paper's overlay visualisation conveys graphically.
+    """
+    poses = sorted(description.poses, key=lambda pose: pose.sequence_index)
+    reached = 0
+    per_pose_hits: Dict[int, int] = {pose.sequence_index: 0 for pose in poses}
+    for frame in frames:
+        if reached < len(poses) and poses[reached].contains(frame):
+            per_pose_hits[poses[reached].sequence_index] += 1
+            reached += 1
+        # Count re-visits of already reached poses for the report.
+        for pose in poses[:reached]:
+            if pose.contains(frame):
+                per_pose_hits[pose.sequence_index] += 1
+
+    first_unreached = poses[reached].sequence_index if reached < len(poses) else None
+    worst_miss = 0.0
+    if first_unreached is not None and frames:
+        target = poses[reached].window
+        worst_miss = min(target.distance_from(frame) for frame in frames)
+        # Convert window-width multiples into an approximate millimetre miss.
+        mean_width = sum(target.width.values()) / len(target.width)
+        worst_miss *= mean_width
+    return AttemptReport(
+        gesture=description.name,
+        poses_total=len(poses),
+        poses_reached=reached,
+        frames=len(frames),
+        first_unreached_pose=first_unreached,
+        worst_miss_mm=worst_miss,
+        per_pose_hits=per_pose_hits,
+    )
+
+
+def render_gesture_ascii(
+    description: GestureDescription,
+    plane: Tuple[str, str] = ("rhand_x", "rhand_y"),
+    width: int = 61,
+    height: int = 19,
+    path: Optional[Sequence[Mapping[str, float]]] = None,
+) -> str:
+    """Render pose windows (and optionally a path) onto an ASCII grid.
+
+    Pose windows are drawn as numbered boxes projected onto ``plane``; the
+    optional ``path`` (e.g. a recorded attempt) is overlaid as ``*`` marks.
+    The rendering is intentionally coarse — it is a debugging aid and the
+    stand-in for the paper's 3D overlay, not a plotting library.
+    """
+    horizontal, vertical = plane
+    relevant = [
+        pose for pose in description.poses
+        if horizontal in pose.window.center and vertical in pose.window.center
+    ]
+    if not relevant:
+        return f"(gesture '{description.name}' does not constrain {horizontal}/{vertical})"
+
+    lows_h = [pose.window.lower(horizontal) for pose in relevant]
+    highs_h = [pose.window.upper(horizontal) for pose in relevant]
+    lows_v = [pose.window.lower(vertical) for pose in relevant]
+    highs_v = [pose.window.upper(vertical) for pose in relevant]
+    if path:
+        lows_h.extend(float(frame[horizontal]) for frame in path if horizontal in frame)
+        highs_h.extend(float(frame[horizontal]) for frame in path if horizontal in frame)
+        lows_v.extend(float(frame[vertical]) for frame in path if vertical in frame)
+        highs_v.extend(float(frame[vertical]) for frame in path if vertical in frame)
+    min_h, max_h = min(lows_h), max(highs_h)
+    min_v, max_v = min(lows_v), max(highs_v)
+    span_h = max(max_h - min_h, 1e-6)
+    span_v = max(max_v - min_v, 1e-6)
+
+    def to_cell(h_value: float, v_value: float) -> Tuple[int, int]:
+        column = int((h_value - min_h) / span_h * (width - 1))
+        row = int((max_v - v_value) / span_v * (height - 1))
+        return max(0, min(height - 1, row)), max(0, min(width - 1, column))
+
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+
+    for pose in relevant:
+        top_left = to_cell(pose.window.lower(horizontal), pose.window.upper(vertical))
+        bottom_right = to_cell(pose.window.upper(horizontal), pose.window.lower(vertical))
+        label = str(pose.sequence_index % 10)
+        for row in range(top_left[0], bottom_right[0] + 1):
+            for column in range(top_left[1], bottom_right[1] + 1):
+                on_border = (
+                    row in (top_left[0], bottom_right[0])
+                    or column in (top_left[1], bottom_right[1])
+                )
+                if on_border and grid[row][column] == " ":
+                    grid[row][column] = label
+
+    if path:
+        for frame in path:
+            if horizontal not in frame or vertical not in frame:
+                continue
+            row, column = to_cell(float(frame[horizontal]), float(frame[vertical]))
+            grid[row][column] = "*"
+
+    header = (
+        f"'{description.name}' — {horizontal} (→ {min_h:.0f}..{max_h:.0f} mm) vs "
+        f"{vertical} (↑ {min_v:.0f}..{max_v:.0f} mm)"
+    )
+    return "\n".join([header] + ["".join(row) for row in grid])

@@ -1,0 +1,152 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+applications embedding the gesture-detection stack can catch a single base
+class.  Sub-hierarchies mirror the subsystems described in ``DESIGN.md``:
+the CEP engine, the learning pipeline, storage, and the interactive
+workflow controller.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# CEP engine errors
+# ---------------------------------------------------------------------------
+
+
+class CEPError(ReproError):
+    """Base class for errors raised by the CEP engine (``repro.cep``)."""
+
+
+class SchemaError(CEPError):
+    """A tuple does not conform to the schema of the stream it was pushed to,
+    or a schema definition itself is invalid (duplicate fields, bad types)."""
+
+
+class ExpressionError(CEPError):
+    """An expression references unknown fields, applies an operator to
+    incompatible operands, or calls an unregistered function."""
+
+
+class QuerySyntaxError(CEPError):
+    """The query text could not be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token in the query text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class QueryRegistrationError(CEPError):
+    """A query could not be registered with the engine (duplicate name,
+    unknown source stream, or the engine is already closed)."""
+
+
+class UnknownStreamError(CEPError):
+    """A query or view references a stream that is not registered."""
+
+
+class UnknownFunctionError(ExpressionError):
+    """An expression calls a function that is not registered as a UDF."""
+
+
+# ---------------------------------------------------------------------------
+# Learning pipeline errors
+# ---------------------------------------------------------------------------
+
+
+class LearningError(ReproError):
+    """Base class for errors raised by the gesture learning pipeline."""
+
+
+class EmptySampleError(LearningError):
+    """A gesture sample contains no usable measurements."""
+
+
+class IncompatibleSampleError(LearningError):
+    """A new sample cannot be merged into an existing gesture description,
+    e.g. because it tracks different joints than previous samples."""
+
+
+class SampleDeviationWarning(UserWarning):
+    """Issued when a newly added sample deviates strongly from the windows
+    mined from previous samples (paper, Sec. 3.3.2)."""
+
+
+class ValidationError(LearningError):
+    """Gesture validation failed (e.g. an unresolvable overlap between two
+    gesture patterns was detected and strict mode is enabled)."""
+
+
+class QueryGenerationError(LearningError):
+    """A CEP query could not be generated from a gesture description."""
+
+
+# ---------------------------------------------------------------------------
+# Storage errors
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for gesture database errors."""
+
+
+class GestureNotFoundError(StorageError):
+    """The requested gesture does not exist in the gesture database."""
+
+
+class DuplicateGestureError(StorageError):
+    """A gesture with the same name already exists and overwrite is off."""
+
+
+class SerializationError(StorageError):
+    """A gesture description could not be (de)serialised."""
+
+
+# ---------------------------------------------------------------------------
+# Workflow / controller errors
+# ---------------------------------------------------------------------------
+
+
+class WorkflowError(ReproError):
+    """Base class for errors raised by the interactive learning workflow."""
+
+
+class InvalidWorkflowStateError(WorkflowError):
+    """An operation was requested that is not legal in the current state of
+    the learning workflow (e.g. finalising before any sample was recorded)."""
+
+
+class RecordingError(WorkflowError):
+    """Recording a gesture sample failed (e.g. the user never became
+    stationary, or the recording contained no movement)."""
+
+
+# ---------------------------------------------------------------------------
+# Application-layer errors
+# ---------------------------------------------------------------------------
+
+
+class ApplicationError(ReproError):
+    """Base class for errors raised by the demo applications."""
+
+
+class NavigationError(ApplicationError):
+    """An OLAP or graph navigation operation could not be applied."""
+
+
+class BindingError(ApplicationError):
+    """A gesture could not be bound to an application action."""

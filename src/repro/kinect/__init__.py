@@ -1,0 +1,83 @@
+"""Synthetic Microsoft-Kinect skeleton stream (simulator substrate).
+
+The paper's system consumes the 30 Hz skeleton-joint stream produced by a
+Kinect 3D camera through OpenNI / the Kinect SDK.  That hardware is not
+available here, so this package simulates it:
+
+* :mod:`repro.kinect.skeleton` — the joint model and rest pose,
+* :mod:`repro.kinect.users` — parameterised body profiles (child … tall
+  adult) so scale-invariance experiments have "users" of different heights,
+* :mod:`repro.kinect.trajectories` — parametric gesture trajectories
+  (swipes, circle, wave, push, …) defined in a user-relative coordinate
+  frame, plus idle/noise motion,
+* :mod:`repro.kinect.noise` — sensor noise and jitter models,
+* :mod:`repro.kinect.simulator` — :class:`KinectSimulator`, which renders a
+  trajectory performed by a body profile standing somewhere in front of the
+  camera into the same flat tuples the Kinect middleware would deliver,
+* :mod:`repro.kinect.recordings` — CSV recordings in the format shown in
+  Fig. 1 of the paper and labelled data-set generation for the benchmarks.
+"""
+
+from repro.kinect.skeleton import (
+    JOINTS,
+    TRACKED_AXES,
+    Joint,
+    Skeleton,
+    joint_field,
+    rest_pose,
+)
+from repro.kinect.users import BodyProfile, STANDARD_USERS, user_by_name
+from repro.kinect.noise import GaussianNoise, NoNoise, NoiseModel, OcclusionNoise
+from repro.kinect.trajectories import (
+    CircleTrajectory,
+    CompositeTrajectory,
+    IdleTrajectory,
+    PushTrajectory,
+    RaiseHandTrajectory,
+    SwipeTrajectory,
+    Trajectory,
+    TwoHandSwipeTrajectory,
+    WaveTrajectory,
+    WaypointTrajectory,
+    standard_gesture_catalog,
+)
+from repro.kinect.simulator import KinectSimulator, KINECT_FREQUENCY_HZ
+from repro.kinect.recordings import (
+    Recording,
+    generate_dataset,
+    load_recording_csv,
+    save_recording_csv,
+)
+
+__all__ = [
+    "JOINTS",
+    "TRACKED_AXES",
+    "Joint",
+    "Skeleton",
+    "joint_field",
+    "rest_pose",
+    "BodyProfile",
+    "STANDARD_USERS",
+    "user_by_name",
+    "NoiseModel",
+    "GaussianNoise",
+    "NoNoise",
+    "OcclusionNoise",
+    "Trajectory",
+    "SwipeTrajectory",
+    "CircleTrajectory",
+    "WaveTrajectory",
+    "PushTrajectory",
+    "RaiseHandTrajectory",
+    "TwoHandSwipeTrajectory",
+    "IdleTrajectory",
+    "WaypointTrajectory",
+    "CompositeTrajectory",
+    "standard_gesture_catalog",
+    "KinectSimulator",
+    "KINECT_FREQUENCY_HZ",
+    "Recording",
+    "generate_dataset",
+    "load_recording_csv",
+    "save_recording_csv",
+]

@@ -1,0 +1,264 @@
+"""The Kinect camera simulator.
+
+:class:`KinectSimulator` renders a :class:`~repro.kinect.trajectories.Trajectory`
+performed by a concrete :class:`~repro.kinect.users.BodyProfile` into the
+flat 30 Hz measurement tuples the Kinect middleware would deliver:
+
+``{"player": 1, "ts": 0.033, "torso_x": 45.2, ..., "rhand_z": 1822.3}``
+
+The simulator takes care of the aspects that make gesture learning hard in
+practice and that the paper's pipeline is explicitly designed to absorb:
+
+* users stand at different positions and orientations in front of the camera
+  (handled by the torso-relative transformation),
+* users have different body sizes (handled by forearm-length scaling),
+* repeated performances differ slightly (handled by window merging),
+* sensor measurements are noisy (handled by window widths).
+
+A simple inverse-kinematics step keeps the elbow at a constant forearm
+distance from the hand so the paper's scale factor — the Euclidean distance
+between right hand and right elbow — stays stable while the hand moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kinect.noise import GaussianNoise, NoiseModel, NoNoise
+from repro.kinect.skeleton import Skeleton
+from repro.kinect.trajectories import Trajectory, WaypointTrajectory
+from repro.kinect.users import BodyProfile, user_by_name
+from repro.streams.clock import Clock, SimulatedClock
+from repro.streams.stream import Stream
+
+#: Nominal frame rate of the Kinect sensor stream (paper Sec. 3.3.1).
+KINECT_FREQUENCY_HZ = 30.0
+
+#: Hand → (elbow, shoulder) used by the forearm inverse-kinematics step.
+_ARM_CHAIN: Dict[str, Tuple[str, str]] = {
+    "rhand": ("relbow", "rshoulder"),
+    "lhand": ("lelbow", "lshoulder"),
+}
+
+
+class KinectSimulator:
+    """Simulates a Kinect camera observing one user.
+
+    Parameters
+    ----------
+    user:
+        The simulated user's body profile (defaults to the reference adult).
+    clock:
+        Time source; defaults to a fresh :class:`SimulatedClock` so
+        simulations run as fast as Python allows while still producing
+        correct 30 Hz timestamps.
+    noise:
+        Sensor noise model applied to every emitted frame.
+    frequency_hz:
+        Sensor frame rate.
+    position:
+        Torso position in camera coordinates (mm).  The Kinect's usable
+        range starts around 1.5 m, hence the 2.2 m default.
+    yaw_deg:
+        User facing direction (0 = facing the camera).
+    rng:
+        Random generator used for per-sample waypoint variation.
+    player_id:
+        Player/skeleton id reported in the tuples.
+    """
+
+    def __init__(
+        self,
+        user: Optional[BodyProfile] = None,
+        clock: Optional[Clock] = None,
+        noise: Optional[NoiseModel] = None,
+        frequency_hz: float = KINECT_FREQUENCY_HZ,
+        position: Tuple[float, float, float] = (0.0, 0.0, 2200.0),
+        yaw_deg: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        player_id: int = 1,
+    ) -> None:
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.user = user or user_by_name("adult")
+        self.clock = clock or SimulatedClock()
+        self.noise = noise if noise is not None else GaussianNoise(sigma_mm=6.0)
+        self.frequency_hz = float(frequency_hz)
+        self.frame_period = 1.0 / self.frequency_hz
+        self.rng = rng or np.random.default_rng()
+        self.player_id = player_id
+        self.skeleton = Skeleton(
+            scale=self.user.scale, position=position, yaw_deg=yaw_deg
+        )
+        self.frames_emitted = 0
+
+    # -- placement ----------------------------------------------------------------
+
+    def move_user(self, position: Sequence[float]) -> None:
+        """Move the simulated user to a new camera-frame position (mm)."""
+        self.skeleton.move_to(position)
+
+    def turn_user(self, yaw_deg: float) -> None:
+        """Turn the simulated user to face a new direction (degrees)."""
+        self.skeleton.turn_to(yaw_deg)
+
+    # -- frame generation ------------------------------------------------------------
+
+    def _apply_pose(self, positions: Mapping[str, np.ndarray]) -> None:
+        """Pose the skeleton for one frame.
+
+        Trajectory positions are authored at the reference body scale; they
+        are multiplied by the user's scale factor so larger users genuinely
+        reach further — which is what the forearm-length normalisation must
+        undo downstream.
+        """
+        self.skeleton.reset()
+        for joint, reference_position in positions.items():
+            scaled = np.asarray(reference_position, dtype=float) * self.user.scale
+            self.skeleton.set_joint_offset(joint, scaled)
+            self._solve_arm(joint, scaled)
+
+    def _solve_arm(self, hand: str, hand_position: np.ndarray) -> None:
+        """Place the elbow so the forearm length stays anatomically constant."""
+        chain = _ARM_CHAIN.get(hand)
+        if chain is None:
+            return
+        elbow, shoulder = chain
+        shoulder_position = self.skeleton.rest_offset(shoulder)
+        rest_elbow = self.skeleton.rest_offset(elbow)
+        rest_hand = self.skeleton.rest_offset(hand)
+        forearm_length = float(np.linalg.norm(rest_elbow - rest_hand))
+        toward_shoulder = shoulder_position - hand_position
+        norm = float(np.linalg.norm(toward_shoulder))
+        if norm < 1e-9:
+            return
+        elbow_position = hand_position + toward_shoulder / norm * forearm_length
+        self.skeleton.set_joint_offset(elbow, elbow_position)
+
+    def _emit_frame(self) -> Dict[str, float]:
+        record = self.skeleton.measure()
+        record = self.noise.apply(record)
+        record["player"] = self.player_id
+        record["ts"] = self.clock.now()
+        self.frames_emitted += 1
+        if isinstance(self.clock, SimulatedClock):
+            self.clock.advance(self.frame_period)
+        else:  # pragma: no cover - live mode
+            self.clock.sleep(self.frame_period)
+        return record
+
+    def measure_rest(self) -> Dict[str, float]:
+        """Emit a single frame of the user standing in the rest pose."""
+        self.skeleton.reset()
+        return self._emit_frame()
+
+    def frames(
+        self,
+        trajectory: Trajectory,
+        hold_start_s: float = 0.0,
+        hold_end_s: float = 0.0,
+    ) -> Iterator[Dict[str, float]]:
+        """Yield the frames of one performance of ``trajectory``.
+
+        Parameters
+        ----------
+        trajectory:
+            The gesture to perform.
+        hold_start_s / hold_end_s:
+            Extra time the user holds still at the start/end pose.  The
+            recording controller of the paper relies on these stationary
+            phases to decide when a gesture begins and ends.
+        """
+        duration = trajectory.duration_s * self.user.performance_speed
+        move_frames = max(2, int(round(duration * self.frequency_hz)))
+        start_frames = int(round(hold_start_s * self.frequency_hz))
+        end_frames = int(round(hold_end_s * self.frequency_hz))
+
+        for _ in range(start_frames):
+            self._apply_pose(trajectory.start_positions())
+            yield self._emit_frame()
+        for index in range(move_frames):
+            phase = index / (move_frames - 1)
+            self._apply_pose(trajectory.positions(phase))
+            yield self._emit_frame()
+        for _ in range(end_frames):
+            self._apply_pose(trajectory.end_positions())
+            yield self._emit_frame()
+
+    def perform(
+        self,
+        trajectory: Trajectory,
+        hold_start_s: float = 0.0,
+        hold_end_s: float = 0.0,
+    ) -> List[Dict[str, float]]:
+        """Return all frames of one performance as a list."""
+        return list(self.frames(trajectory, hold_start_s, hold_end_s))
+
+    def perform_variation(
+        self,
+        trajectory: Trajectory,
+        hold_start_s: float = 0.0,
+        hold_end_s: float = 0.0,
+    ) -> List[Dict[str, float]]:
+        """Perform ``trajectory`` the way a human repeats it: not exactly.
+
+        For waypoint-based trajectories each waypoint is jittered by the
+        user's ``repeat_variability_mm`` before rendering; for parametric
+        trajectories only the sensor noise differs between repetitions.
+        """
+        if isinstance(trajectory, WaypointTrajectory):
+            varied: Trajectory = trajectory.perturbed(
+                rng=self.rng, sigma_mm=self.user.repeat_variability_mm
+            )
+        else:
+            varied = trajectory
+        return self.perform(varied, hold_start_s, hold_end_s)
+
+    def idle_frames(self, duration_s: float) -> List[Dict[str, float]]:
+        """Frames of the user standing still in the rest pose."""
+        count = max(1, int(round(duration_s * self.frequency_hz)))
+        self.skeleton.reset()
+        return [self._emit_frame() for _ in range(count)]
+
+    # -- streaming ----------------------------------------------------------------------
+
+    def stream_to(
+        self,
+        stream: Stream,
+        trajectory: Trajectory,
+        hold_start_s: float = 0.0,
+        hold_end_s: float = 0.0,
+    ) -> int:
+        """Push one performance of ``trajectory`` into ``stream``.
+
+        Returns the number of frames pushed.
+        """
+        count = 0
+        for frame in self.frames(trajectory, hold_start_s, hold_end_s):
+            stream.push(frame)
+            count += 1
+        return count
+
+    def stream_session(
+        self,
+        stream: Stream,
+        script: Sequence[Trajectory],
+        pause_s: float = 0.5,
+    ) -> int:
+        """Push a whole session (several gestures separated by idle pauses)."""
+        count = 0
+        for index, trajectory in enumerate(script):
+            if index:
+                for frame in self.idle_frames(pause_s):
+                    stream.push(frame)
+                    count += 1
+            count += self.stream_to(stream, trajectory)
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"KinectSimulator(user={self.user.name!r}, "
+            f"frequency={self.frequency_hz:.0f}Hz, frames={self.frames_emitted})"
+        )

@@ -1,0 +1,111 @@
+"""Body profiles for simulated users.
+
+The paper reports that scaling all coordinates by the right-forearm length
+makes gesture definitions work "when testing the same gestures with children
+and adults" (Sec. 3.2).  To reproduce that experiment we need simulated users
+of different body sizes; a :class:`BodyProfile` captures the linear scale
+factor and a few behavioural parameters (how precisely the user repeats a
+movement, how fast they perform it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Height of the reference adult the rest pose was authored for (mm).
+REFERENCE_HEIGHT_MM = 1750.0
+
+
+@dataclass(frozen=True)
+class BodyProfile:
+    """A simulated user.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier ("adult", "child", …).
+    height_mm:
+        Standing height in millimetres; all skeleton offsets scale linearly
+        with ``height_mm / 1750``.
+    performance_speed:
+        Multiplier on gesture duration: 1.0 performs a gesture at the
+        trajectory's nominal speed, values below 1.0 are faster.
+    repeat_variability_mm:
+        Standard deviation (mm, at reference scale) of the random waypoint
+        displacement applied each time the user repeats a gesture.  Models
+        the sample-to-sample variation the window-merging step must absorb.
+    handedness:
+        Preferred hand, ``"right"`` or ``"left"``.
+    """
+
+    name: str
+    height_mm: float = REFERENCE_HEIGHT_MM
+    performance_speed: float = 1.0
+    repeat_variability_mm: float = 25.0
+    handedness: str = "right"
+
+    def __post_init__(self) -> None:
+        if self.height_mm <= 0:
+            raise ValueError("height must be positive")
+        if self.performance_speed <= 0:
+            raise ValueError("performance speed must be positive")
+        if self.repeat_variability_mm < 0:
+            raise ValueError("repeat variability must be non-negative")
+        if self.handedness not in ("right", "left"):
+            raise ValueError("handedness must be 'right' or 'left'")
+
+    @property
+    def scale(self) -> float:
+        """Linear body-size factor relative to the reference adult."""
+        return self.height_mm / REFERENCE_HEIGHT_MM
+
+    def scaled(self, millimetres: float) -> float:
+        """Scale a reference-user length to this user's body size."""
+        return millimetres * self.scale
+
+    def describe(self) -> Dict[str, float]:
+        """Return the profile as a plain dictionary (for storage/reporting)."""
+        return {
+            "height_mm": self.height_mm,
+            "scale": self.scale,
+            "performance_speed": self.performance_speed,
+            "repeat_variability_mm": self.repeat_variability_mm,
+        }
+
+
+#: Catalogue of users used throughout tests and benchmarks.  The spread of
+#: heights (child of 1.20 m up to a 2.00 m adult) covers the child/adult
+#: comparison mentioned in the paper.
+STANDARD_USERS: Tuple[BodyProfile, ...] = (
+    BodyProfile(name="child", height_mm=1200.0, performance_speed=0.9,
+                repeat_variability_mm=35.0),
+    BodyProfile(name="teen", height_mm=1550.0, performance_speed=0.95,
+                repeat_variability_mm=30.0),
+    BodyProfile(name="adult", height_mm=1750.0, performance_speed=1.0,
+                repeat_variability_mm=25.0),
+    BodyProfile(name="tall_adult", height_mm=2000.0, performance_speed=1.05,
+                repeat_variability_mm=25.0),
+    BodyProfile(name="careful_adult", height_mm=1750.0, performance_speed=1.3,
+                repeat_variability_mm=10.0),
+    BodyProfile(name="hasty_adult", height_mm=1800.0, performance_speed=0.7,
+                repeat_variability_mm=45.0),
+)
+
+_USERS_BY_NAME: Dict[str, BodyProfile] = {user.name: user for user in STANDARD_USERS}
+
+
+def user_by_name(name: str) -> BodyProfile:
+    """Look up a standard user by name.
+
+    Raises
+    ------
+    KeyError
+        If no standard user with that name exists.
+    """
+    try:
+        return _USERS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown user '{name}'; available: {sorted(_USERS_BY_NAME)}"
+        ) from None

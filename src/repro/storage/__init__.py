@@ -1,0 +1,30 @@
+"""Gesture database (persistence substrate).
+
+The paper stores recorded samples and mined gesture patterns in a database
+"for further processing and manual debugging" (Fig. 2: *Gesture Database*).
+This package provides that store:
+
+* :mod:`repro.storage.serialization` — JSON (de)serialisation of gesture
+  descriptions, recordings and generated query text,
+* :mod:`repro.storage.database` — an SQLite-backed store with tables for
+  gestures, samples and deployed queries, usable in-memory (tests) or on
+  disk (persistent gesture libraries).
+"""
+
+from repro.storage.serialization import (
+    description_from_json,
+    description_to_json,
+    recording_from_json,
+    recording_to_json,
+)
+from repro.storage.database import GestureDatabase, GestureRecord, SampleRecord
+
+__all__ = [
+    "GestureDatabase",
+    "GestureRecord",
+    "SampleRecord",
+    "description_to_json",
+    "description_from_json",
+    "recording_to_json",
+    "recording_from_json",
+]

@@ -1,0 +1,295 @@
+"""SQLite-backed gesture database.
+
+The database plays the role of the *Gesture Database* box in the paper's
+Fig. 2: it stores recorded training samples, the mined gesture descriptions
+and the generated CEP query text, so gestures can be post-processed,
+re-deployed and manually tuned without re-learning.
+
+Three tables are used:
+
+``gestures``
+    one row per gesture: the serialised description, the generated query
+    text, timestamps and an enabled flag,
+``samples``
+    the raw training recordings, linked to their gesture,
+``deployments``
+    a log of query (re-)deployments, used to audit manual tuning.
+
+The store works against a file path or fully in memory (``":memory:"``),
+which is what the tests and the interactive workflow use by default.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.description import GestureDescription
+from repro.errors import DuplicateGestureError, GestureNotFoundError, StorageError
+from repro.kinect.recordings import Recording
+from repro.storage.serialization import (
+    description_from_json,
+    description_to_json,
+    recording_from_json,
+    recording_to_json,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS gestures (
+    name        TEXT PRIMARY KEY,
+    description TEXT NOT NULL,
+    query_text  TEXT,
+    enabled     INTEGER NOT NULL DEFAULT 1,
+    created_at  REAL NOT NULL,
+    updated_at  REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS samples (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    gesture     TEXT NOT NULL,
+    user        TEXT,
+    recording   TEXT NOT NULL,
+    created_at  REAL NOT NULL,
+    FOREIGN KEY (gesture) REFERENCES gestures(name) ON DELETE CASCADE
+);
+CREATE TABLE IF NOT EXISTS deployments (
+    id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    gesture     TEXT NOT NULL,
+    query_text  TEXT NOT NULL,
+    deployed_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_samples_gesture ON samples(gesture);
+CREATE INDEX IF NOT EXISTS idx_deployments_gesture ON deployments(gesture);
+"""
+
+
+@dataclass
+class GestureRecord:
+    """One stored gesture."""
+
+    name: str
+    description: GestureDescription
+    query_text: Optional[str]
+    enabled: bool
+    created_at: float
+    updated_at: float
+
+
+@dataclass
+class SampleRecord:
+    """One stored training sample."""
+
+    sample_id: int
+    gesture: str
+    user: str
+    recording: Recording
+    created_at: float
+
+
+class GestureDatabase:
+    """Persistent store for gestures, their samples and generated queries.
+
+    Parameters
+    ----------
+    path:
+        SQLite database path, or ``":memory:"`` for a transient store.
+
+    Examples
+    --------
+    >>> db = GestureDatabase(":memory:")
+    >>> from repro.core import GestureDescription, PoseWindow, Window
+    >>> desc = GestureDescription(
+    ...     name="demo",
+    ...     poses=[PoseWindow(0, Window({"rhand_x": 0.0}, {"rhand_x": 50.0}))],
+    ... )
+    >>> db.save_gesture(desc)
+    >>> db.gesture_names()
+    ['demo']
+    """
+
+    def __init__(self, path: Union[str, Path] = ":memory:") -> None:
+        self._path = str(path)
+        try:
+            self._connection = sqlite3.connect(self._path)
+        except sqlite3.Error as exc:  # pragma: no cover - filesystem dependent
+            raise StorageError(f"cannot open gesture database at {path}: {exc}") from exc
+        self._connection.execute("PRAGMA foreign_keys = ON")
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "GestureDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- gestures -----------------------------------------------------------------------
+
+    def save_gesture(
+        self,
+        description: GestureDescription,
+        query_text: Optional[str] = None,
+        overwrite: bool = True,
+    ) -> None:
+        """Insert or update a gesture.
+
+        Raises
+        ------
+        DuplicateGestureError
+            If the gesture exists and ``overwrite`` is false.
+        """
+        now = time.time()
+        exists = self.has_gesture(description.name)
+        if exists and not overwrite:
+            raise DuplicateGestureError(
+                f"gesture '{description.name}' already exists"
+            )
+        serialized = description_to_json(description)
+        if exists:
+            self._connection.execute(
+                "UPDATE gestures SET description = ?, query_text = ?, updated_at = ? "
+                "WHERE name = ?",
+                (serialized, query_text, now, description.name),
+            )
+        else:
+            self._connection.execute(
+                "INSERT INTO gestures (name, description, query_text, enabled, "
+                "created_at, updated_at) VALUES (?, ?, ?, 1, ?, ?)",
+                (description.name, serialized, query_text, now, now),
+            )
+        self._connection.commit()
+
+    def load_gesture(self, name: str) -> GestureRecord:
+        """Load one gesture.
+
+        Raises
+        ------
+        GestureNotFoundError
+            If no gesture with that name is stored.
+        """
+        row = self._connection.execute(
+            "SELECT name, description, query_text, enabled, created_at, updated_at "
+            "FROM gestures WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise GestureNotFoundError(f"gesture '{name}' is not in the database")
+        return GestureRecord(
+            name=row[0],
+            description=description_from_json(row[1]),
+            query_text=row[2],
+            enabled=bool(row[3]),
+            created_at=row[4],
+            updated_at=row[5],
+        )
+
+    def delete_gesture(self, name: str) -> None:
+        """Delete a gesture and its samples."""
+        if not self.has_gesture(name):
+            raise GestureNotFoundError(f"gesture '{name}' is not in the database")
+        self._connection.execute("DELETE FROM samples WHERE gesture = ?", (name,))
+        self._connection.execute("DELETE FROM gestures WHERE name = ?", (name,))
+        self._connection.commit()
+
+    def has_gesture(self, name: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM gestures WHERE name = ?", (name,)
+        ).fetchone()
+        return row is not None
+
+    def gesture_names(self, enabled_only: bool = False) -> List[str]:
+        sql = "SELECT name FROM gestures"
+        if enabled_only:
+            sql += " WHERE enabled = 1"
+        sql += " ORDER BY name"
+        return [row[0] for row in self._connection.execute(sql)]
+
+    def all_gestures(self, enabled_only: bool = False) -> List[GestureRecord]:
+        return [self.load_gesture(name) for name in self.gesture_names(enabled_only)]
+
+    def set_enabled(self, name: str, enabled: bool) -> None:
+        """Enable/disable a gesture without deleting it."""
+        if not self.has_gesture(name):
+            raise GestureNotFoundError(f"gesture '{name}' is not in the database")
+        self._connection.execute(
+            "UPDATE gestures SET enabled = ?, updated_at = ? WHERE name = ?",
+            (1 if enabled else 0, time.time(), name),
+        )
+        self._connection.commit()
+
+    def update_query_text(self, name: str, query_text: str) -> None:
+        """Store manually tuned query text for a gesture (paper Sec. 3)."""
+        if not self.has_gesture(name):
+            raise GestureNotFoundError(f"gesture '{name}' is not in the database")
+        self._connection.execute(
+            "UPDATE gestures SET query_text = ?, updated_at = ? WHERE name = ?",
+            (query_text, time.time(), name),
+        )
+        self._connection.commit()
+
+    # -- samples -------------------------------------------------------------------------
+
+    def add_sample(self, gesture: str, recording: Recording) -> int:
+        """Attach one training recording to a gesture; returns the sample id."""
+        if not self.has_gesture(gesture):
+            raise GestureNotFoundError(
+                f"cannot add a sample: gesture '{gesture}' is not in the database"
+            )
+        cursor = self._connection.execute(
+            "INSERT INTO samples (gesture, user, recording, created_at) "
+            "VALUES (?, ?, ?, ?)",
+            (gesture, recording.user, recording_to_json(recording), time.time()),
+        )
+        self._connection.commit()
+        return int(cursor.lastrowid)
+
+    def samples_for(self, gesture: str) -> List[SampleRecord]:
+        rows = self._connection.execute(
+            "SELECT id, gesture, user, recording, created_at FROM samples "
+            "WHERE gesture = ? ORDER BY id",
+            (gesture,),
+        ).fetchall()
+        return [
+            SampleRecord(
+                sample_id=row[0],
+                gesture=row[1],
+                user=row[2] or "unknown",
+                recording=recording_from_json(row[3]),
+                created_at=row[4],
+            )
+            for row in rows
+        ]
+
+    def sample_count(self, gesture: str) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM samples WHERE gesture = ?", (gesture,)
+        ).fetchone()
+        return int(row[0])
+
+    # -- deployments ---------------------------------------------------------------------
+
+    def log_deployment(self, gesture: str, query_text: str) -> None:
+        """Record that a query for ``gesture`` was deployed."""
+        self._connection.execute(
+            "INSERT INTO deployments (gesture, query_text, deployed_at) VALUES (?, ?, ?)",
+            (gesture, query_text, time.time()),
+        )
+        self._connection.commit()
+
+    def deployment_history(self, gesture: str) -> List[Dict[str, object]]:
+        rows = self._connection.execute(
+            "SELECT query_text, deployed_at FROM deployments WHERE gesture = ? "
+            "ORDER BY id",
+            (gesture,),
+        ).fetchall()
+        return [{"query_text": row[0], "deployed_at": row[1]} for row in rows]
+
+    def __repr__(self) -> str:
+        return f"GestureDatabase(path={self._path!r}, gestures={self.gesture_names()})"

@@ -1,0 +1,85 @@
+"""JSON serialisation of gesture artefacts.
+
+Gesture descriptions, recordings and generated queries cross process
+boundaries in two places: the gesture database (SQLite stores them as JSON
+text) and export/import of gesture libraries between installations.  All
+serialisation goes through this module so the format lives in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Mapping
+
+from repro.core.description import GestureDescription
+from repro.errors import SerializationError
+from repro.kinect.recordings import Recording
+
+#: Format version written into every serialised artefact; bump on breaking
+#: changes so older libraries can be migrated explicitly.
+FORMAT_VERSION = 1
+
+
+def description_to_json(description: GestureDescription) -> str:
+    """Serialise a gesture description to a JSON string."""
+    try:
+        payload = {"version": FORMAT_VERSION, "description": description.to_dict()}
+        return json.dumps(payload, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"cannot serialise gesture '{description.name}': {exc}"
+        ) from exc
+
+
+def description_from_json(text: str) -> GestureDescription:
+    """Deserialise a gesture description from a JSON string."""
+    payload = _load(text, "gesture description")
+    data = payload.get("description", payload)
+    try:
+        return GestureDescription.from_dict(data)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed gesture description: {exc}") from exc
+
+
+def recording_to_json(recording: Recording) -> str:
+    """Serialise a sensor recording to a JSON string."""
+    try:
+        payload = {
+            "version": FORMAT_VERSION,
+            "gesture": recording.gesture,
+            "user": recording.user,
+            "frequency_hz": recording.frequency_hz,
+            "frames": recording.frames,
+        }
+        return json.dumps(payload, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"cannot serialise recording: {exc}") from exc
+
+
+def recording_from_json(text: str) -> Recording:
+    """Deserialise a sensor recording from a JSON string."""
+    payload = _load(text, "recording")
+    try:
+        return Recording(
+            gesture=str(payload["gesture"]),
+            user=str(payload["user"]),
+            frequency_hz=float(payload.get("frequency_hz", 30.0)),
+            frames=[dict(frame) for frame in payload["frames"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed recording: {exc}") from exc
+
+
+def _load(text: str, what: str) -> Dict[str, Any]:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"malformed {what} JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise SerializationError(f"{what} JSON must be an object")
+    version = payload.get("version", FORMAT_VERSION)
+    if version > FORMAT_VERSION:
+        raise SerializationError(
+            f"{what} was written by a newer library version ({version} > {FORMAT_VERSION})"
+        )
+    return payload

@@ -1,0 +1,40 @@
+"""Push-based data stream infrastructure.
+
+This package provides the minimal streaming substrate on which both the
+Kinect simulator (``repro.kinect``) and the CEP engine (``repro.cep``) are
+built:
+
+* :class:`~repro.streams.clock.SimulatedClock` / ``WallClock`` — time sources
+  so the whole stack can run deterministically in tests and faster than
+  real-time in benchmarks.
+* :class:`~repro.streams.stream.Stream` — a named, typed, push-based stream
+  with subscriber fan-out.
+* :class:`~repro.streams.source.ReplaySource` and friends — sources that feed
+  tuples into a stream from recordings, generators or callables, optionally
+  rate-controlled.
+"""
+
+from repro.streams.clock import Clock, SimulatedClock, WallClock
+from repro.streams.stream import Stream, StreamRegistry, StreamStats, Subscription
+from repro.streams.source import (
+    CallableSource,
+    GeneratorSource,
+    RateLimiter,
+    ReplaySource,
+    Source,
+)
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "Stream",
+    "StreamRegistry",
+    "StreamStats",
+    "Subscription",
+    "Source",
+    "ReplaySource",
+    "GeneratorSource",
+    "CallableSource",
+    "RateLimiter",
+]

@@ -1,0 +1,186 @@
+"""Sources that feed tuples into a :class:`~repro.streams.stream.Stream`.
+
+The Kinect camera delivers measurements at 30 Hz.  In this reproduction the
+simulator produces the same tuples, and a :class:`Source` drives them into a
+stream either as fast as possible (simulated clock) or rate-limited to the
+sensor frequency (wall clock), so the rest of the stack cannot tell the
+difference.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
+
+from repro.streams.clock import Clock, SimulatedClock
+from repro.streams.stream import Stream
+
+
+class Source(ABC):
+    """A producer of tuples for a target stream."""
+
+    def __init__(self, stream: Stream, clock: Optional[Clock] = None) -> None:
+        self.stream = stream
+        self.clock = clock or SimulatedClock()
+        self.emitted = 0
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[Mapping[str, Any]]:
+        """Yield the tuples this source produces, in order."""
+
+    def run(self, limit: Optional[int] = None) -> int:
+        """Push tuples into the target stream.
+
+        Parameters
+        ----------
+        limit:
+            Optional maximum number of tuples to push; ``None`` drains the
+            source completely.
+
+        Returns
+        -------
+        int
+            The number of tuples pushed during this call.
+        """
+        pushed = 0
+        for item in self:
+            if limit is not None and pushed >= limit:
+                break
+            self.stream.push(item)
+            pushed += 1
+            self.emitted += 1
+        return pushed
+
+
+class ReplaySource(Source):
+    """Replays a pre-recorded sequence of tuples.
+
+    Each tuple may carry a timestamp field; if ``advance_clock`` is set and
+    the clock is a :class:`SimulatedClock`, the clock is advanced to the
+    tuple timestamp before pushing, so time-based CEP constraints behave as
+    they would have live.
+
+    Parameters
+    ----------
+    stream:
+        Target stream.
+    records:
+        Sequence of tuples to replay (not consumed; can be replayed again).
+    timestamp_field:
+        Field holding the tuple timestamp in seconds.
+    advance_clock:
+        Whether to advance a simulated clock to each tuple's timestamp.
+    """
+
+    def __init__(
+        self,
+        stream: Stream,
+        records: Sequence[Mapping[str, Any]],
+        clock: Optional[Clock] = None,
+        timestamp_field: str = "ts",
+        advance_clock: bool = True,
+    ) -> None:
+        super().__init__(stream, clock)
+        self.records = list(records)
+        self.timestamp_field = timestamp_field
+        self.advance_clock = advance_clock
+
+    def __iter__(self) -> Iterator[Mapping[str, Any]]:
+        for record in self.records:
+            if (
+                self.advance_clock
+                and isinstance(self.clock, SimulatedClock)
+                and self.timestamp_field in record
+            ):
+                target = float(record[self.timestamp_field])
+                if target > self.clock.now():
+                    self.clock.set(target)
+            yield record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class GeneratorSource(Source):
+    """Wraps any iterable of tuples as a source."""
+
+    def __init__(
+        self,
+        stream: Stream,
+        iterable: Iterable[Mapping[str, Any]],
+        clock: Optional[Clock] = None,
+    ) -> None:
+        super().__init__(stream, clock)
+        self._iterable = iterable
+
+    def __iter__(self) -> Iterator[Mapping[str, Any]]:
+        return iter(self._iterable)
+
+
+class CallableSource(Source):
+    """Calls ``producer(clock.now())`` repeatedly until it returns ``None``.
+
+    Useful for closed-loop simulations where what is produced next depends on
+    the current simulation time.
+    """
+
+    def __init__(
+        self,
+        stream: Stream,
+        producer: Callable[[float], Optional[Mapping[str, Any]]],
+        clock: Optional[Clock] = None,
+        max_items: int = 1_000_000,
+    ) -> None:
+        super().__init__(stream, clock)
+        self.producer = producer
+        self.max_items = max_items
+
+    def __iter__(self) -> Iterator[Mapping[str, Any]]:
+        for _ in range(self.max_items):
+            item = self.producer(self.clock.now())
+            if item is None:
+                return
+            yield item
+
+
+class RateLimiter:
+    """Paces tuple delivery to a fixed frequency.
+
+    With a :class:`SimulatedClock` the limiter advances the clock by the
+    frame period instead of sleeping, which keeps simulated runs fast while
+    still producing correct timestamps; with a wall clock it sleeps.
+
+    Parameters
+    ----------
+    clock:
+        The time source to pace against.
+    frequency_hz:
+        Target delivery rate; the Kinect default is 30 Hz.
+    """
+
+    def __init__(self, clock: Clock, frequency_hz: float = 30.0) -> None:
+        if frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        self.clock = clock
+        self.period = 1.0 / frequency_hz
+        self._last: Optional[float] = None
+
+    def wait(self) -> float:
+        """Advance/sleep until the next frame boundary and return its time."""
+        now = self.clock.now()
+        if self._last is None:
+            self._last = now
+            return now
+        target = self._last + self.period
+        if isinstance(self.clock, SimulatedClock):
+            if target > now:
+                self.clock.set(target)
+        else:  # pragma: no cover - wall-clock path exercised manually
+            remaining = target - now
+            if remaining > 0:
+                self.clock.sleep(remaining)
+        self._last = max(target, self.clock.now())
+        return self._last
+
+    def reset(self) -> None:
+        self._last = None

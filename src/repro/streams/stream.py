@@ -1,0 +1,213 @@
+"""Named push-based streams with subscriber fan-out.
+
+A :class:`Stream` is the unit of data exchange between the Kinect source,
+the transformation view, and the CEP matcher.  Producers call
+:meth:`Stream.push` with dictionaries (or any mapping); every subscriber
+callback receives the tuple in registration order.  Streams are
+single-threaded by design — the whole engine is an event loop driven by the
+source — which keeps the semantics of the NFA matcher simple and
+deterministic, exactly like the single-input match operator described in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+TupleCallback = Callable[[Mapping[str, Any]], None]
+
+
+@dataclass
+class StreamStats:
+    """Counters maintained by a :class:`Stream`.
+
+    Attributes
+    ----------
+    pushed:
+        Number of tuples pushed into the stream.
+    delivered:
+        Number of tuple deliveries to subscribers (``pushed`` multiplied by
+        the number of subscribers active at push time).
+    dropped:
+        Number of tuples pushed while the stream was paused.
+    """
+
+    pushed: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+    def reset(self) -> None:
+        self.pushed = 0
+        self.delivered = 0
+        self.dropped = 0
+
+
+@dataclass
+class Subscription:
+    """Handle returned by :meth:`Stream.subscribe`; used to unsubscribe."""
+
+    stream: "Stream"
+    callback: TupleCallback
+    name: str = ""
+    active: bool = True
+
+    def cancel(self) -> None:
+        """Detach this subscription from its stream."""
+        if self.active:
+            self.stream.unsubscribe(self)
+
+
+class Stream:
+    """A named, push-based stream of dictionary tuples.
+
+    Parameters
+    ----------
+    name:
+        Stream name used for registration with the engine and referenced by
+        queries (e.g. ``"kinect"`` or ``"kinect_t"``).
+    fields:
+        Optional iterable of field names.  When given, pushed tuples are
+        checked to contain at least these fields; extra fields are allowed
+        (the Kinect stream carries many joints, queries only reference some).
+
+    Examples
+    --------
+    >>> s = Stream("kinect", fields=["ts", "rhand_x"])
+    >>> seen = []
+    >>> sub = s.subscribe(seen.append)
+    >>> s.push({"ts": 0.0, "rhand_x": 1.0})
+    >>> len(seen)
+    1
+    """
+
+    def __init__(self, name: str, fields: Optional[Iterable[str]] = None) -> None:
+        if not name:
+            raise ValueError("stream name must be non-empty")
+        self.name = name
+        self.fields: Optional[frozenset] = frozenset(fields) if fields else None
+        self.stats = StreamStats()
+        self._subscribers: List[Subscription] = []
+        self._paused = False
+
+    # -- subscription management -------------------------------------------------
+
+    def subscribe(self, callback: TupleCallback, name: str = "") -> Subscription:
+        """Register ``callback`` to receive every tuple pushed to the stream."""
+        subscription = Subscription(stream=self, callback=callback, name=name)
+        self._subscribers.append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a subscription previously returned by :meth:`subscribe`."""
+        subscription.active = False
+        self._subscribers = [s for s in self._subscribers if s is not subscription]
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    # -- flow control --------------------------------------------------------------
+
+    def pause(self) -> None:
+        """Drop tuples pushed while paused (used during workflow transitions)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    # -- data path ------------------------------------------------------------------
+
+    def push(self, item: Mapping[str, Any]) -> None:
+        """Deliver ``item`` to all current subscribers.
+
+        Raises
+        ------
+        repro.errors.SchemaError
+            If the stream declares required fields and ``item`` is missing
+            one of them.
+        """
+        if self.fields is not None:
+            missing = self.fields.difference(item.keys())
+            if missing:
+                from repro.errors import SchemaError
+
+                raise SchemaError(
+                    f"tuple pushed to stream '{self.name}' is missing fields: "
+                    f"{sorted(missing)}"
+                )
+        if self._paused:
+            self.stats.dropped += 1
+            return
+        self.stats.pushed += 1
+        # Copy the subscriber list so callbacks may (un)subscribe during delivery.
+        for subscription in list(self._subscribers):
+            if subscription.active:
+                subscription.callback(item)
+                self.stats.delivered += 1
+
+    def push_many(self, items: Iterable[Mapping[str, Any]]) -> int:
+        """Push every item of ``items``; return the number pushed."""
+        count = 0
+        for item in items:
+            self.push(item)
+            count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"Stream(name={self.name!r}, subscribers={self.subscriber_count}, "
+            f"pushed={self.stats.pushed})"
+        )
+
+
+class StreamRegistry:
+    """A name → :class:`Stream` mapping with helpful errors.
+
+    The CEP engine owns one registry; views and queries resolve their input
+    streams through it.
+    """
+
+    def __init__(self) -> None:
+        self._streams: Dict[str, Stream] = {}
+
+    def register(self, stream: Stream) -> Stream:
+        if stream.name in self._streams:
+            from repro.errors import QueryRegistrationError
+
+            raise QueryRegistrationError(
+                f"a stream named '{stream.name}' is already registered"
+            )
+        self._streams[stream.name] = stream
+        return stream
+
+    def create(self, name: str, fields: Optional[Iterable[str]] = None) -> Stream:
+        """Create and register a new stream in one step."""
+        return self.register(Stream(name, fields=fields))
+
+    def get(self, name: str) -> Stream:
+        try:
+            return self._streams[name]
+        except KeyError:
+            from repro.errors import UnknownStreamError
+
+            raise UnknownStreamError(
+                f"unknown stream '{name}'; registered streams: "
+                f"{sorted(self._streams)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._streams
+
+    def names(self) -> List[str]:
+        return sorted(self._streams)
+
+    def remove(self, name: str) -> None:
+        self._streams.pop(name, None)
+
+    def __len__(self) -> int:
+        return len(self._streams)

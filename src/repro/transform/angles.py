@@ -1,0 +1,151 @@
+"""Joint-angle view: expressing limbs by Euler/RPY angles (paper Sec. 3.2 outlook).
+
+The paper registers Roll-Pitch-Yaw operators as UDFs and notes that "other
+transformations are possible with this declarative approach, e.g.,
+expressing joints with Euler angles".  A wave, for example, is awkward to
+describe with positional windows (the hand oscillates around one spot) but
+trivial with angles: the forearm's yaw swings back and forth while its pitch
+stays high.
+
+This module provides that transformation as a per-frame enrichment step and
+as an engine view (``kinect_a``): for each configured limb segment the
+pitch and yaw of the vector from its proximal to its distal joint are added
+as flat fields (``rforearm_pitch``, ``rforearm_yaw``, …), so both queries and
+the learning pipeline can constrain angles exactly like coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.kinect.skeleton import TRACKED_AXES, joint_field
+from repro.transform.rotation import roll_pitch_yaw
+
+#: Limb segments enriched by default: (segment name, proximal joint, distal joint).
+DEFAULT_SEGMENTS: Tuple[Tuple[str, str, str], ...] = (
+    ("rforearm", "relbow", "rhand"),
+    ("lforearm", "lelbow", "lhand"),
+    ("rupperarm", "rshoulder", "relbow"),
+    ("lupperarm", "lshoulder", "lelbow"),
+)
+
+
+@dataclass(frozen=True)
+class LimbSegment:
+    """One limb segment whose orientation angles are computed per frame."""
+
+    name: str
+    proximal: str
+    distal: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a limb segment needs a name")
+        if self.proximal == self.distal:
+            raise ValueError("proximal and distal joints must differ")
+
+    def fields(self) -> Tuple[str, str, str]:
+        """Names of the angle fields this segment adds to a frame."""
+        return (f"{self.name}_roll", f"{self.name}_pitch", f"{self.name}_yaw")
+
+
+class JointAngleTransformer:
+    """Adds limb-orientation angles (degrees) to skeleton frames.
+
+    The transformer is stateless and composes with the positional
+    :class:`~repro.transform.pipeline.KinectTransformer`: apply it to
+    *transformed* (torso-relative) frames so the angles are expressed in the
+    same user-aligned reference frame as the coordinates.
+
+    Parameters
+    ----------
+    segments:
+        Limb segments to enrich; defaults to both forearms and upper arms.
+    keep_missing:
+        When a segment's joints are missing from a frame the angle fields
+        are simply omitted (``True``, default) instead of raising.
+    """
+
+    def __init__(
+        self,
+        segments: Optional[Sequence[LimbSegment]] = None,
+        keep_missing: bool = True,
+    ) -> None:
+        if segments is None:
+            segments = [LimbSegment(*entry) for entry in DEFAULT_SEGMENTS]
+        if not segments:
+            raise ValueError("at least one limb segment is required")
+        self.segments = list(segments)
+        self.keep_missing = keep_missing
+        self.frames_transformed = 0
+
+    def angle_fields(self) -> List[str]:
+        """All angle field names this transformer can add."""
+        names: List[str] = []
+        for segment in self.segments:
+            names.extend(segment.fields())
+        return names
+
+    def _segment_angles(
+        self, frame: Mapping[str, float], segment: LimbSegment
+    ) -> Optional[Tuple[float, float, float]]:
+        try:
+            origin = tuple(
+                float(frame[joint_field(segment.proximal, axis)]) for axis in TRACKED_AXES
+            )
+            target = tuple(
+                float(frame[joint_field(segment.distal, axis)]) for axis in TRACKED_AXES
+            )
+        except (KeyError, ValueError):
+            if self.keep_missing:
+                return None
+            raise
+        return roll_pitch_yaw(origin, target)  # type: ignore[arg-type]
+
+    def transform(self, frame: Mapping[str, float]) -> Dict[str, float]:
+        """Return a copy of ``frame`` enriched with the angle fields."""
+        enriched = dict(frame)
+        for segment in self.segments:
+            angles = self._segment_angles(frame, segment)
+            if angles is None:
+                continue
+            roll, pitch, yaw = angles
+            roll_field, pitch_field, yaw_field = segment.fields()
+            enriched[roll_field] = roll
+            enriched[pitch_field] = pitch
+            enriched[yaw_field] = yaw
+        self.frames_transformed += 1
+        return enriched
+
+    def __call__(self, frame: Mapping[str, float]) -> Dict[str, float]:
+        return self.transform(frame)
+
+
+def install_angle_view(
+    engine: "CEPEngine",
+    source: str = "kinect_t",
+    view_name: str = "kinect_a",
+    segments: Optional[Sequence[LimbSegment]] = None,
+):
+    """Install a ``kinect_a`` view that adds limb angles to the transformed stream.
+
+    Queries can then constrain rotational movement directly, e.g. a wave::
+
+        SELECT "wave"
+        MATCHING kinect_a(rforearm_yaw > 25 and rforearm_pitch > 40) ->
+                 kinect_a(rforearm_yaw < -25 and rforearm_pitch > 40) ->
+                 kinect_a(rforearm_yaw > 25 and rforearm_pitch > 40)
+        within 2 seconds select first consume all;
+
+    Returns the installed view.
+    """
+    transformer = JointAngleTransformer(segments=segments)
+    return engine.register_view(view_name, source, transformer)
+
+
+# Imported only for the type reference in the signature above.
+from typing import TYPE_CHECKING  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cep.engine import CEPEngine

@@ -1,0 +1,90 @@
+"""Shared fixtures for the test suite.
+
+Fixtures centralise the expensive setup (simulators, learned gestures,
+workloads) so individual tests stay fast and deterministic: every random
+generator is seeded, and every clock is simulated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cep import CEPEngine, install_kinect_view
+from repro.core import GestureLearner, QueryGenerator
+from repro.kinect import (
+    CircleTrajectory,
+    GaussianNoise,
+    KinectSimulator,
+    NoNoise,
+    SwipeTrajectory,
+    user_by_name,
+)
+from repro.streams import SimulatedClock
+
+
+@pytest.fixture
+def clock() -> SimulatedClock:
+    return SimulatedClock()
+
+
+@pytest.fixture
+def simulator() -> KinectSimulator:
+    """A deterministic adult-user simulator with moderate sensor noise."""
+    return KinectSimulator(
+        user=user_by_name("adult"),
+        clock=SimulatedClock(),
+        noise=GaussianNoise(sigma_mm=5.0, rng=np.random.default_rng(42)),
+        rng=np.random.default_rng(7),
+    )
+
+
+@pytest.fixture
+def noiseless_simulator() -> KinectSimulator:
+    """A simulator without sensor noise, for exact-geometry assertions."""
+    return KinectSimulator(
+        user=user_by_name("adult"),
+        clock=SimulatedClock(),
+        noise=NoNoise(),
+        rng=np.random.default_rng(7),
+    )
+
+
+@pytest.fixture
+def swipe() -> SwipeTrajectory:
+    return SwipeTrajectory(direction="right")
+
+
+@pytest.fixture
+def circle() -> CircleTrajectory:
+    return CircleTrajectory()
+
+
+@pytest.fixture
+def engine_with_view() -> CEPEngine:
+    """An engine with the raw stream and the kinect_t view installed."""
+    engine = CEPEngine(clock=SimulatedClock())
+    install_kinect_view(engine)
+    return engine
+
+
+@pytest.fixture
+def swipe_samples(simulator, swipe):
+    """Four slightly varied performances of the swipe gesture (raw frames)."""
+    return [
+        simulator.perform_variation(swipe, hold_start_s=0.3, hold_end_s=0.3)
+        for _ in range(4)
+    ]
+
+
+@pytest.fixture
+def swipe_description(swipe_samples):
+    """A learned description of the swipe gesture."""
+    learner = GestureLearner("swipe_right")
+    return learner.learn(swipe_samples)
+
+
+@pytest.fixture
+def swipe_query(swipe_description):
+    """The generated CEP query for the learned swipe gesture."""
+    return QueryGenerator().generate(swipe_description)

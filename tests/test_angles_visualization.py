@@ -1,0 +1,152 @@
+"""Unit tests for the joint-angle view (Sec. 3.2 outlook) and the
+testing-phase visualisation helpers (Fig. 5 substitute)."""
+
+import pytest
+
+from repro.cep import CEPEngine, install_kinect_view
+from repro.core import GestureLearner, LearnerConfig
+from repro.detection import describe_attempt, describe_gesture, render_gesture_ascii
+from repro.kinect import KinectSimulator, NoNoise, SwipeTrajectory, WaveTrajectory
+from repro.streams import SimulatedClock
+from repro.transform import (
+    JointAngleTransformer,
+    KinectTransformer,
+    LimbSegment,
+    install_angle_view,
+)
+
+WAVE_ANGLE_QUERY = """
+SELECT "wave"
+MATCHING kinect_a(rforearm_yaw > 110 and rforearm_pitch > 5) ->
+         kinect_a(rforearm_yaw < 50 and rforearm_pitch > 5) ->
+         kinect_a(rforearm_yaw > 110 and rforearm_pitch > 5)
+within 3 seconds select first consume all;
+"""
+
+
+class TestJointAngleTransformer:
+    def test_adds_angle_fields_for_default_segments(self):
+        simulator = KinectSimulator(clock=SimulatedClock(), noise=NoNoise())
+        frame = KinectTransformer().transform(simulator.measure_rest())
+        enriched = JointAngleTransformer().transform(frame)
+        assert "rforearm_pitch" in enriched
+        assert "rforearm_yaw" in enriched
+        assert "lupperarm_yaw" in enriched
+        # Original coordinate fields are preserved.
+        assert enriched["rhand_x"] == frame["rhand_x"]
+
+    def test_raised_forearm_has_high_pitch(self):
+        frame = {
+            "relbow_x": 0.0, "relbow_y": 0.0, "relbow_z": 0.0,
+            "rhand_x": 0.0, "rhand_y": 250.0, "rhand_z": 0.0,
+        }
+        segments = [LimbSegment("rforearm", "relbow", "rhand")]
+        enriched = JointAngleTransformer(segments).transform(frame)
+        assert enriched["rforearm_pitch"] == pytest.approx(90.0)
+
+    def test_missing_joints_are_skipped(self):
+        enriched = JointAngleTransformer().transform({"rhand_x": 1.0})
+        assert "rforearm_pitch" not in enriched
+
+    def test_missing_joints_raise_in_strict_mode(self):
+        transformer = JointAngleTransformer(keep_missing=False)
+        with pytest.raises(KeyError):
+            transformer.transform({"rhand_x": 1.0})
+
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            LimbSegment("", "relbow", "rhand")
+        with pytest.raises(ValueError):
+            LimbSegment("x", "rhand", "rhand")
+        with pytest.raises(ValueError):
+            JointAngleTransformer(segments=[])
+
+    def test_angle_fields_listing(self):
+        names = JointAngleTransformer().angle_fields()
+        assert "rforearm_roll" in names and "lforearm_yaw" in names
+
+
+class TestAngleView:
+    def test_wave_detected_via_rotational_query(self):
+        """The paper's motivating case for RPY operators: a wave is awkward as
+        positional windows but natural as a yaw oscillation."""
+        engine = CEPEngine(clock=SimulatedClock())
+        install_kinect_view(engine)
+        install_angle_view(engine)
+        deployed = engine.register_query(WAVE_ANGLE_QUERY)
+
+        simulator = KinectSimulator(clock=SimulatedClock(), noise=NoNoise())
+        raw = engine.get_stream("kinect")
+        simulator.stream_to(raw, WaveTrajectory(cycles=3), hold_start_s=0.2, hold_end_s=0.2)
+        assert len(deployed.detections()) >= 1
+
+    def test_angle_view_does_not_fire_on_swipe(self):
+        engine = CEPEngine(clock=SimulatedClock())
+        install_kinect_view(engine)
+        install_angle_view(engine)
+        deployed = engine.register_query(WAVE_ANGLE_QUERY)
+        simulator = KinectSimulator(clock=SimulatedClock(), noise=NoNoise())
+        simulator.stream_to(engine.get_stream("kinect"), SwipeTrajectory("right"))
+        assert deployed.detections() == []
+
+
+class TestVisualization:
+    @pytest.fixture(scope="class")
+    def swipe_description(self):
+        simulator = KinectSimulator(clock=SimulatedClock())
+        learner = GestureLearner("swipe_right", config=LearnerConfig(joints=("rhand",)))
+        for _ in range(3):
+            learner.add_sample(
+                simulator.perform_variation(SwipeTrajectory("right"),
+                                            hold_start_s=0.3, hold_end_s=0.3)
+            )
+        return learner.description()
+
+    def test_describe_gesture_lists_all_poses(self, swipe_description):
+        rows = describe_gesture(swipe_description)
+        assert len(rows) == swipe_description.pose_count
+        assert all("rhand_x" in row for row in rows)
+
+    def test_attempt_report_for_complete_performance(self, swipe_description):
+        simulator = KinectSimulator(clock=SimulatedClock())
+        transformer = KinectTransformer()
+        frames = [
+            transformer.transform(frame)
+            for frame in simulator.perform_variation(SwipeTrajectory("right"),
+                                                     hold_start_s=0.2, hold_end_s=0.2)
+        ]
+        report = describe_attempt(swipe_description, frames)
+        assert report.detected
+        assert report.progress == 1.0
+        assert "DETECTED" in report.summary()
+
+    def test_attempt_report_for_aborted_performance(self, swipe_description):
+        simulator = KinectSimulator(clock=SimulatedClock())
+        transformer = KinectTransformer()
+        frames = [
+            transformer.transform(frame)
+            for frame in simulator.perform_variation(SwipeTrajectory("right"),
+                                                     hold_start_s=0.2)
+        ]
+        aborted = frames[: len(frames) // 3]
+        report = describe_attempt(swipe_description, aborted)
+        assert not report.detected
+        assert 0.0 < report.progress < 1.0
+        assert report.first_unreached_pose is not None
+        assert "never reached pose" in report.summary()
+
+    def test_ascii_rendering_contains_pose_labels_and_path(self, swipe_description):
+        simulator = KinectSimulator(clock=SimulatedClock())
+        transformer = KinectTransformer()
+        path = [
+            transformer.transform(frame)
+            for frame in simulator.perform_variation(SwipeTrajectory("right"))
+        ]
+        art = render_gesture_ascii(swipe_description, path=path)
+        assert "swipe_right" in art
+        assert "0" in art and "*" in art
+        assert len(art.splitlines()) == 20  # header + grid rows
+
+    def test_ascii_rendering_handles_unconstrained_plane(self, swipe_description):
+        art = render_gesture_ascii(swipe_description, plane=("lhand_x", "lhand_y"))
+        assert "does not constrain" in art

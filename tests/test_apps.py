@@ -1,0 +1,281 @@
+"""Unit tests for the OLAP / graph demo applications and gesture bindings."""
+
+import pytest
+
+from repro.apps import (
+    ActionLog,
+    CubeNavigator,
+    Dimension,
+    GestureBindings,
+    GraphNavigator,
+    OlapCube,
+    PropertyGraph,
+    collaboration_demo_graph,
+    olap_demo_cube,
+)
+from repro.detection import GestureDetector
+from repro.errors import BindingError, NavigationError
+
+
+class TestOlapCube:
+    def test_demo_cube_dimensions(self):
+        cube = olap_demo_cube()
+        assert set(cube.dimensions) == {"time", "geography", "product"}
+        assert cube.members("year") == [2011, 2012, 2013]
+
+    def test_aggregate_group_by_and_filters(self):
+        cube = olap_demo_cube()
+        by_year = cube.aggregate(group_by=["year"])
+        assert len(by_year) == 3
+        filtered = cube.aggregate(group_by=["year"], filters={"region": "north"})
+        assert all(filtered[key] < by_year[key] for key in filtered)
+
+    def test_cube_validation(self):
+        with pytest.raises(ValueError):
+            OlapCube([], [Dimension("d", ("a",))], measure="m")
+        with pytest.raises(ValueError):
+            OlapCube([{"a": 1, "m": 2}], [], measure="m")
+        with pytest.raises(ValueError):
+            OlapCube([{"a": 1, "m": 2}], [Dimension("d", ("missing",))], measure="m")
+        with pytest.raises(ValueError):
+            OlapCube([{"a": 1}], [Dimension("d", ("a",))], measure="m")
+        with pytest.raises(ValueError):
+            Dimension("d", ())
+
+    def test_unknown_dimension_and_level(self):
+        cube = olap_demo_cube()
+        with pytest.raises(NavigationError):
+            cube.dimension("weather")
+        with pytest.raises(NavigationError):
+            cube.dimension("time").level_index("millisecond")
+
+
+class TestCubeNavigator:
+    def test_initial_view_uses_coarsest_levels(self):
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        assert navigator.row_level == "year"
+        assert navigator.column_level == "region"
+        assert len(navigator.view()) == 3 * 2
+
+    def test_drill_down_and_roll_up(self):
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        navigator.drill_down()
+        assert navigator.row_level == "quarter"
+        with pytest.raises(NavigationError):
+            navigator.drill_down()
+        navigator.roll_up()
+        assert navigator.row_level == "year"
+        with pytest.raises(NavigationError):
+            navigator.roll_up()
+
+    def test_pivot_swaps_dimensions(self):
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        navigator.drill_down()
+        navigator.pivot()
+        assert navigator.row_level == "region"
+        assert navigator.column_level == "quarter"
+
+    def test_slice_and_member_navigation(self):
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        navigator.slice_member(2012)
+        assert navigator.state.slice_filters["year"] == 2012
+        navigator.next_member()
+        assert navigator.state.slice_filters["year"] == 2013
+        navigator.next_member()  # wraps around
+        assert navigator.state.slice_filters["year"] == 2011
+        navigator.previous_member()
+        assert navigator.state.slice_filters["year"] == 2013
+        with pytest.raises(NavigationError):
+            navigator.slice_member(1999)
+        navigator.clear_slice()
+        assert navigator.state.slice_filters == {}
+
+    def test_reset_restores_initial_view(self):
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        navigator.drill_down()
+        navigator.slice_member("north") if False else navigator.reset()
+        assert navigator.row_level == "year"
+        assert navigator.state.slice_filters == {}
+
+    def test_history_records_operations(self):
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        navigator.drill_down()
+        navigator.pivot()
+        assert len(navigator.history) == 2
+        assert "drill_down" in navigator.history[0]
+
+    def test_describe_mentions_levels(self):
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        assert "time/year" in navigator.describe()
+
+    def test_same_row_and_column_dimension_rejected(self):
+        with pytest.raises(NavigationError):
+            CubeNavigator(olap_demo_cube(), "time", "time")
+
+
+class TestPropertyGraph:
+    def test_demo_graph_structure(self):
+        graph = collaboration_demo_graph()
+        assert graph.has_node("kevin_bacon")
+        assert graph.node_count() >= 10
+        assert graph.edge_count() >= 12
+        assert "tom_hanks" in graph.neighbours("kevin_bacon")
+        assert graph.edge("kevin_bacon", "tom_hanks")["film"] == "Apollo 13"
+
+    def test_add_node_and_edge_validation(self):
+        graph = PropertyGraph()
+        with pytest.raises(ValueError):
+            graph.add_node("")
+        graph.add_node("a")
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "a")
+
+    def test_unknown_node_queries_raise(self):
+        graph = PropertyGraph()
+        with pytest.raises(NavigationError):
+            graph.node("ghost")
+        with pytest.raises(NavigationError):
+            graph.neighbours("ghost")
+        graph.add_node("a")
+        graph.add_node("b")
+        with pytest.raises(NavigationError):
+            graph.edge("a", "b")
+
+    def test_shortest_path_bfs(self):
+        graph = collaboration_demo_graph()
+        path = graph.shortest_path("kevin_bacon", "al_pacino")
+        assert path[0] == "kevin_bacon"
+        assert path[-1] == "al_pacino"
+        assert len(path) <= 5
+
+    def test_shortest_path_errors(self):
+        graph = PropertyGraph()
+        graph.add_node("a")
+        graph.add_node("b")
+        with pytest.raises(NavigationError):
+            graph.shortest_path("a", "b")
+        with pytest.raises(NavigationError):
+            graph.shortest_path("a", "ghost")
+        assert graph.shortest_path("a", "a") == ["a"]
+
+
+class TestGraphNavigator:
+    def test_highlight_and_follow(self):
+        navigator = GraphNavigator(collaboration_demo_graph(), "kevin_bacon")
+        first = navigator.highlighted
+        navigator.highlight_next()
+        assert navigator.highlighted != first
+        navigator.follow()
+        assert navigator.current in collaboration_demo_graph().neighbours("kevin_bacon")
+        navigator.back()
+        assert navigator.current == "kevin_bacon"
+
+    def test_back_without_history_raises(self):
+        navigator = GraphNavigator(collaboration_demo_graph(), "kevin_bacon")
+        with pytest.raises(NavigationError):
+            navigator.back()
+
+    def test_unknown_start_node_rejected(self):
+        with pytest.raises(NavigationError):
+            GraphNavigator(collaboration_demo_graph(), "nobody")
+
+    def test_target_path_navigation(self):
+        navigator = GraphNavigator(collaboration_demo_graph(), "kevin_bacon")
+        navigator.set_target("al_pacino")
+        path = navigator.path_to_target()
+        steps = 0
+        while navigator.current != "al_pacino":
+            navigator.follow_path()
+            steps += 1
+        assert steps == len(path) - 1
+        assert "already at target" in navigator.follow_path()
+
+    def test_path_without_target_raises(self):
+        navigator = GraphNavigator(collaboration_demo_graph(), "kevin_bacon")
+        with pytest.raises(NavigationError):
+            navigator.path_to_target()
+        with pytest.raises(NavigationError):
+            navigator.set_target("nobody")
+
+    def test_operations_log(self):
+        navigator = GraphNavigator(collaboration_demo_graph(), "kevin_bacon")
+        navigator.highlight_next()
+        navigator.follow()
+        assert len(navigator.operations) == 2
+        assert "kevin_bacon" not in navigator.describe() or navigator.describe()
+
+
+class TestGestureBindings:
+    def test_bind_and_trigger(self):
+        detector = GestureDetector()
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        bindings = GestureBindings(detector)
+        bindings.bind("swipe_right", navigator.drill_down, name="drill_down")
+        entry = bindings.trigger("swipe_right")
+        assert entry.succeeded
+        assert navigator.row_level == "quarter"
+        assert len(bindings.log) == 1
+
+    def test_navigation_errors_are_logged_not_raised(self):
+        detector = GestureDetector()
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        bindings = GestureBindings(detector)
+        bindings.bind("roll", navigator.roll_up)
+        entry = bindings.trigger("roll")  # already at coarsest level
+        assert not entry.succeeded
+        assert bindings.log.failures()
+
+    def test_unbound_gesture_is_ignored_by_events(self, swipe_description, simulator, swipe):
+        detector = GestureDetector()
+        detector.deploy(swipe_description)
+        bindings = GestureBindings(detector)
+        detector.process_frames(simulator.perform_variation(swipe, hold_start_s=0.2, hold_end_s=0.2))
+        assert len(bindings.log) == 0
+
+    def test_detected_gesture_drives_bound_action(self, swipe_description, simulator, swipe):
+        detector = GestureDetector()
+        detector.deploy(swipe_description)
+        navigator = GraphNavigator(collaboration_demo_graph(), "kevin_bacon")
+        bindings = GestureBindings(detector)
+        bindings.bind("swipe_right", navigator.highlight_next)
+        detector.process_frames(simulator.perform_variation(swipe, hold_start_s=0.2, hold_end_s=0.2))
+        assert len(bindings.log.successes()) == 1
+        assert navigator.operations
+
+    def test_rebind_and_swap_at_runtime(self):
+        detector = GestureDetector()
+        bindings = GestureBindings(detector)
+        log = []
+        bindings.bind("a", lambda: log.append("first"), name="first")
+        bindings.bind("b", lambda: log.append("second"), name="second")
+        bindings.swap("a", "b")
+        bindings.trigger("a")
+        assert log == ["second"]
+        bindings.rebind("a", lambda: log.append("third"), name="third")
+        bindings.trigger("a")
+        assert log[-1] == "third"
+        assert bindings.action_name("b") == "first"
+
+    def test_binding_validation(self):
+        bindings = GestureBindings(GestureDetector())
+        with pytest.raises(BindingError):
+            bindings.bind("x", "not callable")
+        with pytest.raises(BindingError):
+            bindings.unbind("x")
+        with pytest.raises(BindingError):
+            bindings.trigger("x")
+        with pytest.raises(BindingError):
+            bindings.swap("x", "y")
+        with pytest.raises(BindingError):
+            bindings.action_name("x")
+
+    def test_unbind(self):
+        bindings = GestureBindings(GestureDetector())
+        bindings.bind("x", lambda: None)
+        bindings.unbind("x")
+        assert bindings.bound_gestures() == []
+
+    def test_action_log_helpers(self):
+        log = ActionLog()
+        assert len(log) == 0
+        assert log.successes() == []

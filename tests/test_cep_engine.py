@@ -1,0 +1,293 @@
+"""Unit tests for the CEP engine, views, sinks and stream operators."""
+
+import pytest
+
+from repro.cep.engine import CEPEngine
+from repro.cep.expressions import Comparison, FieldRef, Literal
+from repro.cep.matcher import Detection, MatcherConfig
+from repro.cep.operators import (
+    FilterOperator,
+    MapOperator,
+    Pipeline,
+    ProjectOperator,
+    SlidingWindowAggregate,
+)
+from repro.cep.sinks import CallbackSink, CollectingSink, FanOutSink, NullSink
+from repro.cep.views import RAW_STREAM_NAME, TRANSFORMED_STREAM_NAME, install_kinect_view
+from repro.errors import (
+    QueryRegistrationError,
+    QuerySyntaxError,
+    UnknownStreamError,
+)
+from repro.streams import SimulatedClock, Stream
+
+SIMPLE_QUERY = 'SELECT "up" MATCHING s(x > 100);'
+SEQ_QUERY = 'SELECT "seq" MATCHING s(x > 100) -> s(x > 200) within 1 seconds;'
+
+
+def _detection(output="g", ts=0.0):
+    return Detection(
+        output=output, query_name=output, timestamp=ts, start_timestamp=ts,
+        step_timestamps=(ts,),
+    )
+
+
+class TestSinks:
+    def test_collecting_sink_stores_detections(self):
+        sink = CollectingSink()
+        sink.emit(_detection())
+        assert len(sink) == 1
+        assert sink.outputs() == ["g"]
+        assert sink.last().output == "g"
+
+    def test_collecting_sink_capacity_drops_oldest(self):
+        sink = CollectingSink(capacity=2)
+        for index in range(5):
+            sink.emit(_detection(ts=float(index)))
+        assert len(sink) == 2
+        assert sink.detections[0].timestamp == 3.0
+
+    def test_collecting_sink_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            CollectingSink(capacity=0)
+
+    def test_callback_and_null_and_fanout(self):
+        seen = []
+        callback = CallbackSink(seen.append)
+        null = NullSink()
+        fan_out = FanOutSink([callback, null])
+        fan_out.emit(_detection())
+        assert len(seen) == 1
+        assert callback.emitted == 1
+        assert null.emitted == 1
+
+    def test_collecting_sink_clear_and_empty_last(self):
+        sink = CollectingSink()
+        sink.emit(_detection())
+        sink.clear()
+        assert sink.last() is None
+
+
+class TestEngineBasics:
+    def test_register_and_query_text(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        deployed = engine.register_query(SIMPLE_QUERY)
+        engine.push("s", {"ts": 0.0, "x": 150.0})
+        assert [d.output for d in deployed.detections()] == ["up"]
+
+    def test_unknown_stream_rejected_unless_created(self):
+        engine = CEPEngine()
+        with pytest.raises(UnknownStreamError):
+            engine.register_query(SIMPLE_QUERY)
+        deployed = engine.register_query(SIMPLE_QUERY, create_missing_streams=True)
+        engine.push("s", {"ts": 0.0, "x": 150.0})
+        assert len(deployed.detections()) == 1
+
+    def test_duplicate_query_name_rejected(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        engine.register_query(SIMPLE_QUERY)
+        with pytest.raises(QueryRegistrationError):
+            engine.register_query(SIMPLE_QUERY)
+
+    def test_invalid_query_text_raises_syntax_error(self):
+        engine = CEPEngine()
+        with pytest.raises(QuerySyntaxError):
+            engine.register_query("SELECT nonsense nonsense")
+
+    def test_unregister_query_detaches_from_stream(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        deployed = engine.register_query(SIMPLE_QUERY)
+        engine.unregister_query("up")
+        engine.push("s", {"ts": 0.0, "x": 150.0})
+        assert deployed.detections() == []
+        with pytest.raises(QueryRegistrationError):
+            engine.unregister_query("up")
+
+    def test_enable_disable_query(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        deployed = engine.register_query(SIMPLE_QUERY)
+        engine.enable_query("up", False)
+        engine.push("s", {"ts": 0.0, "x": 150.0})
+        assert deployed.detections() == []
+        engine.enable_query("up", True)
+        engine.push("s", {"ts": 0.1, "x": 150.0})
+        assert len(deployed.detections()) == 1
+
+    def test_sequence_query_with_timestamps(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        deployed = engine.register_query(SEQ_QUERY)
+        engine.push("s", {"ts": 0.0, "x": 150.0})
+        engine.push("s", {"ts": 0.5, "x": 250.0})
+        assert len(deployed.detections()) == 1
+
+    def test_sequence_query_respects_within(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        deployed = engine.register_query(SEQ_QUERY)
+        engine.push("s", {"ts": 0.0, "x": 150.0})
+        engine.push("s", {"ts": 5.0, "x": 250.0})
+        assert deployed.detections() == []
+
+    def test_detections_merge_and_sort_across_queries(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        engine.register_query('SELECT "a" MATCHING s(x > 0);')
+        engine.register_query('SELECT "b" MATCHING s(x > 100);')
+        engine.push("s", {"ts": 0.0, "x": 150.0})
+        outputs = [d.output for d in engine.detections()]
+        assert sorted(outputs) == ["a", "b"]
+        engine.clear_detections()
+        assert engine.detections() == []
+
+    def test_additional_sink_receives_detections(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        seen = []
+        engine.register_query(SIMPLE_QUERY, sink=CallbackSink(seen.append))
+        engine.push("s", {"ts": 0.0, "x": 200.0})
+        assert len(seen) == 1
+
+    def test_register_custom_function_usable_in_queries(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        engine.register_function("double", lambda value: value * 2, arity=1)
+        deployed = engine.register_query('SELECT "d" MATCHING s(double(x) > 10);')
+        engine.push("s", {"ts": 0.0, "x": 6.0})
+        assert len(deployed.detections()) == 1
+
+    def test_query_names_and_get_query(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        engine.register_query(SIMPLE_QUERY)
+        assert engine.query_names() == ["up"]
+        assert engine.get_query("up").name == "up"
+        with pytest.raises(QueryRegistrationError):
+            engine.get_query("missing")
+
+    def test_tuples_without_timestamp_use_engine_clock(self):
+        clock = SimulatedClock(start=3.0)
+        engine = CEPEngine(clock=clock)
+        engine.create_stream("s")
+        deployed = engine.register_query(SIMPLE_QUERY)
+        engine.push("s", {"x": 150.0})
+        assert deployed.detections()[0].timestamp == pytest.approx(3.0)
+
+    def test_per_query_matcher_config_override(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        deployed = engine.register_query(
+            SIMPLE_QUERY, matcher_config=MatcherConfig(store_matched_tuples=False)
+        )
+        engine.push("s", {"ts": 0.0, "x": 150.0})
+        assert deployed.detections()[0].matched is None
+
+
+class TestViews:
+    def test_kinect_view_transforms_frames(self, noiseless_simulator):
+        engine = CEPEngine()
+        view = install_kinect_view(engine)
+        received = []
+        engine.get_stream(TRANSFORMED_STREAM_NAME).subscribe(received.append)
+        engine.push(RAW_STREAM_NAME, noiseless_simulator.measure_rest())
+        assert len(received) == 1
+        assert received[0]["torso_x"] == pytest.approx(0.0)
+        assert view.tuples_processed == 1
+
+    def test_view_stop_detaches(self, noiseless_simulator):
+        engine = CEPEngine()
+        view = install_kinect_view(engine)
+        view.stop()
+        received = []
+        engine.get_stream(TRANSFORMED_STREAM_NAME).subscribe(received.append)
+        engine.push(RAW_STREAM_NAME, noiseless_simulator.measure_rest())
+        assert received == []
+        assert not view.active
+
+    def test_get_view_by_name(self):
+        engine = CEPEngine()
+        install_kinect_view(engine)
+        assert engine.get_view(TRANSFORMED_STREAM_NAME).name == TRANSFORMED_STREAM_NAME
+        with pytest.raises(UnknownStreamError):
+            engine.get_view("missing")
+
+    def test_custom_view_function(self):
+        engine = CEPEngine()
+        engine.create_stream("raw")
+        engine.register_view("doubled", "raw", lambda r: {"x": r["x"] * 2})
+        received = []
+        engine.get_stream("doubled").subscribe(received.append)
+        engine.push("raw", {"x": 4})
+        assert received == [{"x": 8}]
+
+
+class TestOperators:
+    def test_filter_operator(self):
+        source, target = Stream("in"), Stream("out")
+        received = []
+        target.subscribe(received.append)
+        op = FilterOperator(source, target, Comparison(">", FieldRef("x"), Literal(5)))
+        op.start()
+        source.push({"x": 3})
+        source.push({"x": 7})
+        assert received == [{"x": 7}]
+        assert op.passed == 1
+        op.stop()
+        source.push({"x": 9})
+        assert len(received) == 1
+
+    def test_project_operator(self):
+        source, target = Stream("in"), Stream("out")
+        received = []
+        target.subscribe(received.append)
+        ProjectOperator(source, target, ["a"]).start()
+        source.push({"a": 1, "b": 2})
+        assert received == [{"a": 1}]
+
+    def test_project_requires_fields(self):
+        with pytest.raises(ValueError):
+            ProjectOperator(Stream("in"), Stream("out"), [])
+
+    def test_map_operator(self):
+        source, target = Stream("in"), Stream("out")
+        received = []
+        target.subscribe(received.append)
+        MapOperator(source, target, lambda r: {"y": r["x"] + 1}).start()
+        source.push({"x": 1})
+        assert received == [{"y": 2}]
+
+    def test_sliding_window_aggregate_mean_and_range(self):
+        source, target = Stream("in"), Stream("out")
+        received = []
+        target.subscribe(received.append)
+        SlidingWindowAggregate(source, target, field="x", window_size=3, aggregate="mean").start()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            source.push({"x": value})
+        assert len(received) == 2
+        assert received[0]["mean_x"] == pytest.approx(2.0)
+        assert received[1]["mean_x"] == pytest.approx(3.0)
+
+    def test_sliding_window_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowAggregate(Stream("i"), Stream("o"), "x", 0)
+        with pytest.raises(ValueError):
+            SlidingWindowAggregate(Stream("i"), Stream("o"), "x", 3, aggregate="median")
+
+    def test_pipeline_context_manager(self):
+        source, middle, target = Stream("a"), Stream("b"), Stream("c")
+        received = []
+        target.subscribe(received.append)
+        pipeline = Pipeline([
+            MapOperator(source, middle, lambda r: {"x": r["x"] * 2}),
+            FilterOperator(middle, target, Comparison(">", FieldRef("x"), Literal(5))),
+        ])
+        with pipeline:
+            source.push({"x": 1})
+            source.push({"x": 4})
+        assert received == [{"x": 8}]
+        source.push({"x": 10})
+        assert len(received) == 1

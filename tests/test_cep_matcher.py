@@ -1,0 +1,181 @@
+"""Unit tests for the NFA matcher runtime."""
+
+import pytest
+
+from repro.cep.expressions import Comparison, FieldRef, Literal
+from repro.cep.matcher import MatcherConfig, NFAMatcher
+from repro.cep.nfa import compile_pattern
+from repro.cep.query import ConsumePolicy, EventPattern, SelectPolicy, sequence
+
+
+def _step(low: float, high: float) -> EventPattern:
+    """Event pattern matching low <= x < high."""
+    predicate = Comparison("<", FieldRef("x"), Literal(high))
+    lower = Comparison(">=", FieldRef("x"), Literal(low))
+    from repro.cep.expressions import BooleanOp
+
+    return EventPattern(stream="s", predicate=BooleanOp("and", [lower, predicate]))
+
+
+def _matcher(within=None, select=SelectPolicy.FIRST, consume=ConsumePolicy.ALL,
+             config=None, steps=3):
+    events = [_step(i * 100, i * 100 + 50) for i in range(steps)]
+    pattern = compile_pattern(
+        sequence(events, within_seconds=within, select=select, consume=consume)
+    )
+    return NFAMatcher(pattern, output="g", config=config or MatcherConfig())
+
+
+def _tuples(values, start_ts=0.0, dt=0.1):
+    return [{"x": value, "ts": start_ts + index * dt} for index, value in enumerate(values)]
+
+
+class TestBasicMatching:
+    def test_detects_a_simple_sequence(self):
+        matcher = _matcher()
+        detections = matcher.process_many(_tuples([10, 110, 210]), "s")
+        assert len(detections) == 1
+        assert detections[0].output == "g"
+
+    def test_non_matching_tuples_are_skipped(self):
+        matcher = _matcher()
+        detections = matcher.process_many(_tuples([10, 999, 110, 999, 210]), "s")
+        assert len(detections) == 1
+
+    def test_incomplete_sequence_produces_nothing(self):
+        matcher = _matcher()
+        assert matcher.process_many(_tuples([10, 110]), "s") == []
+
+    def test_out_of_order_events_do_not_match(self):
+        matcher = _matcher()
+        assert matcher.process_many(_tuples([210, 110, 10]), "s") == []
+
+    def test_detection_reports_duration_and_steps(self):
+        matcher = _matcher()
+        detections = matcher.process_many(_tuples([10, 110, 210], dt=0.2), "s")
+        detection = detections[0]
+        assert detection.duration == pytest.approx(0.4)
+        assert len(detection.step_timestamps) == 3
+        assert detection.matched is not None and len(detection.matched) == 3
+
+    def test_single_step_pattern_fires_immediately(self):
+        matcher = _matcher(steps=1)
+        detections = matcher.process_many(_tuples([10, 20]), "s")
+        assert len(detections) == 2  # every matching tuple is its own match
+
+    def test_tuples_of_other_streams_are_ignored(self):
+        matcher = _matcher()
+        assert matcher.process({"x": 10, "ts": 0.0}, "other") == []
+        assert matcher.active_runs == 0
+
+    def test_matched_tuples_can_be_disabled(self):
+        matcher = _matcher(config=MatcherConfig(store_matched_tuples=False))
+        detections = matcher.process_many(_tuples([10, 110, 210]), "s")
+        assert detections[0].matched is None
+
+
+class TestTimeConstraints:
+    def test_within_violation_prevents_detection(self):
+        matcher = _matcher(within=0.5)
+        # Steps are 0.4s apart -> total 0.8s > 0.5s window.
+        assert matcher.process_many(_tuples([10, 110, 210], dt=0.4), "s") == []
+
+    def test_within_satisfied_detects(self):
+        matcher = _matcher(within=1.0)
+        assert len(matcher.process_many(_tuples([10, 110, 210], dt=0.4), "s")) == 1
+
+    def test_expired_runs_are_pruned(self):
+        matcher = _matcher(within=0.5)
+        matcher.process({"x": 10, "ts": 0.0}, "s")
+        assert matcher.active_runs == 1
+        matcher.process({"x": 999, "ts": 10.0}, "s")
+        assert matcher.active_runs == 0
+        assert matcher.stats.runs_pruned >= 1
+
+    def test_restart_after_expiry_still_detects(self):
+        matcher = _matcher(within=1.0)
+        matcher.process_many(_tuples([10], start_ts=0.0), "s")
+        detections = matcher.process_many(_tuples([10, 110, 210], start_ts=5.0), "s")
+        assert len(detections) == 1
+
+    def test_nested_constraint_checked_for_inner_group(self):
+        events = [_step(0, 50), _step(100, 150), _step(200, 250)]
+        inner = sequence(events[:2], within_seconds=0.2)
+        outer = sequence([inner, events[2]], within_seconds=5.0)
+        matcher = NFAMatcher(compile_pattern(outer), output="g")
+        # Inner pair takes 0.3s -> violates the 0.2s inner window.
+        assert matcher.process_many(_tuples([10, 110, 210], dt=0.3), "s") == []
+
+    def test_run_ttl_prunes_unconstrained_patterns(self):
+        matcher = _matcher(config=MatcherConfig(run_ttl_seconds=1.0))
+        matcher.process({"x": 10, "ts": 0.0}, "s")
+        matcher.process({"x": 999, "ts": 5.0}, "s")
+        assert matcher.active_runs == 0
+
+
+class TestPolicies:
+    def test_consume_all_clears_partial_matches(self):
+        matcher = _matcher(consume=ConsumePolicy.ALL)
+        tuples = _tuples([10, 10, 110, 210])
+        detections = matcher.process_many(tuples, "s")
+        assert len(detections) == 1
+        assert matcher.active_runs == 0
+
+    def test_consume_none_allows_overlapping_detections(self):
+        matcher = _matcher(consume=ConsumePolicy.NONE, select=SelectPolicy.ALL)
+        # Two start events -> two runs -> both complete on the same suffix.
+        detections = matcher.process_many(_tuples([10, 20, 110, 210]), "s")
+        assert len(detections) == 2
+
+    def test_select_first_reports_earliest_run(self):
+        matcher = _matcher(select=SelectPolicy.FIRST, consume=ConsumePolicy.NONE)
+        detections = matcher.process_many(_tuples([10, 20, 110, 210]), "s")
+        assert len(detections) == 1
+        assert detections[0].start_timestamp == pytest.approx(0.0)
+
+    def test_select_last_reports_latest_run(self):
+        matcher = _matcher(select=SelectPolicy.LAST, consume=ConsumePolicy.NONE)
+        detections = matcher.process_many(_tuples([10, 20, 110, 210]), "s")
+        assert len(detections) == 1
+        assert detections[0].start_timestamp == pytest.approx(0.1)
+
+
+class TestRunManagement:
+    def test_max_active_runs_is_enforced(self):
+        matcher = _matcher(config=MatcherConfig(max_active_runs=5, run_ttl_seconds=None))
+        matcher.process_many(_tuples([10] * 20), "s")
+        assert matcher.active_runs == 5
+        assert matcher.stats.runs_suppressed == 15
+
+    def test_progress_and_furthest_step(self):
+        matcher = _matcher()
+        assert matcher.progress() == 0.0
+        matcher.process({"x": 10, "ts": 0.0}, "s")
+        assert matcher.furthest_step() == 1
+        matcher.process({"x": 110, "ts": 0.1}, "s")
+        assert matcher.progress() == pytest.approx(2 / 3)
+
+    def test_reset_discards_partial_matches(self):
+        matcher = _matcher()
+        matcher.process({"x": 10, "ts": 0.0}, "s")
+        matcher.reset()
+        assert matcher.active_runs == 0
+
+    def test_stats_track_predicate_evaluations(self):
+        matcher = _matcher()
+        matcher.process_many(_tuples([10, 110, 210]), "s")
+        assert matcher.stats.tuples_processed == 3
+        assert matcher.stats.predicate_evaluations > 0
+        assert matcher.stats.detections == 1
+
+    def test_each_tuple_advances_a_run_by_at_most_one_step(self):
+        # A tuple satisfying both step 0 and step 1 must not jump two steps.
+        from repro.cep.expressions import Literal as Lit
+
+        events = [
+            EventPattern(stream="s", predicate=Lit(True)),
+            EventPattern(stream="s", predicate=Lit(True)),
+        ]
+        matcher = NFAMatcher(compile_pattern(sequence(events)), output="g")
+        assert matcher.process({"ts": 0.0}, "s") == []
+        assert len(matcher.process({"ts": 0.1}, "s")) == 1

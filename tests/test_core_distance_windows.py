@@ -1,0 +1,181 @@
+"""Unit tests for repro.core.distance and repro.core.windows."""
+
+import pytest
+
+from repro.core.distance import (
+    EuclideanDistance,
+    EveryKTuples,
+    ManhattanDistance,
+    WeightedEuclideanDistance,
+    joint_fields,
+)
+from repro.core.windows import PoseWindow, Window
+
+
+class TestDistanceMetrics:
+    def test_euclidean_distance(self):
+        metric = EuclideanDistance(["x", "y"])
+        assert metric({"x": 0, "y": 0}, {"x": 3, "y": 4}) == pytest.approx(5.0)
+
+    def test_euclidean_missing_fields_treated_as_zero(self):
+        metric = EuclideanDistance(["x", "y"])
+        assert metric({"x": 3.0}, {}) == pytest.approx(3.0)
+
+    def test_manhattan_distance(self):
+        metric = ManhattanDistance(["x", "y"])
+        assert metric({"x": 0, "y": 0}, {"x": 3, "y": 4}) == pytest.approx(7.0)
+
+    def test_weighted_distance(self):
+        metric = WeightedEuclideanDistance({"x": 1.0, "y": 0.0})
+        assert metric({"x": 0, "y": 0}, {"x": 3, "y": 100}) == pytest.approx(3.0)
+
+    def test_weighted_distance_validation(self):
+        with pytest.raises(ValueError):
+            WeightedEuclideanDistance({})
+        with pytest.raises(ValueError):
+            WeightedEuclideanDistance({"x": -1.0})
+
+    def test_every_k_tuples_counts_elapsed_frames(self):
+        metric = EveryKTuples(frequency_hz=30.0)
+        assert metric({"ts": 0.0}, {"ts": 1.0}) == pytest.approx(30.0)
+        assert metric({}, {}) == 0.0
+        with pytest.raises(ValueError):
+            EveryKTuples(frequency_hz=0.0)
+
+    def test_metric_requires_fields(self):
+        with pytest.raises(ValueError):
+            EuclideanDistance([])
+
+    def test_joint_fields_expansion(self):
+        assert joint_fields(["rhand"]) == ("rhand_x", "rhand_y", "rhand_z")
+        assert len(joint_fields(["rhand", "lhand"])) == 6
+        with pytest.raises(ValueError):
+            joint_fields([])
+
+    def test_distance_is_symmetric(self):
+        metric = EuclideanDistance(["x", "y", "z"])
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        b = {"x": -4.0, "y": 0.5, "z": 9.0}
+        assert metric(a, b) == pytest.approx(metric(b, a))
+
+
+class TestWindow:
+    def test_requires_matching_center_and_width(self):
+        with pytest.raises(ValueError):
+            Window(center={"x": 0.0}, width={"y": 1.0})
+
+    def test_requires_positive_width(self):
+        with pytest.raises(ValueError):
+            Window(center={"x": 0.0}, width={"x": 0.0})
+
+    def test_requires_at_least_one_dimension(self):
+        with pytest.raises(ValueError):
+            Window(center={}, width={})
+
+    def test_contains_matches_generated_predicate_semantics(self):
+        window = Window(center={"x": 400.0}, width={"x": 50.0})
+        assert window.contains({"x": 449.0})
+        assert not window.contains({"x": 450.0})  # strict inequality, like abs(...) < w
+        assert not window.contains({"x": 350.0})
+
+    def test_contains_requires_all_fields(self):
+        window = Window(center={"x": 0.0, "y": 0.0}, width={"x": 10.0, "y": 10.0})
+        assert not window.contains({"x": 0.0})
+
+    def test_bounds_lower_upper(self):
+        window = Window(center={"x": 100.0}, width={"x": 25.0})
+        assert window.bounds("x") == (75.0, 125.0)
+
+    def test_from_points_builds_mbr(self):
+        points = [{"x": 0.0, "y": 10.0}, {"x": 100.0, "y": 30.0}]
+        window = Window.from_points(points, fields=["x", "y"], min_width=5.0)
+        assert window.center["x"] == pytest.approx(50.0)
+        assert window.width["x"] == pytest.approx(50.0)
+        assert window.width["y"] == pytest.approx(10.0)
+
+    def test_from_points_enforces_min_width(self):
+        window = Window.from_points([{"x": 5.0}, {"x": 5.0}], fields=["x"], min_width=30.0)
+        assert window.width["x"] == 30.0
+
+    def test_from_points_validation(self):
+        with pytest.raises(ValueError):
+            Window.from_points([], fields=["x"])
+        with pytest.raises(ValueError):
+            Window.from_points([{"x": 1.0}], fields=[])
+        with pytest.raises(ValueError):
+            Window.from_points([{"y": 1.0}], fields=["x"])
+
+    def test_intersects_and_volume_ratio(self):
+        first = Window(center={"x": 0.0}, width={"x": 50.0})
+        second = Window(center={"x": 60.0}, width={"x": 50.0})
+        separate = Window(center={"x": 200.0}, width={"x": 50.0})
+        assert first.intersects(second)
+        assert not first.intersects(separate)
+        assert 0.0 < first.intersection_volume_ratio(second) < 1.0
+        assert first.intersection_volume_ratio(separate) == 0.0
+        assert first.intersection_volume_ratio(first) == pytest.approx(1.0)
+
+    def test_windows_over_disjoint_fields_do_not_intersect(self):
+        first = Window(center={"x": 0.0}, width={"x": 50.0})
+        second = Window(center={"y": 0.0}, width={"y": 50.0})
+        assert not first.intersects(second)
+        assert first.intersection_volume_ratio(second) == 0.0
+
+    def test_expanded_and_scaled(self):
+        window = Window(center={"x": 0.0}, width={"x": 50.0})
+        expanded = window.expanded({"x": 25.0})
+        scaled = window.scaled(2.0)
+        assert expanded.width["x"] == 75.0
+        assert scaled.width["x"] == 100.0
+        assert window.width["x"] == 50.0  # originals untouched
+        with pytest.raises(ValueError):
+            window.scaled(0.0)
+
+    def test_merged_with_covers_both(self):
+        first = Window(center={"x": 0.0}, width={"x": 50.0})
+        second = Window(center={"x": 200.0}, width={"x": 50.0})
+        merged = first.merged_with(second)
+        assert merged.lower("x") <= -50.0
+        assert merged.upper("x") >= 250.0
+
+    def test_without_fields(self):
+        window = Window(center={"x": 0.0, "y": 0.0}, width={"x": 1.0, "y": 1.0})
+        reduced = window.without_fields(["y"])
+        assert reduced.fields == ("x",)
+        with pytest.raises(ValueError):
+            window.without_fields(["x", "y"])
+
+    def test_distance_from_point(self):
+        window = Window(center={"x": 0.0}, width={"x": 50.0})
+        assert window.distance_from({"x": 25.0}) == 0.0
+        assert window.distance_from({"x": 100.0}) == pytest.approx(1.0)
+
+    def test_volume(self):
+        window = Window(center={"x": 0.0, "y": 0.0}, width={"x": 10.0, "y": 5.0})
+        assert window.volume() == pytest.approx(20.0 * 10.0)
+
+    def test_dict_round_trip(self):
+        window = Window(center={"x": 1.5}, width={"x": 2.5})
+        assert Window.from_dict(window.to_dict()) == window or (
+            Window.from_dict(window.to_dict()).center == window.center
+        )
+
+
+class TestPoseWindow:
+    def test_validation(self):
+        window = Window(center={"x": 0.0}, width={"x": 1.0})
+        with pytest.raises(ValueError):
+            PoseWindow(sequence_index=-1, window=window)
+        with pytest.raises(ValueError):
+            PoseWindow(sequence_index=0, window=window, support=0)
+
+    def test_contains_delegates_to_window(self):
+        pose = PoseWindow(0, Window(center={"x": 0.0}, width={"x": 10.0}))
+        assert pose.contains({"x": 5.0})
+
+    def test_dict_round_trip(self):
+        pose = PoseWindow(2, Window(center={"x": 1.0}, width={"x": 2.0}), support=3)
+        restored = PoseWindow.from_dict(pose.to_dict())
+        assert restored.sequence_index == 2
+        assert restored.support == 3
+        assert restored.window.center == {"x": 1.0}

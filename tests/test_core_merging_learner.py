@@ -1,0 +1,244 @@
+"""Unit tests for window merging (Sec. 3.3.2) and the gesture learner."""
+
+import warnings
+
+import pytest
+
+from repro.core.description import GestureDescription
+from repro.core.learner import GestureLearner, LearnerConfig, detect_moving_joints
+from repro.core.merging import MergeConfig, WindowMerger, align_centers
+from repro.core.sampling import DistanceBasedSampler, SamplingConfig
+from repro.core.windows import PoseWindow, Window
+from repro.errors import EmptySampleError, IncompatibleSampleError, SampleDeviationWarning
+from repro.kinect import SwipeTrajectory
+
+
+def _sample_path(offset=0.0, count=40, fields=("rhand_x", "rhand_y", "rhand_z")):
+    frames = [
+        {
+            "rhand_x": index * 20.0 + offset,
+            "rhand_y": 150.0 + offset,
+            "rhand_z": -120.0,
+            "ts": index / 30.0,
+        }
+        for index in range(count)
+    ]
+    sampler = DistanceBasedSampler(SamplingConfig(fields=fields, relative_threshold=0.2))
+    return sampler.sample(frames)
+
+
+class TestAlignCenters:
+    def test_same_length_is_copied(self):
+        centers = [{"x": 0.0}, {"x": 10.0}]
+        aligned = align_centers(centers, 2)
+        assert aligned == centers
+        aligned[0]["x"] = 99.0
+        assert centers[0]["x"] == 0.0
+
+    def test_upsampling_interpolates(self):
+        aligned = align_centers([{"x": 0.0}, {"x": 100.0}], 3)
+        assert [point["x"] for point in aligned] == [0.0, 50.0, 100.0]
+
+    def test_downsampling_keeps_endpoints(self):
+        aligned = align_centers([{"x": 0.0}, {"x": 30.0}, {"x": 70.0}, {"x": 100.0}], 2)
+        assert aligned[0]["x"] == 0.0
+        assert aligned[-1]["x"] == 100.0
+
+    def test_single_source_point_is_repeated(self):
+        aligned = align_centers([{"x": 5.0}], 3)
+        assert [point["x"] for point in aligned] == [5.0, 5.0, 5.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            align_centers([], 2)
+        with pytest.raises(ValueError):
+            align_centers([{"x": 1.0}], 0)
+
+
+class TestWindowMerger:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            WindowMerger("")
+
+    def test_description_requires_samples(self):
+        with pytest.raises(IncompatibleSampleError):
+            WindowMerger("g").description()
+
+    def test_single_sample_produces_min_width_windows(self):
+        merger = WindowMerger("g", MergeConfig(min_width_mm=50.0, padding_mm=0.0))
+        merger.add_sample(_sample_path())
+        description = merger.description()
+        assert description.sample_count == 1
+        assert all(pose.window.width["rhand_y"] >= 50.0 for pose in description.poses)
+
+    def test_merging_grows_windows_to_cover_all_samples(self):
+        merger = WindowMerger("g", MergeConfig(min_width_mm=10.0, padding_mm=0.0))
+        merger.add_sample(_sample_path(offset=0.0))
+        narrow = merger.description()
+        merger.add_sample(_sample_path(offset=80.0))
+        wide = merger.description()
+        assert wide.poses[0].window.width["rhand_y"] > narrow.poses[0].window.width["rhand_y"]
+        assert wide.sample_count == 2
+
+    def test_pose_count_fixed_by_first_sample(self):
+        merger = WindowMerger("g")
+        first = _sample_path(count=40)
+        second = _sample_path(count=80)
+        merger.add_sample(first)
+        merger.add_sample(second)
+        assert merger.description().pose_count == first.pose_count
+        assert merger.reference_length == first.pose_count
+
+    def test_incompatible_fields_rejected(self):
+        merger = WindowMerger("g")
+        merger.add_sample(_sample_path())
+        with pytest.raises(IncompatibleSampleError):
+            merger.add_sample(_sample_path(fields=("lhand_x", "lhand_y", "lhand_z")))
+
+    def test_deviation_warning_for_outlier_sample(self):
+        merger = WindowMerger(
+            "g", MergeConfig(deviation_warning_factor=0.5, min_width_mm=20.0, padding_mm=0.0)
+        )
+        merger.add_sample(_sample_path(offset=0.0))
+        with pytest.warns(SampleDeviationWarning):
+            result = merger.add_sample(_sample_path(offset=400.0))
+        assert result.warnings
+        assert result.deviation > 0.5
+
+    def test_warnings_can_be_silenced_but_still_recorded(self):
+        merger = WindowMerger(
+            "g",
+            MergeConfig(deviation_warning_factor=0.5, emit_warnings=False, padding_mm=0.0),
+        )
+        merger.add_sample(_sample_path(offset=0.0))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = merger.add_sample(_sample_path(offset=400.0))
+        assert result.warnings
+
+    def test_scale_factor_generalises_windows(self):
+        base = WindowMerger("g", MergeConfig(scale_factor=1.0))
+        scaled = WindowMerger("g", MergeConfig(scale_factor=2.0))
+        for merger in (base, scaled):
+            merger.add_sample(_sample_path())
+        base_width = base.description().poses[0].window.width["rhand_x"]
+        scaled_width = scaled.description().poses[0].window.width["rhand_x"]
+        assert scaled_width == pytest.approx(2.0 * base_width)
+
+    def test_duration_statistics(self):
+        merger = WindowMerger("g")
+        merger.add_sample(_sample_path(count=40))
+        merger.add_sample(_sample_path(count=80))
+        description = merger.description()
+        assert description.max_duration_s > description.mean_duration_s > 0.0
+
+    def test_reset_clears_state(self):
+        merger = WindowMerger("g")
+        merger.add_sample(_sample_path())
+        merger.reset()
+        assert merger.sample_count == 0
+        with pytest.raises(IncompatibleSampleError):
+            merger.description()
+
+    def test_merge_config_validation(self):
+        with pytest.raises(ValueError):
+            MergeConfig(min_width_mm=0.0)
+        with pytest.raises(ValueError):
+            MergeConfig(padding_mm=-1.0)
+        with pytest.raises(ValueError):
+            MergeConfig(scale_factor=0.0)
+        with pytest.raises(ValueError):
+            MergeConfig(deviation_warning_factor=0.0)
+
+
+class TestDetectMovingJoints:
+    def test_detects_only_the_moving_hand(self, noiseless_simulator):
+        from repro.transform import KinectTransformer
+
+        transformer = KinectTransformer()
+        frames = [
+            transformer.transform(frame)
+            for frame in noiseless_simulator.perform(SwipeTrajectory("right"))
+        ]
+        joints = detect_moving_joints(frames)
+        assert "rhand" in joints
+        assert "lhand" not in joints
+        assert "head" not in joints
+
+    def test_empty_frames_give_no_joints(self):
+        assert detect_moving_joints([]) == []
+
+    def test_stationary_frames_give_no_joints(self):
+        frames = [{"rhand_x": 0.0, "rhand_y": 0.0, "rhand_z": 0.0}] * 10
+        assert detect_moving_joints(frames) == []
+
+
+class TestGestureLearner:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            GestureLearner("")
+
+    def test_rejects_unknown_joints_in_config(self):
+        with pytest.raises(ValueError):
+            LearnerConfig(joints=("tail",))
+
+    def test_rejects_empty_sample(self):
+        with pytest.raises(EmptySampleError):
+            GestureLearner("g").add_sample([])
+
+    def test_learns_swipe_from_samples(self, swipe_samples):
+        learner = GestureLearner("swipe_right")
+        description = learner.learn(swipe_samples)
+        assert isinstance(description, GestureDescription)
+        assert description.sample_count == len(swipe_samples)
+        assert 2 <= description.pose_count <= 8
+        assert "rhand" in description.joints
+
+    def test_pose_centers_follow_the_movement(self, swipe_samples):
+        description = GestureLearner("swipe_right").learn(swipe_samples)
+        xs = [pose.window.center["rhand_x"] for pose in description.poses]
+        assert xs == sorted(xs)
+        assert xs[-1] - xs[0] > 500.0
+
+    def test_explicit_joint_configuration_is_respected(self, swipe_samples):
+        config = LearnerConfig(joints=("rhand",))
+        description = GestureLearner("swipe_right", config=config).learn(swipe_samples)
+        assert description.joints == ["rhand"]
+        assert set(description.fields()) == {"rhand_x", "rhand_y", "rhand_z"}
+
+    def test_stationary_first_sample_raises(self, noiseless_simulator):
+        learner = GestureLearner("nothing")
+        with pytest.raises(EmptySampleError):
+            learner.add_sample(noiseless_simulator.idle_frames(1.0))
+
+    def test_pretransformed_input_mode(self, swipe_samples):
+        from repro.transform import KinectTransformer
+
+        transformer = KinectTransformer()
+        transformed = [
+            [transformer.transform(frame) for frame in sample] for sample in swipe_samples
+        ]
+        config = LearnerConfig(transform_input=False)
+        description = GestureLearner("swipe_right", config=config).learn(transformed)
+        assert description.pose_count >= 2
+
+    def test_reset_forgets_samples_and_joints(self, swipe_samples):
+        learner = GestureLearner("swipe_right")
+        learner.add_sample(swipe_samples[0])
+        learner.reset()
+        assert learner.sample_count == 0
+        assert learner.joints is None
+
+    def test_results_record_merge_outcomes(self, swipe_samples):
+        learner = GestureLearner("swipe_right")
+        learner.learn(swipe_samples)
+        assert len(learner.results) == len(swipe_samples)
+
+    def test_description_metadata_mentions_learning_parameters(self, swipe_description):
+        assert "learner" in swipe_description.metadata
+        assert swipe_description.stream == "kinect_t"
+
+    def test_sample_path_exposes_sampling_only(self, swipe_samples):
+        learner = GestureLearner("swipe_right")
+        path = learner.sample_path(swipe_samples[0])
+        assert path.pose_count >= 2

@@ -1,0 +1,264 @@
+"""Unit tests for query generation (Sec. 3.3.4), validation and optimisation
+(Sec. 3.3.3) and the gesture description model."""
+
+import pytest
+
+from repro.cep.parser import parse_query
+from repro.cep.query import ConsumePolicy, SelectPolicy, SequencePattern
+from repro.core.description import GestureDescription
+from repro.core.optimization import OptimizerConfig, PatternOptimizer
+from repro.core.querygen import QueryGenConfig, QueryGenerator
+from repro.core.validation import PatternValidator, ValidationConfig
+from repro.core.windows import PoseWindow, Window
+from repro.errors import QueryGenerationError, ValidationError
+
+
+def _description(name="swipe_right", centers=(0.0, 400.0, 800.0), width=50.0,
+                 extra_fields=None, duration=1.2):
+    poses = []
+    for index, center in enumerate(centers):
+        center_map = {"rhand_x": center, "rhand_y": 150.0, "rhand_z": -120.0}
+        width_map = {"rhand_x": width, "rhand_y": width, "rhand_z": width}
+        if extra_fields:
+            center_map.update(extra_fields)
+            width_map.update({key: width for key in extra_fields})
+        poses.append(PoseWindow(index, Window(center=center_map, width=width_map)))
+    return GestureDescription(
+        name=name, poses=poses, joints=["rhand"],
+        sample_count=3, mean_duration_s=duration, max_duration_s=duration,
+    )
+
+
+class TestGestureDescription:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            GestureDescription(name="")
+
+    def test_fields_and_predicate_count(self):
+        description = _description()
+        assert set(description.fields()) == {"rhand_x", "rhand_y", "rhand_z"}
+        assert description.predicate_count() == 9
+
+    def test_matches_path_in_order(self):
+        description = _description()
+        good_path = [{"rhand_x": x, "rhand_y": 150.0, "rhand_z": -120.0} for x in (0, 400, 800)]
+        wrong_order = list(reversed(good_path))
+        assert description.matches_path(good_path)
+        assert not description.matches_path(wrong_order)
+        assert not description.matches_path(good_path[:2])
+
+    def test_scaled_copy(self):
+        description = _description()
+        scaled = description.scaled(2.0)
+        assert scaled.poses[0].window.width["rhand_x"] == 100.0
+        assert description.poses[0].window.width["rhand_x"] == 50.0
+
+    def test_dict_round_trip(self):
+        description = _description()
+        restored = GestureDescription.from_dict(description.to_dict())
+        assert restored.name == description.name
+        assert restored.pose_count == description.pose_count
+        assert restored.poses[1].window.center == description.poses[1].window.center
+
+
+class TestQueryGenerator:
+    def test_empty_description_rejected(self):
+        empty = GestureDescription(name="empty")
+        with pytest.raises(QueryGenerationError):
+            QueryGenerator().generate(empty)
+
+    def test_generates_range_predicates_in_paper_form(self):
+        text = QueryGenerator().generate_text(_description())
+        assert 'SELECT "swipe_right"' in text
+        assert "abs(rhand_x - 400) < 50" in text
+        assert "abs(rhand_z + 120) < 50" in text
+        assert "select first consume all" in text
+
+    def test_generated_text_parses_back_to_same_structure(self):
+        query = QueryGenerator().generate(_description())
+        reparsed = parse_query(query.to_query())
+        assert reparsed.event_count() == 3
+        assert reparsed.predicate_count() == 9
+        assert reparsed.output == "swipe_right"
+
+    def test_nested_structure_matches_paper(self):
+        query = QueryGenerator(QueryGenConfig(nested=True)).generate(_description())
+        outer = query.pattern
+        assert isinstance(outer, SequencePattern)
+        assert len(outer.elements) == 2
+        assert isinstance(outer.elements[0], SequencePattern)
+
+    def test_flat_structure_option(self):
+        query = QueryGenerator(QueryGenConfig(nested=False)).generate(_description())
+        assert len(query.pattern.elements) == 3
+
+    def test_within_derived_from_duration_and_slack(self):
+        config = QueryGenConfig(within_slack=2.0, round_within_to=0.5, nested=False)
+        query = QueryGenerator(config).generate(_description(duration=1.2))
+        assert query.pattern.within_seconds == pytest.approx(2.5)
+
+    def test_within_clamped_to_bounds(self):
+        config = QueryGenConfig(min_within_seconds=1.0, max_within_seconds=3.0, nested=False)
+        short = QueryGenerator(config).generate(_description(duration=0.1))
+        long = QueryGenerator(config).generate(_description(duration=60.0))
+        assert short.pattern.within_seconds == 1.0
+        assert long.pattern.within_seconds == 3.0
+
+    def test_policies_from_config(self):
+        config = QueryGenConfig(select=SelectPolicy.ALL, consume=ConsumePolicy.NONE, nested=False)
+        query = QueryGenerator(config).generate(_description())
+        assert query.pattern.select is SelectPolicy.ALL
+        assert query.pattern.consume is ConsumePolicy.NONE
+
+    def test_two_pose_description_is_single_sequence(self):
+        query = QueryGenerator().generate(_description(centers=(0.0, 800.0)))
+        assert len(query.pattern.elements) == 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QueryGenConfig(within_slack=0.0)
+        with pytest.raises(ValueError):
+            QueryGenConfig(max_within_seconds=0.5, min_within_seconds=1.0)
+        with pytest.raises(ValueError):
+            QueryGenConfig(round_within_to=0.0)
+        with pytest.raises(ValueError):
+            QueryGenConfig(coordinate_precision=-1)
+
+    def test_learned_description_generates_deployable_query(self, swipe_description):
+        text = QueryGenerator().generate_text(swipe_description)
+        reparsed = parse_query(text)
+        assert reparsed.output == "swipe_right"
+        assert reparsed.event_count() == swipe_description.pose_count
+
+
+class TestValidator:
+    def test_no_conflicts_for_disjoint_gestures(self):
+        swipe = _description("swipe", centers=(0.0, 400.0, 800.0))
+        push = _description("push", centers=(-800.0, -400.0, -100.0))
+        report = PatternValidator().validate([swipe, push])
+        assert not report.has_conflicts
+        assert report.overlaps_between("swipe", "push") == []
+
+    def test_overlaps_reported_for_widened_windows(self):
+        swipe = _description("swipe", width=50.0)
+        widened = _description("other", width=500.0)
+        report = PatternValidator().validate([swipe, widened])
+        assert report.overlaps
+        assert any({"swipe", "other"} == {o.gesture_a, o.gesture_b} for o in report.overlaps)
+
+    def test_subsumption_detected_when_one_pattern_covers_another(self):
+        narrow = _description("narrow", width=50.0)
+        broad = _description("broad", width=600.0)
+        report = PatternValidator().validate([narrow, broad])
+        assert ("broad", "narrow") in report.subsumptions
+
+    def test_single_pose_warning(self):
+        single = _description("single", centers=(0.0,))
+        report = PatternValidator().validate([single])
+        assert any("single" in warning for warning in report.warnings)
+
+    def test_nearly_identical_adjacent_poses_warn(self):
+        description = _description("dup", centers=(0.0, 1.0, 800.0), width=100.0)
+        report = PatternValidator().validate([description])
+        assert any("coincide" in warning for warning in report.warnings)
+
+    def test_strict_mode_raises_on_conflicts(self):
+        narrow = _description("narrow", width=50.0)
+        broad = _description("broad", width=600.0)
+        with pytest.raises(ValidationError):
+            PatternValidator(ValidationConfig(strict=True)).validate([narrow, broad])
+
+    def test_min_overlap_ratio_filters_tiny_intersections(self):
+        first = _description("a", centers=(0.0, 400.0, 800.0), width=50.0)
+        second = _description("b", centers=(99.0, 499.0, 899.0), width=50.0)
+        strict = PatternValidator(ValidationConfig(min_overlap_ratio=0.5)).validate([first, second])
+        loose = PatternValidator(ValidationConfig(min_overlap_ratio=0.0)).validate([first, second])
+        assert len(strict.overlaps) <= len(loose.overlaps)
+
+    def test_summary_mentions_conflicts(self):
+        narrow = _description("narrow", width=50.0)
+        broad = _description("broad", width=600.0)
+        summary = PatternValidator().validate([narrow, broad]).summary()
+        assert "conflict" in summary
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ValidationConfig(min_overlap_ratio=1.5)
+
+
+class TestOptimizer:
+    def test_merges_nearly_identical_consecutive_poses(self):
+        description = _description("g", centers=(0.0, 10.0, 800.0), width=100.0)
+        optimised, report = PatternOptimizer(
+            OptimizerConfig(eliminate_coordinates=False)
+        ).optimize(description)
+        assert optimised.pose_count == 2
+        assert report.merged_pose_pairs == [(0, 1)]
+        assert report.poses_saved == 1
+
+    def test_does_not_merge_distinct_poses(self):
+        description = _description("g")
+        optimised, report = PatternOptimizer(
+            OptimizerConfig(eliminate_coordinates=False)
+        ).optimize(description)
+        assert optimised.pose_count == 3
+        assert not report.merged_pose_pairs
+
+    def test_eliminates_constant_coordinates_keeping_first_pose_anchor(self):
+        description = _description("g")
+        optimised, report = PatternOptimizer(
+            OptimizerConfig(merge_windows=False, elimination_mode="keep_first",
+                            min_center_range_mm=120.0)
+        ).optimize(description)
+        # y and z are constant across the gesture -> dropped from poses 1, 2.
+        assert set(optimised.poses[0].window.fields) == {"rhand_x", "rhand_y", "rhand_z"}
+        assert set(optimised.poses[1].window.fields) == {"rhand_x"}
+        assert "rhand_y" in report.eliminated_fields
+        assert report.predicates_saved == 4
+
+    def test_drop_mode_removes_coordinate_everywhere(self):
+        description = _description("g")
+        optimised, _ = PatternOptimizer(
+            OptimizerConfig(merge_windows=False, elimination_mode="drop")
+        ).optimize(description)
+        assert all("rhand_y" not in pose.window.fields for pose in optimised.poses)
+
+    def test_never_removes_below_min_remaining_fields(self):
+        description = _description("g", centers=(0.0, 1.0, 2.0))  # nothing really moves
+        optimised, _ = PatternOptimizer(
+            OptimizerConfig(merge_windows=False, elimination_mode="drop",
+                            min_remaining_fields=1, min_center_range_mm=1000.0)
+        ).optimize(description)
+        assert all(len(pose.window.fields) >= 1 for pose in optimised.poses)
+
+    def test_recall_is_preserved_on_canonical_path(self):
+        description = _description("g")
+        path = [dict(pose.window.center) for pose in description.poses]
+        optimised, _ = PatternOptimizer().optimize(description)
+        assert optimised.matches_path(path)
+
+    def test_report_summary_and_counters(self):
+        description = _description("g", centers=(0.0, 10.0, 800.0))
+        optimised, report = PatternOptimizer().optimize(description)
+        assert report.poses_before == 3
+        assert report.poses_after == optimised.pose_count
+        assert "predicates" in report.summary()
+
+    def test_sequence_indices_are_renumbered(self):
+        description = _description("g", centers=(0.0, 10.0, 800.0))
+        optimised, _ = PatternOptimizer().optimize(description)
+        assert [pose.sequence_index for pose in optimised.poses] == list(range(optimised.pose_count))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OptimizerConfig(merge_overlap_ratio=0.0)
+        with pytest.raises(ValueError):
+            OptimizerConfig(elimination_mode="sometimes")
+        with pytest.raises(ValueError):
+            OptimizerConfig(min_center_range_mm=-1.0)
+        with pytest.raises(ValueError):
+            OptimizerConfig(min_remaining_fields=0)
+
+    def test_optimized_metadata_flag(self):
+        optimised, _ = PatternOptimizer().optimize(_description("g"))
+        assert optimised.metadata.get("optimized") is True

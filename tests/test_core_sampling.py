@@ -1,0 +1,178 @@
+"""Unit tests for distance-based sampling (paper Sec. 3.3.1) and DBSCAN."""
+
+import math
+
+import pytest
+
+from repro.core.clustering import DBSCAN, DBSCANConfig, NOISE
+from repro.core.distance import EveryKTuples
+from repro.core.sampling import DistanceBasedSampler, SamplingConfig
+from repro.errors import EmptySampleError
+
+
+def _line_path(count=60, step=10.0):
+    """A straight-line path along x with one frame per 1/30 s."""
+    return [
+        {"rhand_x": index * step, "rhand_y": 150.0, "rhand_z": -120.0, "ts": index / 30.0}
+        for index in range(count)
+    ]
+
+
+def _sampler(fields=("rhand_x", "rhand_y", "rhand_z"), **kwargs):
+    return DistanceBasedSampler(SamplingConfig(fields=tuple(fields), **kwargs))
+
+
+class TestSamplingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(fields=("x",), max_dist=0.0)
+        with pytest.raises(ValueError):
+            SamplingConfig(fields=("x",), relative_threshold=0.0)
+        with pytest.raises(ValueError):
+            SamplingConfig(fields=("x",), min_cluster_size=0)
+
+    def test_resolve_metric_requires_fields_or_metric(self):
+        with pytest.raises(ValueError):
+            SamplingConfig().resolve_metric()
+        assert SamplingConfig(metric=EveryKTuples()).resolve_metric() is not None
+
+
+class TestDistanceBasedSampling:
+    def test_empty_sample_raises(self):
+        with pytest.raises(EmptySampleError):
+            _sampler().sample([])
+
+    def test_first_tuple_anchors_the_first_cluster(self):
+        path = _line_path()
+        sampled = _sampler(max_dist=100.0).sample(path)
+        assert sampled.points[0].sequence_index == 0
+        assert sampled.points[0].center["rhand_x"] < 100.0
+
+    def test_absolute_threshold_controls_cluster_count(self):
+        path = _line_path(count=61, step=10.0)  # 600 mm total
+        coarse = _sampler(max_dist=300.0).sample(path)
+        fine = _sampler(max_dist=60.0).sample(path)
+        assert fine.pose_count > coarse.pose_count
+        assert coarse.pose_count >= 2
+
+    def test_relative_threshold_uses_total_deviation(self):
+        path = _line_path(count=61, step=10.0)  # total deviation 600 mm
+        sampler = _sampler(relative_threshold=0.25)
+        assert sampler.resolve_threshold(path) == pytest.approx(150.0)
+        sampled = sampler.sample(path)
+        assert sampled.threshold_used == pytest.approx(150.0)
+        # 600 / 150 -> roughly 4-5 characteristic points.
+        assert 3 <= sampled.pose_count <= 6
+
+    def test_more_measures_do_not_change_pose_count_much(self):
+        # The same movement recorded at double rate should produce a similar
+        # number of characteristic points (the point of distance sampling).
+        slow = _line_path(count=31, step=20.0)
+        fast = _line_path(count=61, step=10.0)
+        sampler = _sampler(relative_threshold=0.2)
+        assert abs(sampler.sample(slow).pose_count - sampler.sample(fast).pose_count) <= 1
+
+    def test_stationary_path_collapses_to_one_point(self):
+        path = [{"rhand_x": 0.0, "rhand_y": 0.0, "rhand_z": 0.0, "ts": i / 30.0} for i in range(30)]
+        sampled = _sampler().sample(path)
+        assert sampled.pose_count == 1
+        assert sampled.total_deviation == pytest.approx(0.0)
+
+    def test_centers_are_cluster_means(self):
+        path = _line_path(count=10, step=10.0)
+        sampled = _sampler(max_dist=1000.0).sample(path)
+        assert sampled.pose_count == 1
+        assert sampled.points[0].center["rhand_x"] == pytest.approx(45.0)
+
+    def test_spread_reflects_cluster_extent(self):
+        path = _line_path(count=10, step=10.0)
+        sampled = _sampler(max_dist=1000.0).sample(path)
+        assert sampled.points[0].spread["rhand_x"] == pytest.approx(45.0)
+
+    def test_cluster_timestamps(self):
+        path = _line_path(count=30)
+        sampled = _sampler(max_dist=100.0).sample(path)
+        first = sampled.points[0]
+        assert first.first_ts == pytest.approx(0.0)
+        assert first.last_ts > first.first_ts
+        assert sampled.duration_s == pytest.approx(29 / 30.0)
+
+    def test_every_k_tuples_metric_gives_time_based_clusters(self):
+        path = _line_path(count=30)
+        config = SamplingConfig(fields=("ts",), metric=EveryKTuples(), max_dist=9.5)
+        sampled = DistanceBasedSampler(config).sample(path)
+        # A new cluster every ~10 tuples -> 3 clusters for 30 tuples.
+        assert sampled.pose_count == 3
+
+    def test_min_cluster_size_drops_outlier_clusters(self):
+        # A single outlier frame in the middle of a stationary recording.
+        path = [{"rhand_x": 0.0, "rhand_y": 0.0, "rhand_z": 0.0, "ts": i / 30.0} for i in range(20)]
+        path[10] = {"rhand_x": 500.0, "rhand_y": 0.0, "rhand_z": 0.0, "ts": 10 / 30.0}
+        loose = _sampler(max_dist=100.0, min_cluster_size=1).sample(path)
+        strict = _sampler(max_dist=100.0, min_cluster_size=3).sample(path)
+        assert strict.pose_count < loose.pose_count
+
+    def test_sequence_indices_are_consecutive(self):
+        sampled = _sampler(relative_threshold=0.1).sample(_line_path())
+        assert [p.sequence_index for p in sampled.points] == list(range(sampled.pose_count))
+
+    def test_centers_helper_returns_copies(self):
+        sampled = _sampler(max_dist=100.0).sample(_line_path())
+        centers = sampled.centers()
+        centers[0]["rhand_x"] = 1e9
+        assert sampled.points[0].center["rhand_x"] != 1e9
+
+
+class TestDBSCANBaseline:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DBSCANConfig(eps=0.0)
+        with pytest.raises(ValueError):
+            DBSCANConfig(eps=1.0, min_samples=0)
+        with pytest.raises(ValueError):
+            DBSCAN(DBSCANConfig(eps=1.0), fields=[])
+
+    def test_two_well_separated_blobs(self):
+        points = [{"x": float(i), "y": 0.0} for i in range(5)]
+        points += [{"x": 100.0 + i, "y": 0.0} for i in range(5)]
+        dbscan = DBSCAN(DBSCANConfig(eps=3.0, min_samples=3), fields=["x", "y"])
+        labels = dbscan.fit(points)
+        assert dbscan.cluster_count(labels) == 2
+        assert dbscan.noise_count(labels) == 0
+
+    def test_isolated_point_is_noise(self):
+        points = [{"x": float(i)} for i in range(5)] + [{"x": 1000.0}]
+        dbscan = DBSCAN(DBSCANConfig(eps=2.0, min_samples=3), fields=["x"])
+        labels = dbscan.fit(points)
+        assert labels[-1] == NOISE
+
+    def test_summaries_report_centroids(self):
+        points = [{"x": 0.0}, {"x": 2.0}, {"x": 4.0}]
+        dbscan = DBSCAN(DBSCANConfig(eps=3.0, min_samples=2), fields=["x"])
+        labels = dbscan.fit(points)
+        summaries = dbscan.summarise(points, labels)
+        assert len(summaries) == 1
+        assert summaries[0].center["x"] == pytest.approx(2.0)
+        assert summaries[0].size == 3
+
+    def test_dbscan_loses_pose_ordering_on_closed_paths(self):
+        """The motivation for the paper's sequential variant: a circle's start
+        and end are spatially identical, so DBSCAN merges them into one
+        cluster and the pose *sequence* cannot be recovered."""
+        circle = [
+            {
+                "x": 300.0 * math.cos(2 * math.pi * i / 40),
+                "y": 300.0 * math.sin(2 * math.pi * i / 40),
+            }
+            for i in range(41)  # last point == first point
+        ]
+        dbscan = DBSCAN(DBSCANConfig(eps=80.0, min_samples=2), fields=["x", "y"])
+        labels = dbscan.fit(circle)
+        assert labels[0] == labels[-1]
+        # The paper's sampler keeps them as distinct first/last poses.
+        sampler = DistanceBasedSampler(
+            SamplingConfig(fields=("x", "y"), relative_threshold=0.15)
+        )
+        frames = [dict(point, ts=i / 30.0) for i, point in enumerate(circle)]
+        sampled = sampler.sample(frames)
+        assert sampled.pose_count >= 4

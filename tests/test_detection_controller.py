@@ -1,0 +1,156 @@
+"""Unit tests for motion detection and the recording state machine."""
+
+import pytest
+
+from repro.detection.controller import (
+    ControllerConfig,
+    MotionDetector,
+    RecordingController,
+    RecordingPhase,
+)
+from repro.errors import RecordingError
+
+
+def _frame(x, ts, y=0.0):
+    return {"rhand_x": x, "rhand_y": y, "rhand_z": 0.0,
+            "lhand_x": 0.0, "lhand_y": 0.0, "lhand_z": 0.0, "ts": ts}
+
+
+def _still_frames(count, x=0.0, start_ts=0.0):
+    return [_frame(x, start_ts + i / 30.0) for i in range(count)]
+
+
+def _moving_frames(count, start_x=0.0, step=30.0, start_ts=0.0):
+    return [_frame(start_x + i * step, start_ts + i / 30.0) for i in range(count)]
+
+
+class TestControllerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(motion_window_s=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(frequency_hz=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(stationary_threshold_mm=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(stationary_hold_s=-1)
+        with pytest.raises(ValueError):
+            ControllerConfig(max_recording_s=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(min_recording_frames=0)
+
+    def test_derived_frame_counts(self):
+        config = ControllerConfig(motion_window_s=0.5, frequency_hz=30.0, stationary_hold_s=0.5)
+        assert config.window_frames == 15
+        assert config.hold_frames == 15
+
+
+class TestMotionDetector:
+    def test_reports_moving_until_window_full(self):
+        detector = MotionDetector(ControllerConfig(motion_window_s=0.2))
+        results = [detector.observe(frame) for frame in _still_frames(3)]
+        assert results[0] is False
+
+    def test_stationary_user_detected(self):
+        detector = MotionDetector()
+        results = [detector.observe(frame) for frame in _still_frames(30)]
+        assert results[-1] is True
+
+    def test_moving_user_detected(self):
+        detector = MotionDetector()
+        results = [detector.observe(frame) for frame in _moving_frames(30)]
+        assert results[-1] is False
+
+    def test_extent_reflects_movement(self):
+        detector = MotionDetector()
+        for frame in _moving_frames(15, step=50.0):
+            detector.observe(frame)
+        assert detector.current_extent() > 100.0
+
+    def test_reset_clears_window(self):
+        detector = MotionDetector()
+        for frame in _still_frames(30):
+            detector.observe(frame)
+        detector.reset()
+        assert detector.current_extent() == 0.0
+
+
+class TestRecordingController:
+    def _config(self):
+        return ControllerConfig(
+            motion_window_s=0.2, stationary_hold_s=0.3, min_recording_frames=5,
+            stationary_threshold_mm=60.0,
+        )
+
+    def _run(self, controller, frames):
+        phases = []
+        for frame in frames:
+            phases.append(controller.observe(frame))
+        return phases
+
+    def test_initial_phase_is_idle_and_frames_ignored(self):
+        controller = RecordingController(self._config())
+        phases = self._run(controller, _still_frames(20))
+        assert all(phase is RecordingPhase.IDLE for phase in phases)
+
+    def test_full_recording_cycle(self):
+        controller = RecordingController(self._config())
+        controller.arm()
+        assert controller.phase is RecordingPhase.ARMED
+        # Hold still at the start pose -> READY.
+        self._run(controller, _still_frames(30, x=0.0, start_ts=0.0))
+        assert controller.phase is RecordingPhase.READY
+        # Move -> RECORDING; stop -> COMPLETE.
+        self._run(controller, _moving_frames(30, start_ts=1.0))
+        self._run(controller, _still_frames(30, x=30.0 * 29, start_ts=2.0))
+        assert controller.phase is RecordingPhase.COMPLETE
+        assert controller.has_sample
+        sample = controller.take_sample()
+        assert len(sample) >= 5
+        assert controller.phase is RecordingPhase.IDLE
+
+    def test_take_sample_without_recording_raises(self):
+        controller = RecordingController(self._config())
+        with pytest.raises(RecordingError):
+            controller.take_sample()
+
+    def test_cancel_aborts(self):
+        controller = RecordingController(self._config())
+        controller.arm()
+        controller.cancel()
+        assert controller.phase is RecordingPhase.IDLE
+
+    def test_short_twitch_is_rejected_and_controller_returns_to_ready(self):
+        config = ControllerConfig(
+            motion_window_s=0.2, stationary_hold_s=0.3, min_recording_frames=50,
+            stationary_threshold_mm=60.0,
+        )
+        controller = RecordingController(config)
+        controller.arm()
+        self._run(controller, _still_frames(30))
+        self._run(controller, _moving_frames(8, start_ts=1.0))
+        self._run(controller, _still_frames(30, x=8 * 30.0, start_ts=1.3))
+        assert controller.phase is RecordingPhase.READY
+        assert not controller.has_sample
+
+    def test_overlong_recording_raises_and_cancels(self):
+        config = ControllerConfig(
+            motion_window_s=0.2, stationary_hold_s=0.3, max_recording_s=1.0,
+            stationary_threshold_mm=60.0,
+        )
+        controller = RecordingController(config)
+        controller.arm()
+        self._run(controller, _still_frames(30))
+        with pytest.raises(RecordingError):
+            self._run(controller, _moving_frames(120, start_ts=1.0))
+        assert controller.phase is RecordingPhase.IDLE
+
+    def test_recorded_sample_covers_the_movement(self):
+        controller = RecordingController(self._config())
+        controller.arm()
+        self._run(controller, _still_frames(30, x=0.0))
+        self._run(controller, _moving_frames(30, step=30.0, start_ts=1.0))
+        self._run(controller, _still_frames(30, x=870.0, start_ts=2.0))
+        sample = controller.take_sample()
+        xs = [frame["rhand_x"] for frame in sample]
+        assert max(xs) - min(xs) > 500.0

@@ -1,0 +1,191 @@
+"""Unit tests for metrics, workload generation and the experiment harness."""
+
+import pytest
+
+from repro.cep.parser import parse_query
+from repro.evaluation import (
+    ClassificationMetrics,
+    ConfusionMatrix,
+    DetectionExperiment,
+    ExperimentConfig,
+    LatencyStats,
+    WorkloadConfig,
+    build_workload,
+    f1_score,
+    measure_throughput,
+    precision,
+    recall,
+)
+from repro.kinect import KinectSimulator, SwipeTrajectory
+from repro.streams import SimulatedClock
+
+
+class TestMetrics:
+    def test_precision_recall_f1_basic(self):
+        assert precision(8, 2) == pytest.approx(0.8)
+        assert recall(8, 2) == pytest.approx(0.8)
+        assert f1_score(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_degenerate_cases(self):
+        assert precision(0, 0) == 1.0
+        assert recall(0, 0) == 1.0
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_classification_metrics_properties(self):
+        metrics = ClassificationMetrics("g", true_positives=9, false_positives=1,
+                                        false_negatives=3)
+        assert metrics.precision == pytest.approx(0.9)
+        assert metrics.recall == pytest.approx(0.75)
+        row = metrics.as_row()
+        assert row["gesture"] == "g"
+        assert row["f1"] == pytest.approx(metrics.f1, abs=1e-3)
+
+    def test_confusion_matrix(self):
+        matrix = ConfusionMatrix(["a", "b"])
+        matrix.record("a", "a")
+        matrix.record("a", "b")
+        matrix.record("b", None)
+        assert matrix.count("a", "a") == 1
+        assert matrix.count("b", None) == 1
+        assert matrix.accuracy() == pytest.approx(1 / 3)
+        table = matrix.to_table()
+        assert table[0][0].startswith("performed")
+        assert len(table) == 3
+
+    def test_empty_confusion_matrix_accuracy(self):
+        assert ConfusionMatrix(["a"]).accuracy() == 0.0
+
+    def test_latency_stats(self):
+        stats = LatencyStats()
+        stats.extend([0.001 * i for i in range(1, 101)])
+        assert stats.count == 100
+        assert stats.mean == pytest.approx(0.0505)
+        assert stats.p50 == pytest.approx(0.0505, rel=0.05)
+        assert stats.p95 >= stats.p50
+        assert stats.maximum == pytest.approx(0.1)
+        assert stats.minimum == pytest.approx(0.001)
+        assert "p95" in stats.as_row()
+
+    def test_latency_percentile_validation_and_empty(self):
+        stats = LatencyStats()
+        assert stats.p95 == 0.0
+        assert stats.mean == 0.0
+        stats.add(1.0)
+        with pytest.raises(ValueError):
+            stats.percentile(1.5)
+
+
+class TestWorkloads:
+    def test_build_workload_structure(self):
+        config = WorkloadConfig(
+            gestures=("swipe_right", "circle"), training_samples=2,
+            test_performances=1, test_users=("adult", "child"),
+        )
+        workload = build_workload(config)
+        assert workload.gesture_names == ["circle", "swipe_right"]
+        assert len(workload.training["circle"]) == 2
+        assert len(workload.test["circle"]) == 2  # 1 performance x 2 users
+        assert len(workload.idle) == 2
+        assert workload.total_test_performances() == 4
+
+    def test_unknown_gesture_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload(WorkloadConfig(gestures=("moonwalk",)))
+
+    def test_default_workload_excludes_control_gesture(self):
+        workload = build_workload(WorkloadConfig(training_samples=1, test_performances=1,
+                                                 test_users=("adult",)))
+        assert "two_hand_swipe" not in workload.gesture_names
+
+    def test_workload_is_reproducible(self):
+        config = WorkloadConfig(gestures=("swipe_right",), training_samples=1,
+                                test_performances=1, test_users=("adult",), seed=5)
+        first = build_workload(config)
+        second = build_workload(config)
+        assert first.training["swipe_right"][0].frames[0]["rhand_x"] == pytest.approx(
+            second.training["swipe_right"][0].frames[0]["rhand_x"]
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(training_samples=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(test_performances=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(noise_sigma_mm=-1.0)
+
+
+class TestDetectionExperiment:
+    @pytest.fixture(scope="class")
+    def small_workload(self):
+        return build_workload(
+            WorkloadConfig(
+                gestures=("swipe_right", "circle"), training_samples=3,
+                test_performances=2, test_users=("adult", "child"),
+            )
+        )
+
+    def test_learns_and_scores_all_gestures(self, small_workload):
+        result = DetectionExperiment(small_workload).run()
+        assert set(result.per_gesture) == {"swipe_right", "circle"}
+        assert result.macro_recall > 0.7
+        assert result.macro_precision > 0.7
+        assert result.confusion is not None
+        assert result.frames_processed > 0
+        assert result.predicate_evaluations > 0
+
+    def test_queries_are_valid_query_objects(self, small_workload):
+        result = DetectionExperiment(small_workload).run()
+        for query in result.queries.values():
+            reparsed = parse_query(query.to_query())
+            assert reparsed.event_count() >= 2
+
+    def test_training_sample_limit(self, small_workload):
+        config = ExperimentConfig(training_samples=1)
+        descriptions = DetectionExperiment(small_workload, config).learn_descriptions()
+        assert all(d.sample_count == 1 for d in descriptions.values())
+
+    def test_window_scale_is_applied(self, small_workload):
+        base = DetectionExperiment(small_workload).learn_descriptions()
+        scaled = DetectionExperiment(
+            small_workload, ExperimentConfig(window_scale=2.0)
+        ).learn_descriptions()
+        gesture = "swipe_right"
+        assert scaled[gesture].poses[0].window.width["rhand_x"] == pytest.approx(
+            2.0 * base[gesture].poses[0].window.width["rhand_x"]
+        )
+
+    def test_optimize_flag_reduces_predicates(self, small_workload):
+        base = DetectionExperiment(small_workload).learn_descriptions()
+        optimised = DetectionExperiment(
+            small_workload, ExperimentConfig(optimize=True)
+        ).learn_descriptions()
+        total_base = sum(d.predicate_count() for d in base.values())
+        total_opt = sum(d.predicate_count() for d in optimised.values())
+        assert total_opt <= total_base
+
+    def test_experiment_config_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(training_samples=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(window_scale=0.0)
+
+    def test_result_rows_and_macro_f1_empty(self):
+        from repro.evaluation.harness import AccuracyResult
+
+        empty = AccuracyResult()
+        assert empty.macro_f1 == 0.0
+        assert empty.rows() == []
+
+
+class TestThroughput:
+    def test_measure_throughput_reports_realtime_factor(self, swipe_query):
+        simulator = KinectSimulator(clock=SimulatedClock())
+        frames = simulator.perform(SwipeTrajectory("right"))
+        result = measure_throughput([swipe_query], frames, repeat=2)
+        assert result.frames_processed == 2 * len(frames)
+        assert result.tuples_per_second > 30.0
+        assert result.realtime_factor > 1.0
+        row = result.as_row()
+        assert row["queries"] == 1
+        assert row["mean_latency_us"] > 0

@@ -1,0 +1,92 @@
+"""Unit tests for repro.kinect.recordings."""
+
+import pytest
+
+from repro.kinect.recordings import (
+    Recording,
+    generate_dataset,
+    load_recording_csv,
+    recordings_by_gesture,
+    save_recording_csv,
+)
+from repro.kinect.simulator import KinectSimulator
+from repro.kinect.trajectories import SwipeTrajectory, standard_gesture_catalog
+from repro.kinect.users import user_by_name
+from repro.streams import SimulatedClock
+
+
+@pytest.fixture
+def swipe_recording():
+    simulator = KinectSimulator(clock=SimulatedClock())
+    frames = simulator.perform(SwipeTrajectory("right"))
+    return Recording(gesture="swipe_right", user="adult", frames=frames)
+
+
+class TestRecording:
+    def test_len_and_duration(self, swipe_recording):
+        assert len(swipe_recording) == len(swipe_recording.frames)
+        assert swipe_recording.duration_s > 1.0
+
+    def test_duration_of_short_recording_is_zero(self):
+        assert Recording("x", "adult", frames=[{"ts": 1.0}]).duration_s == 0.0
+
+    def test_fields_put_timestamp_first(self, swipe_recording):
+        fields = swipe_recording.fields()
+        assert fields[0] == "ts"
+        assert fields[1] == "player"
+
+    def test_fields_of_empty_recording(self):
+        assert Recording("x", "adult").fields() == []
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_metadata_and_frames(self, swipe_recording, tmp_path):
+        path = tmp_path / "swipe.csv"
+        save_recording_csv(swipe_recording, path)
+        loaded = load_recording_csv(path)
+        assert loaded.gesture == "swipe_right"
+        assert loaded.user == "adult"
+        assert len(loaded) == len(swipe_recording)
+        assert loaded.frames[0]["rhand_x"] == pytest.approx(
+            swipe_recording.frames[0]["rhand_x"], abs=1e-6
+        )
+
+    def test_player_column_is_integer_after_loading(self, swipe_recording, tmp_path):
+        path = tmp_path / "swipe.csv"
+        save_recording_csv(swipe_recording, path)
+        loaded = load_recording_csv(path)
+        assert isinstance(loaded.frames[0]["player"], int)
+
+
+class TestGenerateDataset:
+    def test_dataset_covers_all_gestures_and_users(self):
+        catalog = {"swipe_right": standard_gesture_catalog()["swipe_right"]}
+        users = [user_by_name("adult"), user_by_name("child")]
+        recordings = generate_dataset(
+            catalog, users=users, samples_per_gesture=2, include_idle=True
+        )
+        grouped = recordings_by_gesture(recordings)
+        assert len(grouped["swipe_right"]) == 4  # 2 users x 2 samples
+        assert len(grouped["idle"]) == 2
+
+    def test_dataset_is_reproducible_with_same_seed(self):
+        catalog = {"swipe_right": standard_gesture_catalog()["swipe_right"]}
+        users = [user_by_name("adult")]
+        first = generate_dataset(catalog, users=users, samples_per_gesture=1, seed=3)
+        second = generate_dataset(catalog, users=users, samples_per_gesture=1, seed=3)
+        assert first[0].frames[0]["rhand_x"] == pytest.approx(
+            second[0].frames[0]["rhand_x"]
+        )
+
+    def test_different_seeds_differ(self):
+        catalog = {"swipe_right": standard_gesture_catalog()["swipe_right"]}
+        users = [user_by_name("adult")]
+        first = generate_dataset(catalog, users=users, samples_per_gesture=1, seed=3)
+        second = generate_dataset(catalog, users=users, samples_per_gesture=1, seed=4)
+        assert first[0].frames[0]["rhand_x"] != pytest.approx(
+            second[0].frames[0]["rhand_x"]
+        )
+
+    def test_requires_positive_sample_count(self):
+        with pytest.raises(ValueError):
+            generate_dataset({}, samples_per_gesture=0)

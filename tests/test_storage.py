@@ -1,0 +1,173 @@
+"""Unit tests for the gesture database and serialisation."""
+
+import pytest
+
+from repro.core.description import GestureDescription
+from repro.core.windows import PoseWindow, Window
+from repro.errors import (
+    DuplicateGestureError,
+    GestureNotFoundError,
+    SerializationError,
+)
+from repro.kinect.recordings import Recording
+from repro.storage import (
+    GestureDatabase,
+    description_from_json,
+    description_to_json,
+    recording_from_json,
+    recording_to_json,
+)
+
+
+def _description(name="swipe_right"):
+    return GestureDescription(
+        name=name,
+        poses=[
+            PoseWindow(0, Window({"rhand_x": 0.0, "rhand_y": 150.0},
+                                 {"rhand_x": 50.0, "rhand_y": 50.0})),
+            PoseWindow(1, Window({"rhand_x": 800.0, "rhand_y": 150.0},
+                                 {"rhand_x": 50.0, "rhand_y": 50.0}), support=3),
+        ],
+        joints=["rhand"],
+        sample_count=3,
+        mean_duration_s=1.2,
+        max_duration_s=1.4,
+        metadata={"note": "test"},
+    )
+
+
+def _recording():
+    return Recording(
+        gesture="swipe_right",
+        user="adult",
+        frames=[{"ts": 0.0, "rhand_x": 1.0}, {"ts": 0.033, "rhand_x": 2.0}],
+    )
+
+
+class TestSerialization:
+    def test_description_round_trip(self):
+        description = _description()
+        restored = description_from_json(description_to_json(description))
+        assert restored.name == description.name
+        assert restored.pose_count == 2
+        assert restored.poses[1].support == 3
+        assert restored.metadata["note"] == "test"
+
+    def test_recording_round_trip(self):
+        recording = _recording()
+        restored = recording_from_json(recording_to_json(recording))
+        assert restored.gesture == "swipe_right"
+        assert restored.frames == recording.frames
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(SerializationError):
+            description_from_json("{not json")
+        with pytest.raises(SerializationError):
+            description_from_json('["a list"]')
+        with pytest.raises(SerializationError):
+            recording_from_json('{"version": 1}')
+
+    def test_newer_format_version_rejected(self):
+        with pytest.raises(SerializationError):
+            description_from_json('{"version": 999, "description": {}}')
+
+
+class TestGestureDatabase:
+    def test_save_and_load(self):
+        db = GestureDatabase(":memory:")
+        db.save_gesture(_description(), query_text="SELECT ...")
+        record = db.load_gesture("swipe_right")
+        assert record.name == "swipe_right"
+        assert record.query_text == "SELECT ..."
+        assert record.enabled
+        assert record.description.pose_count == 2
+
+    def test_missing_gesture_raises(self):
+        db = GestureDatabase(":memory:")
+        with pytest.raises(GestureNotFoundError):
+            db.load_gesture("nope")
+
+    def test_overwrite_updates_existing(self):
+        db = GestureDatabase(":memory:")
+        db.save_gesture(_description())
+        updated = _description()
+        updated.sample_count = 9
+        db.save_gesture(updated, query_text="v2")
+        record = db.load_gesture("swipe_right")
+        assert record.description.sample_count == 9
+        assert record.query_text == "v2"
+        assert db.gesture_names() == ["swipe_right"]
+
+    def test_duplicate_without_overwrite_raises(self):
+        db = GestureDatabase(":memory:")
+        db.save_gesture(_description())
+        with pytest.raises(DuplicateGestureError):
+            db.save_gesture(_description(), overwrite=False)
+
+    def test_delete_gesture_and_samples(self):
+        db = GestureDatabase(":memory:")
+        db.save_gesture(_description())
+        db.add_sample("swipe_right", _recording())
+        db.delete_gesture("swipe_right")
+        assert db.gesture_names() == []
+        with pytest.raises(GestureNotFoundError):
+            db.delete_gesture("swipe_right")
+
+    def test_enable_disable(self):
+        db = GestureDatabase(":memory:")
+        db.save_gesture(_description())
+        db.set_enabled("swipe_right", False)
+        assert db.gesture_names(enabled_only=True) == []
+        assert db.gesture_names() == ["swipe_right"]
+        db.set_enabled("swipe_right", True)
+        assert db.gesture_names(enabled_only=True) == ["swipe_right"]
+        with pytest.raises(GestureNotFoundError):
+            db.set_enabled("nope", True)
+
+    def test_samples_round_trip(self):
+        db = GestureDatabase(":memory:")
+        db.save_gesture(_description())
+        sample_id = db.add_sample("swipe_right", _recording())
+        assert sample_id >= 1
+        samples = db.samples_for("swipe_right")
+        assert len(samples) == 1
+        assert samples[0].user == "adult"
+        assert samples[0].recording.frames[0]["rhand_x"] == 1.0
+        assert db.sample_count("swipe_right") == 1
+
+    def test_add_sample_requires_existing_gesture(self):
+        db = GestureDatabase(":memory:")
+        with pytest.raises(GestureNotFoundError):
+            db.add_sample("ghost", _recording())
+
+    def test_update_query_text_for_manual_tuning(self):
+        db = GestureDatabase(":memory:")
+        db.save_gesture(_description(), query_text="original")
+        db.update_query_text("swipe_right", "manually tuned")
+        assert db.load_gesture("swipe_right").query_text == "manually tuned"
+        with pytest.raises(GestureNotFoundError):
+            db.update_query_text("ghost", "x")
+
+    def test_deployment_history(self):
+        db = GestureDatabase(":memory:")
+        db.save_gesture(_description())
+        db.log_deployment("swipe_right", "query v1")
+        db.log_deployment("swipe_right", "query v2")
+        history = db.deployment_history("swipe_right")
+        assert [entry["query_text"] for entry in history] == ["query v1", "query v2"]
+
+    def test_all_gestures_and_context_manager(self):
+        with GestureDatabase(":memory:") as db:
+            db.save_gesture(_description("a"))
+            db.save_gesture(_description("b"))
+            records = db.all_gestures()
+            assert [record.name for record in records] == ["a", "b"]
+
+    def test_file_backed_database_persists(self, tmp_path):
+        path = tmp_path / "gestures.sqlite"
+        first = GestureDatabase(path)
+        first.save_gesture(_description(), query_text="persisted")
+        first.close()
+        second = GestureDatabase(path)
+        assert second.load_gesture("swipe_right").query_text == "persisted"
+        second.close()

@@ -1,0 +1,77 @@
+"""Unit tests for repro.streams.clock."""
+
+import pytest
+
+from repro.streams.clock import SimulatedClock, WallClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(start=5.0).now() == 5.0
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start=-1.0)
+
+    def test_advance_moves_time_forward(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_advance_rejects_negative_duration(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_set_jumps_to_absolute_time(self):
+        clock = SimulatedClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_rejects_going_backwards(self):
+        clock = SimulatedClock(start=5.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)
+
+    def test_sleep_advances_simulated_time(self):
+        clock = SimulatedClock()
+        clock.sleep(2.0)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_thirty_hz_frame_accumulation(self):
+        clock = SimulatedClock()
+        for _ in range(30):
+            clock.advance(1.0 / 30.0)
+        assert clock.now() == pytest.approx(1.0)
+
+    def test_repr_contains_time(self):
+        assert "1.50" in repr(SimulatedClock(start=1.5))
+
+
+class TestWallClock:
+    def test_starts_near_zero(self):
+        clock = WallClock()
+        assert 0.0 <= clock.now() < 0.5
+
+    def test_is_monotonic(self):
+        clock = WallClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_sleep_advances_time(self):
+        clock = WallClock()
+        before = clock.now()
+        clock.sleep(0.01)
+        assert clock.now() - before >= 0.009
+
+    def test_sleep_with_nonpositive_duration_returns_immediately(self):
+        clock = WallClock()
+        before = clock.now()
+        clock.sleep(0.0)
+        clock.sleep(-1.0)
+        assert clock.now() - before < 0.05

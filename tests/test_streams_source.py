@@ -1,0 +1,98 @@
+"""Unit tests for repro.streams.source."""
+
+import pytest
+
+from repro.streams.clock import SimulatedClock
+from repro.streams.source import (
+    CallableSource,
+    GeneratorSource,
+    RateLimiter,
+    ReplaySource,
+)
+from repro.streams.stream import Stream
+
+
+class TestReplaySource:
+    def test_replays_all_records(self):
+        stream = Stream("s")
+        received = []
+        stream.subscribe(received.append)
+        source = ReplaySource(stream, [{"ts": 0.0}, {"ts": 0.1}])
+        assert source.run() == 2
+        assert len(received) == 2
+
+    def test_limit_stops_early(self):
+        stream = Stream("s")
+        source = ReplaySource(stream, [{"ts": i / 10} for i in range(10)])
+        assert source.run(limit=3) == 3
+
+    def test_advances_simulated_clock_to_timestamps(self):
+        clock = SimulatedClock()
+        stream = Stream("s")
+        source = ReplaySource(stream, [{"ts": 0.5}, {"ts": 1.25}], clock=clock)
+        source.run()
+        assert clock.now() == pytest.approx(1.25)
+
+    def test_does_not_advance_clock_when_disabled(self):
+        clock = SimulatedClock()
+        stream = Stream("s")
+        ReplaySource(stream, [{"ts": 5.0}], clock=clock, advance_clock=False).run()
+        assert clock.now() == 0.0
+
+    def test_can_be_replayed_twice(self):
+        stream = Stream("s")
+        source = ReplaySource(stream, [{"ts": 0.0}], advance_clock=False)
+        assert source.run() == 1
+        assert source.run() == 1
+        assert source.emitted == 2
+
+    def test_len_reports_record_count(self):
+        source = ReplaySource(Stream("s"), [{"ts": 0.0}] * 4)
+        assert len(source) == 4
+
+
+class TestGeneratorSource:
+    def test_consumes_iterable(self):
+        stream = Stream("s")
+        received = []
+        stream.subscribe(received.append)
+        source = GeneratorSource(stream, ({"i": i} for i in range(5)))
+        assert source.run() == 5
+        assert received[-1] == {"i": 4}
+
+
+class TestCallableSource:
+    def test_stops_when_producer_returns_none(self):
+        stream = Stream("s")
+        values = iter([{"a": 1}, {"a": 2}, None])
+        source = CallableSource(stream, lambda now: next(values))
+        assert source.run() == 2
+
+    def test_respects_max_items(self):
+        stream = Stream("s")
+        source = CallableSource(stream, lambda now: {"a": 1}, max_items=7)
+        assert source.run() == 7
+
+
+class TestRateLimiter:
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            RateLimiter(SimulatedClock(), frequency_hz=0)
+
+    def test_advances_simulated_clock_at_frame_period(self):
+        clock = SimulatedClock()
+        limiter = RateLimiter(clock, frequency_hz=30.0)
+        limiter.wait()  # first call anchors the limiter
+        for _ in range(30):
+            limiter.wait()
+        assert clock.now() == pytest.approx(1.0, abs=1e-6)
+
+    def test_reset_reanchors(self):
+        clock = SimulatedClock()
+        limiter = RateLimiter(clock, frequency_hz=10.0)
+        limiter.wait()
+        limiter.wait()
+        limiter.reset()
+        before = clock.now()
+        limiter.wait()
+        assert clock.now() == before

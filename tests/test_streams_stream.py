@@ -1,0 +1,124 @@
+"""Unit tests for repro.streams.stream."""
+
+import pytest
+
+from repro.errors import QueryRegistrationError, SchemaError, UnknownStreamError
+from repro.streams.stream import Stream, StreamRegistry
+
+
+class TestStream:
+    def test_requires_a_name(self):
+        with pytest.raises(ValueError):
+            Stream("")
+
+    def test_push_delivers_to_subscriber(self):
+        stream = Stream("s")
+        received = []
+        stream.subscribe(received.append)
+        stream.push({"a": 1})
+        assert received == [{"a": 1}]
+
+    def test_push_delivers_to_all_subscribers_in_order(self):
+        stream = Stream("s")
+        order = []
+        stream.subscribe(lambda item: order.append("first"))
+        stream.subscribe(lambda item: order.append("second"))
+        stream.push({})
+        assert order == ["first", "second"]
+
+    def test_unsubscribe_stops_delivery(self):
+        stream = Stream("s")
+        received = []
+        subscription = stream.subscribe(received.append)
+        subscription.cancel()
+        stream.push({"a": 1})
+        assert received == []
+
+    def test_subscriber_can_unsubscribe_during_delivery(self):
+        stream = Stream("s")
+        received = []
+        subscription = stream.subscribe(lambda item: subscription.cancel())
+        stream.subscribe(received.append)
+        stream.push({"a": 1})
+        stream.push({"a": 2})
+        assert len(received) == 2
+
+    def test_required_fields_are_enforced(self):
+        stream = Stream("s", fields=["ts", "x"])
+        with pytest.raises(SchemaError):
+            stream.push({"ts": 0.0})
+
+    def test_extra_fields_are_allowed(self):
+        stream = Stream("s", fields=["ts"])
+        stream.push({"ts": 0.0, "extra": 1})
+        assert stream.stats.pushed == 1
+
+    def test_pause_drops_tuples(self):
+        stream = Stream("s")
+        received = []
+        stream.subscribe(received.append)
+        stream.pause()
+        stream.push({"a": 1})
+        stream.resume()
+        stream.push({"a": 2})
+        assert received == [{"a": 2}]
+        assert stream.stats.dropped == 1
+
+    def test_stats_count_pushes_and_deliveries(self):
+        stream = Stream("s")
+        stream.subscribe(lambda item: None)
+        stream.subscribe(lambda item: None)
+        stream.push({})
+        stream.push({})
+        assert stream.stats.pushed == 2
+        assert stream.stats.delivered == 4
+
+    def test_stats_reset(self):
+        stream = Stream("s")
+        stream.push({})
+        stream.stats.reset()
+        assert stream.stats.pushed == 0
+
+    def test_push_many_returns_count(self):
+        stream = Stream("s")
+        assert stream.push_many([{}, {}, {}]) == 3
+
+    def test_subscriber_count(self):
+        stream = Stream("s")
+        assert stream.subscriber_count == 0
+        stream.subscribe(lambda item: None)
+        assert stream.subscriber_count == 1
+
+
+class TestStreamRegistry:
+    def test_create_and_get(self):
+        registry = StreamRegistry()
+        stream = registry.create("kinect")
+        assert registry.get("kinect") is stream
+
+    def test_duplicate_registration_fails(self):
+        registry = StreamRegistry()
+        registry.create("kinect")
+        with pytest.raises(QueryRegistrationError):
+            registry.create("kinect")
+
+    def test_unknown_stream_raises_with_available_names(self):
+        registry = StreamRegistry()
+        registry.create("kinect")
+        with pytest.raises(UnknownStreamError, match="kinect"):
+            registry.get("missing")
+
+    def test_contains_and_names(self):
+        registry = StreamRegistry()
+        registry.create("b")
+        registry.create("a")
+        assert "a" in registry
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 2
+
+    def test_remove_is_idempotent(self):
+        registry = StreamRegistry()
+        registry.create("a")
+        registry.remove("a")
+        registry.remove("a")
+        assert "a" not in registry
