@@ -1,0 +1,88 @@
+"""B1 — compiled predicates and batched delivery vs the seed interpreted path.
+
+Runs the C5 throughput workload (8 deployed gesture queries, raw frames
+through the ``kinect_t`` view) in three engine configurations:
+
+* ``interpreted`` — per-tuple fan-out, predicates evaluated by walking the
+  expression AST (the seed's only path),
+* ``compiled`` — per-tuple fan-out, predicates lowered to closures through
+  the engine's compiled-predicate cache,
+* ``compiled+batched`` — compiled predicates plus chunked delivery, so each
+  matcher prunes its run table once per chunk.
+
+Before reporting any speedup the benchmark asserts that all three
+configurations produce *identical per-query detection sequences* — the fast
+paths must never trade correctness for throughput.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.evaluation import measure_throughput
+
+BATCH_SIZE = 64
+
+
+def _per_query_detections(result):
+    """Detection sequences grouped by query, for exact equality checks."""
+    grouped = {}
+    for detection in result.detections:
+        grouped.setdefault(detection.query_name, []).append(
+            (
+                detection.output,
+                detection.timestamp,
+                detection.start_timestamp,
+                detection.step_timestamps,
+            )
+        )
+    return grouped
+
+
+def test_b1_compiled_and_batched_match_interpreted(
+    benchmark, request, gesture_queries, sensor_frames
+):
+    interpreted = measure_throughput(
+        gesture_queries, sensor_frames, compile_predicates=False
+    )
+    compiled = measure_throughput(gesture_queries, sensor_frames)
+    batched = measure_throughput(gesture_queries, sensor_frames, batch_size=BATCH_SIZE)
+
+    # Correctness first: the fast paths must detect exactly what the
+    # interpreted per-tuple path detects, query by query, in order.
+    baseline = _per_query_detections(interpreted)
+    assert baseline, "workload produced no detections; the comparison is vacuous"
+    assert _per_query_detections(compiled) == baseline
+    assert _per_query_detections(batched) == baseline
+
+    rows = []
+    for label, result in (
+        ("interpreted / per-tuple", interpreted),
+        ("compiled / per-tuple", compiled),
+        (f"compiled / batch={BATCH_SIZE}", batched),
+    ):
+        row = {"configuration": label}
+        row.update(result.as_row())
+        row["speedup"] = round(
+            result.tuples_per_second / interpreted.tuples_per_second, 2
+        )
+        rows.append(row)
+    print_table("B1: interpreted vs compiled vs batched matching", rows)
+
+    # Compiled predicates are the headline win; allow a generous noise
+    # margin, and skip the timing assertion entirely in the untimed smoke
+    # pass (shared CI runners make single-shot ratios unreliable).
+    if not request.config.getoption("benchmark_disable", False):
+        assert compiled.tuples_per_second > interpreted.tuples_per_second * 1.2
+
+    benchmark(measure_throughput, gesture_queries, sensor_frames, batch_size=BATCH_SIZE)
+
+
+def test_b1_batched_is_equivalent_across_chunk_sizes(gesture_queries, sensor_frames):
+    baseline = _per_query_detections(
+        measure_throughput(gesture_queries, sensor_frames)
+    )
+    for batch_size in (1, 7, 256, len(sensor_frames)):
+        batched = measure_throughput(
+            gesture_queries, sensor_frames, batch_size=batch_size
+        )
+        assert _per_query_detections(batched) == baseline, f"batch_size={batch_size}"

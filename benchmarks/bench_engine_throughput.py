@@ -6,53 +6,13 @@ gesture queries and reports sustained throughput, the real-time factor
 relative to the Kinect's 30 Hz, and per-tuple latency percentiles.
 
 The benchmark kernel times the 8-query configuration (a full gesture
-vocabulary) so pytest-benchmark tracks the headline number.
+vocabulary) so pytest-benchmark tracks the headline number.  The gesture
+vocabulary and frame fixtures live in ``conftest.py`` and are shared with
+the B1 batched-matching comparison (``bench_batch_matching.py``).
 """
 
-import pytest
-
-from benchmarks.conftest import learn_gesture, make_simulator, print_table
+from benchmarks.conftest import print_table
 from repro.evaluation import measure_throughput
-from repro.kinect import (
-    CircleTrajectory,
-    PushTrajectory,
-    RaiseHandTrajectory,
-    SwipeTrajectory,
-    WaveTrajectory,
-)
-
-GESTURES = [
-    ("swipe_right", SwipeTrajectory("right")),
-    ("swipe_left", SwipeTrajectory("left", hand="lhand")),
-    ("circle", CircleTrajectory()),
-    ("push", PushTrajectory()),
-    ("raise_hand", RaiseHandTrajectory()),
-    ("wave_big", WaveTrajectory(cycles=2, amplitude_mm=260.0, name="wave_big")),
-    ("swipe_right_low", SwipeTrajectory("right", height_mm=-100.0, name="swipe_right_low")),
-    ("push_left", PushTrajectory(hand="lhand", name="push_left")),
-]
-
-
-@pytest.fixture(scope="module")
-def gesture_queries(query_generator):
-    queries = []
-    for index, (name, trajectory) in enumerate(GESTURES):
-        joints = ("lhand",) if getattr(trajectory, "hand", "rhand") == "lhand" else ("rhand",)
-        description = learn_gesture(name, trajectory, seed=500 + index, joints=joints)
-        queries.append(query_generator.generate(description))
-    return queries
-
-
-@pytest.fixture(scope="module")
-def sensor_frames():
-    simulator = make_simulator(seed=900)
-    frames = []
-    for _, trajectory in GESTURES[:4]:
-        frames.extend(
-            simulator.perform_variation(trajectory, hold_start_s=0.2, hold_end_s=0.2)
-        )
-        frames.extend(simulator.idle_frames(0.5))
-    return frames
 
 
 def test_c5_engine_throughput_vs_query_count(benchmark, gesture_queries, sensor_frames):

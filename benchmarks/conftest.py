@@ -1,23 +1,62 @@
 """Shared fixtures and reporting helpers for the benchmark suite.
 
 Every benchmark corresponds to one experiment id from ``DESIGN.md`` /
-``EXPERIMENTS.md`` (F1–F5, C1–C5, A1).  Benchmarks print the table or series
-the experiment reproduces — run with ``pytest benchmarks/ --benchmark-only -s``
-to see them — and additionally time a representative kernel through the
-``benchmark`` fixture so pytest-benchmark collects comparable numbers.
+``EXPERIMENTS.md`` (F1–F5, C1–C5, A1, B1).  Benchmarks print the table or
+series the experiment reproduces — run with
+``pytest benchmarks/ --benchmark-only -s`` to see them — and additionally
+time a representative kernel through the ``benchmark`` fixture so
+pytest-benchmark collects comparable numbers.
+
+``python -m pytest benchmarks -q -m smoke`` runs every benchmark kernel
+exactly once with pytest-benchmark timing disabled — a fast CI smoke pass
+that keeps the perf harness working without paying for calibration rounds.
 """
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
 from typing import Dict, Iterable, List, Sequence
+
+# Allow `python -m pytest benchmarks` without an explicit PYTHONPATH=src.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 import numpy as np
 import pytest
 
 from repro.core import GestureLearner, LearnerConfig, QueryGenerator
 from repro.evaluation import WorkloadConfig, build_workload
-from repro.kinect import GaussianNoise, KinectSimulator, user_by_name
+from repro.kinect import (
+    CircleTrajectory,
+    GaussianNoise,
+    KinectSimulator,
+    PushTrajectory,
+    RaiseHandTrajectory,
+    SwipeTrajectory,
+    WaveTrajectory,
+    user_by_name,
+)
 from repro.streams import SimulatedClock
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "smoke: run each benchmark kernel once without pytest-benchmark timing",
+    )
+    # `-m smoke` implies --benchmark-disable: kernels run once, untimed.
+    # Exact match only — composed expressions like "not smoke" keep explicit
+    # control over --benchmark-disable.
+    if (config.getoption("markexpr", "") or "").strip() == "smoke":
+        config.option.benchmark_disable = True
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if "bench_" in item.nodeid:
+            item.add_marker(pytest.mark.smoke)
 
 
 def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:
@@ -60,9 +99,47 @@ def learn_gesture(name, trajectory, samples=4, seed=11, joints=("rhand",)):
     return learner.description()
 
 
+#: The 8-gesture vocabulary of the C5 throughput experiment (also reused by
+#: the B1 batched-matching comparison).
+THROUGHPUT_GESTURES = [
+    ("swipe_right", SwipeTrajectory("right")),
+    ("swipe_left", SwipeTrajectory("left", hand="lhand")),
+    ("circle", CircleTrajectory()),
+    ("push", PushTrajectory()),
+    ("raise_hand", RaiseHandTrajectory()),
+    ("wave_big", WaveTrajectory(cycles=2, amplitude_mm=260.0, name="wave_big")),
+    ("swipe_right_low", SwipeTrajectory("right", height_mm=-100.0, name="swipe_right_low")),
+    ("push_left", PushTrajectory(hand="lhand", name="push_left")),
+]
+
+
 @pytest.fixture(scope="session")
 def query_generator() -> QueryGenerator:
     return QueryGenerator()
+
+
+@pytest.fixture(scope="session")
+def gesture_queries(query_generator):
+    """One learned query per gesture of the throughput vocabulary."""
+    queries = []
+    for index, (name, trajectory) in enumerate(THROUGHPUT_GESTURES):
+        joints = ("lhand",) if getattr(trajectory, "hand", "rhand") == "lhand" else ("rhand",)
+        description = learn_gesture(name, trajectory, seed=500 + index, joints=joints)
+        queries.append(query_generator.generate(description))
+    return queries
+
+
+@pytest.fixture(scope="session")
+def sensor_frames():
+    """Raw sensor frames: four performed gestures interleaved with idle."""
+    simulator = make_simulator(seed=900)
+    frames = []
+    for _, trajectory in THROUGHPUT_GESTURES[:4]:
+        frames.extend(
+            simulator.perform_variation(trajectory, hold_start_s=0.2, hold_end_s=0.2)
+        )
+        frames.extend(simulator.idle_frames(0.5))
+    return frames
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,7 @@ from repro.cep.expressions import (
     BinaryOp,
     BooleanOp,
     Comparison,
+    CompiledPredicateCache,
     Expression,
     FieldRef,
     FunctionCall,
@@ -57,6 +58,7 @@ __all__ = [
     "BooleanOp",
     "NotOp",
     "FunctionCall",
+    "CompiledPredicateCache",
     "abs_diff_predicate",
     "FunctionRegistry",
     "default_functions",

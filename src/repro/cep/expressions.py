@@ -18,16 +18,27 @@ Function calls are resolved through a
 :class:`~repro.cep.udf.FunctionRegistry`; the default registry provides
 ``abs``, ``dist`` (Euclidean distance) and the Roll-Pitch-Yaw operators the
 paper implements as UDFs in AnduIN.
+
+Besides the interpreted ``evaluate()`` walk, every node can be *compiled*
+(``compile()``) into a plain Python closure that takes only the record.
+Compilation resolves operators, field names and UDF callables once instead
+of per tuple, which is what lets the NFA matcher keep up with a full
+gesture vocabulary at sensor rate.  A :class:`CompiledPredicateCache`
+(owned by the engine) shares compiled closures between structurally
+identical predicates, keyed by their canonical ``to_query()`` text.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ExpressionError, UnknownFunctionError
 
 EvaluationContext = Mapping[str, Any]
+
+#: A compiled expression: a closure over the record only.
+CompiledExpression = Callable[[EvaluationContext], Any]
 
 
 class Expression(ABC):
@@ -44,6 +55,26 @@ class Expression(ABC):
     @abstractmethod
     def fields(self) -> FrozenSet[str]:
         """Return the set of field names referenced by the expression."""
+
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        """Lower the expression to a plain Python closure over the record.
+
+        The closure returns exactly what :meth:`evaluate` would return for
+        the same record, but operator dispatch, field names and UDF
+        callables are resolved once at compile time instead of per call.
+        Two semantic differences, both surfacing errors *earlier*: unknown
+        functions and arity mismatches raise at compile time rather than at
+        evaluation time.
+
+        Subclasses override this; the base implementation falls back to
+        interpreting the node, so third-party :class:`Expression`
+        subclasses keep working inside compiled parents.
+        """
+
+        def interpret(record: EvaluationContext) -> Any:
+            return self.evaluate(record, functions)
+
+        return interpret
 
     def predicate_count(self) -> int:
         """Number of atomic comparisons in the expression (detection effort)."""
@@ -71,6 +102,10 @@ class Literal(Expression):
 
     def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> Any:
         return self.value
+
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        value = self.value
+        return lambda record: value
 
     def to_query(self) -> str:
         if isinstance(self.value, bool):
@@ -106,6 +141,20 @@ class FieldRef(Expression):
                 f"(available: {sorted(record)[:8]}…)"
             ) from None
 
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        name = self.name
+
+        def load(record: EvaluationContext) -> Any:
+            try:
+                return record[name]
+            except KeyError:
+                raise ExpressionError(
+                    f"tuple has no field '{name}' "
+                    f"(available: {sorted(record)[:8]}…)"
+                ) from None
+
+        return load
+
     def to_query(self) -> str:
         return self.name
 
@@ -121,6 +170,10 @@ class UnaryMinus(Expression):
 
     def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> Any:
         return -self.operand.evaluate(record, functions)
+
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        operand = self.operand.compile(functions)
+        return lambda record: -operand(record)
 
     def to_query(self) -> str:
         return f"-{self.operand.to_query()}"
@@ -156,6 +209,22 @@ class BinaryOp(Expression):
         if self.operator == "/" and right == 0:
             raise ExpressionError("division by zero while evaluating expression")
         return _ARITHMETIC_OPS[self.operator](left, right)
+
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        left = self.left.compile(functions)
+        right = self.right.compile(functions)
+        if self.operator == "/":
+
+            def divide(record: EvaluationContext) -> Any:
+                numerator = left(record)
+                denominator = right(record)
+                if denominator == 0:
+                    raise ExpressionError("division by zero while evaluating expression")
+                return numerator / denominator
+
+            return divide
+        operation = _ARITHMETIC_OPS[self.operator]
+        return lambda record: operation(left(record), right(record))
 
     def to_query(self) -> str:
         return f"{self._render(self.left)} {self.operator} {self._render(self.right)}"
@@ -203,6 +272,79 @@ class Comparison(Expression):
         right = self.right.evaluate(record, functions)
         return bool(_COMPARISON_OPS[self.operator](left, right))
 
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        specialized = self._compile_specialized(functions)
+        if specialized is not None:
+            return specialized
+        left = self.left.compile(functions)
+        right = self.right.compile(functions)
+        operation = _COMPARISON_OPS[self.operator]
+        return lambda record: bool(operation(left(record), right(record)))
+
+    def _compile_specialized(self, functions: Optional["FunctionRegistry"]) -> Optional[CompiledExpression]:
+        """Collapse the two predicate shapes that dominate generated queries.
+
+        ``abs(field ± c) <op> w`` (the learner's pose-window template from
+        Sec. 3.3.4) and ``field <op> literal`` each become a single flat
+        closure instead of a chain of nested calls.  The ``abs`` shape is
+        only taken when the registry resolves ``abs`` to the Python builtin,
+        so a user-supplied override keeps the generic path.
+        """
+        if not isinstance(self.right, Literal):
+            return None
+        operation = _COMPARISON_OPS[self.operator]
+        bound = self.right.value
+
+        if isinstance(self.left, FieldRef):
+            name = self.left.name
+
+            def compare_field(record: EvaluationContext) -> bool:
+                try:
+                    return bool(operation(record[name], bound))
+                except KeyError:
+                    raise ExpressionError(
+                        f"tuple has no field '{name}' "
+                        f"(available: {sorted(record)[:8]}…)"
+                    ) from None
+
+            return compare_field
+
+        if (
+            isinstance(self.left, FunctionCall)
+            and self.left.name == "abs"
+            and len(self.left.arguments) == 1
+        ):
+            from repro.cep.udf import default_functions
+
+            registry = functions
+            if registry is None or not registry.has("abs"):
+                registry = default_functions()
+            if registry.resolve("abs", arity=1) is not abs:
+                return None
+            inner = self.left.arguments[0]
+            if not (
+                isinstance(inner, BinaryOp)
+                and inner.operator in ("+", "-")
+                and isinstance(inner.left, FieldRef)
+                and isinstance(inner.right, Literal)
+            ):
+                return None
+            name = inner.left.name
+            center = inner.right.value if inner.operator == "-" else -inner.right.value
+
+            def compare_window(record: EvaluationContext) -> bool:
+                try:
+                    return bool(operation(abs(record[name] - center), bound))
+                except KeyError:
+                    raise ExpressionError(
+                        f"tuple has no field '{name}' "
+                        f"(available: {sorted(record)[:8]}…)"
+                    ) from None
+
+            return compare_window
+
+        return None
+
     def to_query(self) -> str:
         return f"{self.left.to_query()} {self.operator} {self.right.to_query()}"
 
@@ -231,6 +373,26 @@ class BooleanOp(Expression):
         if self.operator == "and":
             return all(op.evaluate(record, functions) for op in self.operands)
         return any(op.evaluate(record, functions) for op in self.operands)
+
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        compiled = tuple(op.compile(functions) for op in self.operands)
+        if self.operator == "and":
+
+            def conjunction(record: EvaluationContext) -> bool:
+                for predicate in compiled:
+                    if not predicate(record):
+                        return False
+                return True
+
+            return conjunction
+
+        def disjunction(record: EvaluationContext) -> bool:
+            for predicate in compiled:
+                if predicate(record):
+                    return True
+            return False
+
+        return disjunction
 
     def to_query(self) -> str:
         parts = []
@@ -270,6 +432,10 @@ class NotOp(Expression):
     def evaluate(self, record: EvaluationContext, functions: Optional["FunctionRegistry"] = None) -> bool:
         return not self.operand.evaluate(record, functions)
 
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        operand = self.operand.compile(functions)
+        return lambda record: not operand(record)
+
     def to_query(self) -> str:
         return f"not ({self.operand.to_query()})"
 
@@ -302,6 +468,25 @@ class FunctionCall(Expression):
             return registry.call(self.name, values)
         raise UnknownFunctionError(f"unknown function '{self.name}'")
 
+    def compile(self, functions: Optional["FunctionRegistry"] = None) -> CompiledExpression:
+        arguments = tuple(arg.compile(functions) for arg in self.arguments)
+        registry = functions
+        if registry is None or not registry.has(self.name):
+            # Same fallback chain as evaluate(), but resolved once.
+            from repro.cep.udf import default_functions
+
+            registry = default_functions()
+            if not registry.has(self.name):
+                raise UnknownFunctionError(f"unknown function '{self.name}'")
+        function = registry.resolve(self.name, arity=len(arguments))
+        if len(arguments) == 1:
+            only = arguments[0]
+            return lambda record: function(only(record))
+        if len(arguments) == 2:
+            first, second = arguments
+            return lambda record: function(first(record), second(record))
+        return lambda record: function(*[argument(record) for argument in arguments])
+
     def to_query(self) -> str:
         args = ", ".join(arg.to_query() for arg in self.arguments)
         return f"{self.name}({args})"
@@ -314,6 +499,43 @@ class FunctionCall(Expression):
 
     def children(self) -> Tuple[Expression, ...]:
         return self.arguments
+
+
+class CompiledPredicateCache:
+    """Engine-wide cache of compiled predicate closures.
+
+    Keyed by ``Expression.to_query()`` — the canonical text rendering — so
+    structurally identical predicates (the learner emits the same pose
+    window for many queries) are lowered once and share a single closure.
+    One cache is owned by each :class:`~repro.cep.engine.CEPEngine` and
+    handed to every matcher it deploys; ``hits``/``misses`` feed the
+    throughput benchmarks.
+    """
+
+    def __init__(self, functions: Optional["FunctionRegistry"] = None) -> None:
+        self.functions = functions
+        self._compiled: Dict[str, CompiledExpression] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def compile(self, expression: Expression) -> CompiledExpression:
+        """Return the (possibly shared) compiled form of ``expression``."""
+        key = expression.to_query()
+        cached = self._compiled.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        compiled = expression.compile(self.functions)
+        self._compiled[key] = compiled
+        return compiled
+
+    def clear(self) -> None:
+        """Drop all cached closures (e.g. after a UDF was re-registered)."""
+        self._compiled.clear()
+
+    def __len__(self) -> int:
+        return len(self._compiled)
 
 
 def abs_diff_predicate(field: str, center: float, width: float) -> Expression:

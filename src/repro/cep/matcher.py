@@ -1,9 +1,9 @@
 """NFA runtime for sequence pattern matching.
 
-The :class:`NFAMatcher` consumes one tuple at a time and maintains a set of
-*runs* — partial matches, each remembering which step of the compiled
-pattern it has reached and when each step was matched.  Semantics follow the
-paper's match operator:
+The :class:`NFAMatcher` consumes tuples and maintains a set of *runs* —
+partial matches, each remembering which step of the compiled pattern it has
+reached and when each step was matched.  Semantics follow the paper's match
+operator:
 
 * a tuple that satisfies the predicate of a run's next step advances that
   run (each tuple advances a given run by at most one step),
@@ -17,6 +17,38 @@ paper's match operator:
 * ``consume all`` clears every run once a detection fires, so the same
   movement is not reported twice; ``consume none`` keeps partial matches.
 
+Fast path
+---------
+Step predicates are lowered to plain Python closures at construction time
+(``Expression.compile``); set ``MatcherConfig.compile_predicates=False`` to
+fall back to the interpreted ``Expression.evaluate`` walk (the two paths
+produce identical detections — the benchmark suite asserts it).  Run
+bookkeeping is O(1): runs are removed by *identity* with a swap-pop on the
+run table, never by value equality.  Tuples from streams that appear
+nowhere in the pattern short-circuit before any predicate is evaluated.
+
+Batched path
+------------
+:meth:`NFAMatcher.process_batch` feeds a whole chunk of tuples (sharing one
+prune window) through the matcher: expired runs are pruned once at the
+batch boundary instead of per tuple, while ``within`` constraints are still
+enforced exactly on every advancement.  Expired runs that linger mid-batch
+cannot change the outcome: advancement past an expired constraint is
+rejected when the constraint's span ends, TTL-governed patterns fall back
+to per-tuple pruning, and hitting the run cap lazily evicts expired runs
+before suppressing a new one — so with monotone timestamps the batched
+detections are identical to the per-tuple path's.
+
+Run-cap semantics
+-----------------
+``max_active_runs`` bounds *partial* matches only.  A tuple completing an
+existing run always reports, and a single-step pattern — whose matches
+never occupy a run slot — fires even when the table is full; only the start
+of a new multi-step run is suppressed at the cap.  ``select``/``consume``
+policies apply to the completions of one tuple as usual: ``select first``
+reports the oldest completed run, and ``consume all`` clears the whole run
+table, including runs started by that same tuple.
+
 The matcher also exposes the live progress information (how far the best
 partial match has advanced) that the paper's testing phase visualises to
 help users understand why a movement was not detected.
@@ -25,10 +57,14 @@ help users understand why a movement was not detected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, List, Mapping, Optional, Sequence, Tuple
 
-from repro.cep.expressions import Expression
-from repro.cep.nfa import CompiledPattern, Step
+from repro.cep.expressions import (
+    CompiledExpression,
+    CompiledPredicateCache,
+    Expression,
+)
+from repro.cep.nfa import CompiledPattern
 from repro.cep.query import ConsumePolicy, SelectPolicy
 from repro.cep.udf import FunctionRegistry, default_functions
 
@@ -44,21 +80,31 @@ class MatcherConfig:
         holding the start pose produces one matching tuple per frame; the
         bound keeps state (and per-tuple cost) constant.  When the bound is
         reached no new runs are started until existing ones advance, finish
-        or are pruned.
+        or are pruned.  Completions are never suppressed: single-step
+        patterns detect even at the cap because they need no run slot.
     run_ttl_seconds:
-        Optional hard lifetime for a partial match, used when a pattern has
-        no ``within`` constraint at all.  ``None`` disables the TTL.
+        Optional hard lifetime for a partial match, applied only while a
+        run sits at a step that no ``within`` constraint covers (in
+        particular: every step of a pattern with no ``within`` at all).
+        Runs inside a constraint window are governed by that constraint
+        alone, so long-window patterns are never cut short by the TTL.
+        ``None`` disables the TTL.
     store_matched_tuples:
         Whether detections keep the full matched tuples (useful for
         debugging and the Fig. 5 style visual feedback) or only timestamps.
     timestamp_field:
         Tuple field carrying the event time in seconds.
+    compile_predicates:
+        Lower step predicates to closures at deploy time (default).  When
+        false the matcher interprets the expression AST per tuple — slower,
+        but byte-identical in behaviour; kept for A/B benchmarking.
     """
 
     max_active_runs: int = 256
     run_ttl_seconds: Optional[float] = 10.0
     store_matched_tuples: bool = True
     timestamp_field: str = "ts"
+    compile_predicates: bool = True
 
 
 @dataclass
@@ -84,15 +130,22 @@ class Detection:
         )
 
 
-@dataclass
+@dataclass(eq=False)
 class _Run:
-    """One partial match."""
+    """One partial match.
+
+    ``eq=False`` keeps identity comparison/hashing: two runs started by
+    different users in the same frame carry identical field values, and run
+    removal must never confuse them.  ``index`` is the run's slot in the
+    matcher's run table, maintained by the swap-pop removal.
+    """
 
     next_step: int
     start_timestamp: float
     step_timestamps: List[float] = field(default_factory=list)
     matched: List[Mapping[str, Any]] = field(default_factory=list)
     sequence_number: int = 0
+    index: int = -1
 
     def progress(self, total_steps: int) -> float:
         return self.next_step / total_steps
@@ -119,7 +172,22 @@ class MatcherStats:
 
 
 class NFAMatcher:
-    """Evaluates one compiled gesture pattern against a tuple stream."""
+    """Evaluates one compiled gesture pattern against a tuple stream.
+
+    Parameters
+    ----------
+    pattern:
+        The flattened NFA description.
+    output / query_name:
+        Detection labels.
+    functions:
+        UDF registry predicates are resolved against.
+    config:
+        Runtime knobs; see :class:`MatcherConfig`.
+    compile_cache:
+        Optional engine-wide :class:`CompiledPredicateCache` so identical
+        predicates across deployed queries share one compiled closure.
+    """
 
     def __init__(
         self,
@@ -128,6 +196,7 @@ class NFAMatcher:
         query_name: str = "",
         functions: Optional[FunctionRegistry] = None,
         config: Optional[MatcherConfig] = None,
+        compile_cache: Optional[CompiledPredicateCache] = None,
     ) -> None:
         self.pattern = pattern
         self.output = output
@@ -137,6 +206,38 @@ class NFAMatcher:
         self.stats = MatcherStats()
         self._runs: List[_Run] = []
         self._run_counter = 0
+
+        steps = pattern.steps
+        self._length = len(steps)
+        self._step_streams: Tuple[str, ...] = tuple(step.stream for step in steps)
+        self._step_costs: Tuple[int, ...] = tuple(
+            step.predicate.predicate_count() or 1 for step in steps
+        )
+        if self.config.compile_predicates:
+            if compile_cache is not None:
+                predicates = tuple(compile_cache.compile(step.predicate) for step in steps)
+            else:
+                predicates = tuple(step.predicate.compile(self.functions) for step in steps)
+        else:
+            predicates = tuple(self._interpreted(step.predicate) for step in steps)
+        self._step_predicates: Tuple[CompiledExpression, ...] = predicates
+        self._first_stream = self._step_streams[0]
+        self._first_predicate = predicates[0]
+        self._relevant_streams = frozenset(self._step_streams)
+        # Per-step constraint tables so the hot path never rebuilds lists.
+        self._constraints_ending: Tuple[Tuple[Any, ...], ...] = tuple(
+            tuple(pattern.constraints_ending_at(i)) for i in range(self._length)
+        )
+        self._constraints_covering: Tuple[Tuple[Any, ...], ...] = tuple(
+            tuple(pattern.constraints_covering(i)) for i in range(self._length)
+        )
+        self._has_constraints = bool(pattern.constraints)
+        # Active runs sit at positions 0..length-2; when any of those is not
+        # covered by a constraint, the TTL can govern and batch processing
+        # must prune per tuple to stay equivalent to the per-tuple path.
+        self._ttl_can_apply = any(
+            not self._constraints_covering[i] for i in range(max(self._length - 1, 0))
+        )
 
     # -- introspection -------------------------------------------------------------
 
@@ -179,116 +280,220 @@ class NFAMatcher:
         record:
             The tuple.
         stream:
-            Name of the stream the tuple arrived on; steps of other streams
-            ignore it.
+            Name of the stream the tuple arrived on; tuples from streams
+            that appear nowhere in the pattern short-circuit immediately.
         timestamp:
             Event time; defaults to the tuple's timestamp field.
         """
         self.stats.tuples_processed += 1
+        if stream not in self._relevant_streams:
+            return []
         if timestamp is None:
             timestamp = float(record.get(self.config.timestamp_field, 0.0))
-
         self._prune(timestamp)
-
-        completed: List[_Run] = []
-        steps = self.pattern.steps
-
-        # Advance existing runs (each run by at most one step per tuple).
-        for run in list(self._runs):
-            step = steps[run.next_step]
-            if step.stream != stream:
-                continue
-            if not self._evaluate(step.predicate, record):
-                continue
-            if not self._satisfies_constraints(run, timestamp):
-                self._remove_run(run)
-                self.stats.runs_pruned += 1
-                continue
-            run.next_step += 1
-            run.step_timestamps.append(timestamp)
-            if self.config.store_matched_tuples:
-                run.matched.append(dict(record))
-            if run.next_step >= len(steps):
-                completed.append(run)
-                self._remove_run(run)
-
-        # Possibly start a new run from this tuple.
-        first_step = steps[0]
-        if first_step.stream == stream and self._evaluate(first_step.predicate, record):
-            if len(self._runs) >= self.config.max_active_runs:
-                self.stats.runs_suppressed += 1
-            else:
-                run = _Run(
-                    next_step=1,
-                    start_timestamp=timestamp,
-                    step_timestamps=[timestamp],
-                    matched=[dict(record)] if self.config.store_matched_tuples else [],
-                    sequence_number=self._run_counter,
-                )
-                self._run_counter += 1
-                self.stats.runs_started += 1
-                if len(steps) == 1:
-                    completed.append(run)
-                else:
-                    self._runs.append(run)
-
-        if not completed:
-            return []
-        return self._report(completed, timestamp)
+        detections: List[Detection] = []
+        self._process_tuple(record, stream, timestamp, detections)
+        return detections
 
     def process_many(
         self,
         records: Sequence[Mapping[str, Any]],
         stream: str,
     ) -> List[Detection]:
-        """Feed a whole recording; return all detections in order."""
+        """Feed a whole recording tuple-at-a-time; return all detections."""
         detections: List[Detection] = []
         for record in records:
             detections.extend(self.process(record, stream))
         return detections
 
+    def process_batch(
+        self,
+        records: Sequence[Mapping[str, Any]],
+        stream: str,
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> List[Detection]:
+        """Feed a chunk of tuples sharing one prune window.
+
+        Expired runs are pruned once, at the batch boundary (using the first
+        tuple's timestamp), instead of per tuple; ``within`` constraints are
+        still enforced exactly whenever a run advances.  When the TTL can
+        govern a run (some step is not covered by any constraint and
+        ``run_ttl_seconds`` is set) pruning falls back to per tuple, and
+        reaching the run cap mid-batch lazily evicts expired runs before
+        suppressing a new one — so with monotone timestamps this produces
+        the same detections as calling :meth:`process` per tuple (the
+        batched benchmark asserts it).
+
+        Parameters
+        ----------
+        records:
+            The chunk, in arrival order.
+        stream:
+            Stream all tuples of the chunk arrived on.
+        timestamps:
+            Optional pre-extracted event times, parallel to ``records``;
+            defaults to each tuple's timestamp field.
+        """
+        self.stats.tuples_processed += len(records)
+        if not records or stream not in self._relevant_streams:
+            return []
+        if timestamps is None:
+            timestamp_field = self.config.timestamp_field
+            timestamps = [float(r.get(timestamp_field, 0.0)) for r in records]
+        detections: List[Detection] = []
+        if self._ttl_can_apply and self.config.run_ttl_seconds is not None:
+            # TTL expiry is not re-checked on advancement (unlike within
+            # constraints), so only per-tuple pruning keeps equivalence.
+            for record, timestamp in zip(records, timestamps):
+                self._prune(timestamp)
+                self._process_tuple(record, stream, timestamp, detections)
+            return detections
+        self._prune(timestamps[0])
+        for record, timestamp in zip(records, timestamps):
+            self._process_tuple(record, stream, timestamp, detections)
+        return detections
+
     # -- internals -----------------------------------------------------------------------
 
-    def _evaluate(self, predicate: Expression, record: Mapping[str, Any]) -> bool:
-        self.stats.predicate_evaluations += predicate.predicate_count() or 1
-        return bool(predicate.evaluate(record, self.functions))
+    def _interpreted(self, predicate: Expression) -> CompiledExpression:
+        """Wrap ``predicate`` in the interpreted evaluation path."""
+        functions = self.functions
+
+        def evaluate(record: Mapping[str, Any]) -> bool:
+            return bool(predicate.evaluate(record, functions))
+
+        return evaluate
+
+    def _process_tuple(
+        self,
+        record: Mapping[str, Any],
+        stream: str,
+        timestamp: float,
+        detections: List[Detection],
+    ) -> None:
+        """Advance runs / start a run for one tuple; append its detections."""
+        stats = self.stats
+        runs = self._runs
+        completed: List[_Run] = []
+
+        # Advance existing runs (each run by at most one step per tuple).
+        if runs:
+            step_streams = self._step_streams
+            step_predicates = self._step_predicates
+            step_costs = self._step_costs
+            store_tuples = self.config.store_matched_tuples
+            for run in list(runs):
+                index = run.next_step
+                if step_streams[index] != stream:
+                    continue
+                stats.predicate_evaluations += step_costs[index]
+                if not step_predicates[index](record):
+                    continue
+                if not self._satisfies_constraints(run, timestamp):
+                    self._remove_run(run)
+                    stats.runs_pruned += 1
+                    continue
+                run.next_step = index + 1
+                run.step_timestamps.append(timestamp)
+                if store_tuples:
+                    run.matched.append(dict(record))
+                if run.next_step >= self._length:
+                    completed.append(run)
+                    self._remove_run(run)
+
+        # Possibly start a new run from this tuple.
+        if stream == self._first_stream:
+            stats.predicate_evaluations += self._step_costs[0]
+            if self._first_predicate(record):
+                if self._length == 1:
+                    # A single-step match never occupies a run slot, so the
+                    # run cap must not suppress it.
+                    completed.append(self._new_run(record, timestamp))
+                elif (
+                    len(runs) >= self.config.max_active_runs
+                    and not self._evict_expired(timestamp)
+                ):
+                    stats.runs_suppressed += 1
+                else:
+                    run = self._new_run(record, timestamp)
+                    run.index = len(runs)
+                    runs.append(run)
+
+        if completed:
+            detections.extend(self._report(completed, timestamp))
+
+    def _new_run(self, record: Mapping[str, Any], timestamp: float) -> _Run:
+        run = _Run(
+            next_step=1,
+            start_timestamp=timestamp,
+            step_timestamps=[timestamp],
+            matched=[dict(record)] if self.config.store_matched_tuples else [],
+            sequence_number=self._run_counter,
+        )
+        self._run_counter += 1
+        self.stats.runs_started += 1
+        return run
+
+    def _evict_expired(self, timestamp: float) -> bool:
+        """At the run cap, prune expired runs; return whether a slot freed up.
+
+        The batched path prunes once per chunk, so expired runs may still
+        occupy slots mid-batch; evicting them lazily here keeps cap
+        behaviour identical to the per-tuple path (which prunes before
+        every tuple).  On the per-tuple path this re-prune is a no-op.
+        """
+        self._prune(timestamp)
+        return len(self._runs) < self.config.max_active_runs
 
     def _satisfies_constraints(self, run: _Run, timestamp: float) -> bool:
         """Check the ``within`` constraints that end at the step being entered."""
-        entering = run.next_step  # index of the step about to be recorded
-        for constraint in self.pattern.constraints_ending_at(entering):
-            start_time = run.step_timestamps[constraint.first]
-            if timestamp - start_time > constraint.seconds:
+        for constraint in self._constraints_ending[run.next_step]:
+            if timestamp - run.step_timestamps[constraint.first] > constraint.seconds:
                 return False
         return True
 
     def _prune(self, timestamp: float) -> None:
-        """Drop runs that can no longer complete within their time windows."""
-        if not self._runs:
+        """Drop runs that can no longer complete within their time windows.
+
+        A run inside a ``within`` constraint window is pruned by that
+        constraint alone; the TTL fallback applies only while a run sits at
+        a step no constraint covers (see :class:`MatcherConfig`), so
+        long-window patterns are never cut short while runs at uncovered
+        steps still cannot accumulate forever.
+        """
+        runs = self._runs
+        if not runs:
             return
-        survivors: List[_Run] = []
-        for run in self._runs:
-            expired = False
-            for constraint in self.pattern.constraints_covering(run.next_step - 1):
-                if constraint.first < len(run.step_timestamps):
-                    start_time = run.step_timestamps[constraint.first]
-                    if timestamp - start_time > constraint.seconds:
-                        expired = True
-                        break
-            if not expired and self.config.run_ttl_seconds is not None:
-                if timestamp - run.start_timestamp > self.config.run_ttl_seconds:
-                    expired = True
-            if expired:
-                self.stats.runs_pruned += 1
+        ttl = self.config.run_ttl_seconds
+        if not self._has_constraints and ttl is None:
+            return
+        covering = self._constraints_covering
+        expired: List[_Run] = []
+        for run in runs:
+            constraints = covering[run.next_step - 1]
+            for constraint in constraints:
+                if timestamp - run.step_timestamps[constraint.first] > constraint.seconds:
+                    expired.append(run)
+                    break
             else:
-                survivors.append(run)
-        self._runs = survivors
+                if not constraints and ttl is not None:
+                    if timestamp - run.start_timestamp > ttl:
+                        expired.append(run)
+        for run in expired:
+            self._remove_run(run)
+        self.stats.runs_pruned += len(expired)
 
     def _remove_run(self, run: _Run) -> None:
-        try:
-            self._runs.remove(run)
-        except ValueError:
-            pass
+        """O(1) removal by identity: swap the last run into the freed slot."""
+        runs = self._runs
+        index = run.index
+        if index < 0 or index >= len(runs) or runs[index] is not run:
+            return  # already removed (e.g. cleared by consume all)
+        last = runs.pop()
+        if last is not run:
+            runs[index] = last
+            last.index = index
+        run.index = -1
 
     def _report(self, completed: List[_Run], timestamp: float) -> List[Detection]:
         completed.sort(key=lambda run: run.sequence_number)

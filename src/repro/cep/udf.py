@@ -71,6 +71,25 @@ class FunctionRegistry:
             )
         return self._functions[key](*arguments)
 
+    def resolve(self, name: str, arity: Optional[int] = None) -> UDF:
+        """Return the raw callable for ``name``, validating ``arity`` once.
+
+        Used by expression compilation so the per-call path skips the
+        registry lookup and the arity check entirely.
+        """
+        key = name.lower()
+        if key not in self._functions:
+            raise UnknownFunctionError(
+                f"unknown function '{name}'; registered: {self.names()}"
+            )
+        expected = self._arity[key]
+        if arity is not None and expected is not None and arity != expected:
+            raise ExpressionError(
+                f"function '{name}' expects {expected} arguments, "
+                f"got {arity}"
+            )
+        return self._functions[key]
+
     def copy(self) -> "FunctionRegistry":
         clone = FunctionRegistry()
         clone._functions = dict(self._functions)

@@ -10,7 +10,7 @@ stream computed by applying a per-tuple function to a source stream.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import for type hints only
     from repro.cep.engine import CEPEngine
@@ -42,7 +42,9 @@ class View:
 
     def start(self) -> None:
         if self._subscription is None:
-            self._subscription = self.source.subscribe(self._on_tuple, name=self.name)
+            self._subscription = self.source.subscribe(
+                self._on_tuple, name=self.name, batch_callback=self._on_batch
+            )
 
     def stop(self) -> None:
         if self._subscription is not None:
@@ -56,6 +58,11 @@ class View:
     def _on_tuple(self, record: Mapping[str, Any]) -> None:
         self.tuples_processed += 1
         self.output.push(self.function(record))
+
+    def _on_batch(self, records: Sequence[Mapping[str, Any]]) -> None:
+        """Batch delivery: transform the chunk and forward it as one chunk."""
+        self.tuples_processed += len(records)
+        self.output.push_batch([self.function(record) for record in records])
 
     def __repr__(self) -> str:
         return (

@@ -158,10 +158,17 @@ class GestureDetector:
         self.engine.push(stream, frame)
 
     def process_frames(
-        self, frames: Sequence[Mapping[str, float]], stream: str = "kinect"
+        self,
+        frames: Sequence[Mapping[str, float]],
+        stream: str = "kinect",
+        batch_size: Optional[int] = None,
     ) -> int:
-        """Push a whole recording; returns the number of frames pushed."""
-        return self.engine.push_many(stream, frames)
+        """Push a whole recording; returns the number of frames pushed.
+
+        ``batch_size`` selects the engine's batched delivery path (see
+        :meth:`CEPEngine.push_many`); the default keeps per-tuple fan-out.
+        """
+        return self.engine.push_many(stream, frames, batch_size=batch_size)
 
     # -- feedback / introspection --------------------------------------------------------------
 

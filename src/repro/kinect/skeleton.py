@@ -19,6 +19,7 @@ different heights.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Dict, Iterable, List, Mapping, Tuple
 
 import numpy as np
@@ -68,8 +69,12 @@ _REST_POSE_OFFSETS: Dict[str, Tuple[float, float, float]] = {
 }
 
 
+@lru_cache(maxsize=None)
 def joint_field(joint: str, axis: str) -> str:
     """Return the flat tuple field name for ``joint`` and ``axis``.
+
+    Cached: the joint/axis vocabulary is tiny and fixed, and the transform
+    pipeline asks for the same names on every frame of the sensor stream.
 
     >>> joint_field("rhand", "x")
     'rhand_x'

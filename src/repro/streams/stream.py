@@ -8,14 +8,24 @@ single-threaded by design — the whole engine is an event loop driven by the
 source — which keeps the semantics of the NFA matcher simple and
 deterministic, exactly like the single-input match operator described in the
 paper.
+
+Two delivery modes exist.  :meth:`Stream.push` / :meth:`Stream.push_many`
+interleave: each tuple is handed to every subscriber before the next tuple
+is taken.  :meth:`Stream.push_batch` drains a whole chunk per subscriber —
+subscribers registered with a ``batch_callback`` receive the chunk in a
+single call (which is what lets an NFA matcher prune its run table once per
+chunk), everyone else still gets the tuples one by one.  Per-subscriber
+tuple order is identical in both modes; only the interleaving *across*
+subscribers differs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 TupleCallback = Callable[[Mapping[str, Any]], None]
+BatchCallback = Callable[[Sequence[Mapping[str, Any]]], None]
 
 
 @dataclass
@@ -45,12 +55,18 @@ class StreamStats:
 
 @dataclass
 class Subscription:
-    """Handle returned by :meth:`Stream.subscribe`; used to unsubscribe."""
+    """Handle returned by :meth:`Stream.subscribe`; used to unsubscribe.
+
+    ``batch_callback``, when set, receives whole chunks on the stream's
+    batch delivery path (:meth:`Stream.push_batch`); per-tuple pushes keep
+    using ``callback``.
+    """
 
     stream: "Stream"
     callback: TupleCallback
     name: str = ""
     active: bool = True
+    batch_callback: Optional[BatchCallback] = None
 
     def cancel(self) -> None:
         """Detach this subscription from its stream."""
@@ -92,9 +108,20 @@ class Stream:
 
     # -- subscription management -------------------------------------------------
 
-    def subscribe(self, callback: TupleCallback, name: str = "") -> Subscription:
-        """Register ``callback`` to receive every tuple pushed to the stream."""
-        subscription = Subscription(stream=self, callback=callback, name=name)
+    def subscribe(
+        self,
+        callback: TupleCallback,
+        name: str = "",
+        batch_callback: Optional[BatchCallback] = None,
+    ) -> Subscription:
+        """Register ``callback`` to receive every tuple pushed to the stream.
+
+        ``batch_callback``, when given, is used instead of ``callback`` for
+        whole chunks delivered through :meth:`push_batch`.
+        """
+        subscription = Subscription(
+            stream=self, callback=callback, name=name, batch_callback=batch_callback
+        )
         self._subscribers.append(subscription)
         return subscription
 
@@ -132,14 +159,7 @@ class Stream:
             one of them.
         """
         if self.fields is not None:
-            missing = self.fields.difference(item.keys())
-            if missing:
-                from repro.errors import SchemaError
-
-                raise SchemaError(
-                    f"tuple pushed to stream '{self.name}' is missing fields: "
-                    f"{sorted(missing)}"
-                )
+            self._check_schema(item)
         if self._paused:
             self.stats.dropped += 1
             return
@@ -151,12 +171,57 @@ class Stream:
                 self.stats.delivered += 1
 
     def push_many(self, items: Iterable[Mapping[str, Any]]) -> int:
-        """Push every item of ``items``; return the number pushed."""
+        """Push every item of ``items`` one at a time; return the number pushed."""
         count = 0
         for item in items:
             self.push(item)
             count += 1
         return count
+
+    def push_batch(self, items: Sequence[Mapping[str, Any]]) -> int:
+        """Deliver ``items`` as one chunk per subscriber; return the number pushed.
+
+        Subscribers registered with a ``batch_callback`` receive the whole
+        chunk in a single call; others receive the items one by one.  Unlike
+        :meth:`push_many` the chunk is drained per subscriber, so callbacks
+        of different subscribers are not interleaved (see module docstring);
+        a subscriber feeding a derived stream therefore emits its whole
+        transformed chunk before the next subscriber sees any tuple.
+        """
+        items = list(items)
+        if self.fields is not None:
+            for item in items:
+                self._check_schema(item)
+        if self._paused:
+            self.stats.dropped += len(items)
+            return 0
+        if not items:
+            return 0
+        self.stats.pushed += len(items)
+        # Copy the subscriber list so callbacks may (un)subscribe during delivery.
+        for subscription in list(self._subscribers):
+            if not subscription.active:
+                continue
+            if subscription.batch_callback is not None:
+                subscription.batch_callback(items)
+                self.stats.delivered += len(items)
+            else:
+                for item in items:
+                    if not subscription.active:
+                        break
+                    subscription.callback(item)
+                    self.stats.delivered += 1
+        return len(items)
+
+    def _check_schema(self, item: Mapping[str, Any]) -> None:
+        missing = self.fields.difference(item.keys())
+        if missing:
+            from repro.errors import SchemaError
+
+            raise SchemaError(
+                f"tuple pushed to stream '{self.name}' is missing fields: "
+                f"{sorted(missing)}"
+            )
 
     def __repr__(self) -> str:
         return (

@@ -12,6 +12,7 @@ Implements the two per-frame normalisations of paper Sec. 3.2:
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.kinect.skeleton import JOINTS, TRACKED_AXES, joint_field
@@ -132,7 +133,9 @@ def scale_coordinates(
     return scaled
 
 
+@lru_cache(maxsize=4096)
 def _is_joint_field(key: str) -> bool:
+    # Cached: streams carry the same few dozen field names on every frame.
     if "_" not in key:
         return False
     joint, _, axis = key.rpartition("_")

@@ -186,6 +186,123 @@ class TestEngineBasics:
         engine.push("s", {"ts": 0.0, "x": 150.0})
         assert deployed.detections()[0].matched is None
 
+    def test_configured_timestamp_field_is_honored(self):
+        # The handler must read the matcher's timestamp_field, not "ts".
+        engine = CEPEngine()
+        engine.create_stream("s")
+        deployed = engine.register_query(
+            SEQ_QUERY, matcher_config=MatcherConfig(timestamp_field="t")
+        )
+        engine.push("s", {"t": 0.0, "x": 150.0})
+        engine.push("s", {"t": 5.0, "x": 250.0})
+        assert deployed.detections() == []  # 5 s apart: within 1 s violated
+        engine.push("s", {"t": 10.0, "x": 150.0})
+        engine.push("s", {"t": 10.5, "x": 250.0})
+        detections = deployed.detections()
+        assert len(detections) == 1
+        assert detections[0].timestamp == pytest.approx(10.5)
+
+    def test_configured_timestamp_field_is_honored_on_batches(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        deployed = engine.register_query(
+            SEQ_QUERY, matcher_config=MatcherConfig(timestamp_field="t")
+        )
+        engine.push_many(
+            "s",
+            [{"t": 0.0, "x": 150.0}, {"t": 5.0, "x": 250.0},
+             {"t": 10.0, "x": 150.0}, {"t": 10.5, "x": 250.0}],
+            batch_size=2,
+        )
+        assert [d.timestamp for d in deployed.detections()] == [pytest.approx(10.5)]
+
+
+class TestBatchDispatch:
+    RECORDS = [
+        {"ts": index * 0.1, "x": 150.0 if index % 3 else 250.0}
+        for index in range(24)
+    ]
+
+    def _deploy(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        return engine, engine.register_query(SEQ_QUERY)
+
+    def test_push_many_batched_matches_per_tuple_detections(self):
+        per_tuple_engine, per_tuple = self._deploy()
+        per_tuple_engine.push_many("s", self.RECORDS)
+        for batch_size in (1, 4, 100):
+            batched_engine, batched = self._deploy()
+            batched_engine.push_many("s", self.RECORDS, batch_size=batch_size)
+            assert batched.detections() == per_tuple.detections(), f"batch_size={batch_size}"
+        assert per_tuple.detections()  # the workload must actually detect
+
+    def test_push_many_counts_tuples_on_both_paths(self):
+        engine, _ = self._deploy()
+        assert engine.push_many("s", self.RECORDS) == len(self.RECORDS)
+        assert engine.push_many("s", self.RECORDS, batch_size=5) == len(self.RECORDS)
+        assert engine.tuples_processed == 2 * len(self.RECORDS)
+
+    def test_push_many_rejects_bad_batch_size(self):
+        engine, _ = self._deploy()
+        with pytest.raises(ValueError):
+            engine.push_many("s", self.RECORDS, batch_size=0)
+
+    def test_batched_push_flows_through_views(self):
+        engine = CEPEngine()
+        engine.create_stream("raw")
+        engine.register_view(
+            "doubled", "raw", lambda r: {"ts": r["ts"], "x": r["x"] * 2}
+        )
+        deployed = engine.register_query('SELECT "d" MATCHING doubled(x > 10);')
+        engine.push_many(
+            "raw", [{"ts": 0.0, "x": 6.0}, {"ts": 0.1, "x": 2.0}], batch_size=8
+        )
+        assert len(deployed.detections()) == 1
+
+    def test_disabled_query_ignores_batches(self):
+        engine, deployed = self._deploy()
+        engine.enable_query(deployed.name, False)
+        engine.push_many("s", self.RECORDS, batch_size=4)
+        assert deployed.detections() == []
+
+
+class TestCompileCache:
+    def test_identical_predicates_share_compiled_closures(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        engine.register_query('SELECT "a" MATCHING s(x > 100);')
+        misses = engine.compile_cache.misses
+        engine.register_query('SELECT "b" MATCHING s(x > 100);', name="b")
+        assert engine.compile_cache.misses == misses
+        assert engine.compile_cache.hits >= 1
+
+    def test_register_function_clears_the_cache(self):
+        engine = CEPEngine()
+        engine.create_stream("s")
+        engine.register_query('SELECT "a" MATCHING s(x > 100);')
+        assert len(engine.compile_cache) > 0
+        engine.register_function("triple", lambda value: value * 3, arity=1)
+        assert len(engine.compile_cache) == 0
+
+    def test_interpreted_engine_matches_compiled_engine(self):
+        records = [
+            {"ts": index * 0.1, "x": 150.0 if index % 2 else 250.0}
+            for index in range(12)
+        ]
+        compiled_engine = CEPEngine()
+        compiled_engine.create_stream("s")
+        compiled = compiled_engine.register_query(SEQ_QUERY)
+        interpreted_engine = CEPEngine(
+            matcher_config=MatcherConfig(compile_predicates=False)
+        )
+        interpreted_engine.create_stream("s")
+        interpreted = interpreted_engine.register_query(SEQ_QUERY)
+        compiled_engine.push_many("s", records)
+        interpreted_engine.push_many("s", records)
+        assert compiled.detections() == interpreted.detections()
+        assert compiled.detections()
+
 
 class TestViews:
     def test_kinect_view_transforms_frames(self, noiseless_simulator):

@@ -112,6 +112,34 @@ class TestTimeConstraints:
         matcher.process({"x": 999, "ts": 5.0}, "s")
         assert matcher.active_runs == 0
 
+    def test_run_ttl_does_not_apply_to_constrained_patterns(self):
+        # Per MatcherConfig docs the TTL is a fallback for patterns without
+        # any `within`; a long-window pattern must not be pruned by it.
+        matcher = _matcher(within=5.0, config=MatcherConfig(run_ttl_seconds=1.0))
+        matcher.process({"x": 10, "ts": 0.0}, "s")
+        matcher.process({"x": 999, "ts": 2.0}, "s")  # beyond TTL, inside window
+        assert matcher.active_runs == 1
+        detections = matcher.process_many(
+            [{"x": 110, "ts": 3.0}, {"x": 210, "ts": 4.0}], "s"
+        )
+        assert len(detections) == 1
+
+    def test_run_ttl_prunes_steps_not_covered_by_any_constraint(self):
+        # Only the inner pair is constrained; a run stuck at the uncovered
+        # first step must still fall under the TTL or it would live forever.
+        events = [_step(0, 50), _step(100, 150), _step(200, 250)]
+        inner = sequence(events[1:], within_seconds=1.0)
+        outer = sequence([events[0], inner])
+        matcher = NFAMatcher(
+            compile_pattern(outer), output="g",
+            config=MatcherConfig(run_ttl_seconds=2.0),
+        )
+        matcher.process({"x": 10, "ts": 0.0}, "s")
+        assert matcher.active_runs == 1
+        matcher.process({"x": 999, "ts": 5.0}, "s")
+        assert matcher.active_runs == 0
+        assert matcher.stats.runs_pruned == 1
+
 
 class TestPolicies:
     def test_consume_all_clears_partial_matches(self):
@@ -179,3 +207,116 @@ class TestRunManagement:
         matcher = NFAMatcher(compile_pattern(sequence(events)), output="g")
         assert matcher.process({"ts": 0.0}, "s") == []
         assert len(matcher.process({"ts": 0.1}, "s")) == 1
+
+    def test_remove_run_uses_identity_not_value_equality(self):
+        # Two users starting the same pose in the same frame produce runs
+        # with identical field values; removal must evict the right object.
+        from repro.cep.matcher import _Run
+
+        matcher = _matcher()
+        twin_a = _Run(next_step=1, start_timestamp=0.0, step_timestamps=[0.0])
+        twin_b = _Run(next_step=1, start_timestamp=0.0, step_timestamps=[0.0])
+        twin_a.index = 0
+        twin_b.index = 1
+        matcher._runs.extend([twin_a, twin_b])
+        matcher._remove_run(twin_b)
+        assert len(matcher._runs) == 1
+        assert matcher._runs[0] is twin_a
+        # Removing the survivor (now possibly swapped) also works.
+        matcher._remove_run(twin_a)
+        assert matcher._runs == []
+        # Double removal is a no-op, not an error or a wrong eviction.
+        matcher._remove_run(twin_a)
+        assert matcher._runs == []
+
+    def test_single_step_pattern_detects_even_at_run_cap(self):
+        # A single-step match never occupies a run slot; the cap must not
+        # suppress its completion.
+        matcher = _matcher(steps=1, config=MatcherConfig(max_active_runs=0))
+        detections = matcher.process_many(_tuples([10, 20]), "s")
+        assert len(detections) == 2
+        assert matcher.stats.runs_suppressed == 0
+
+    def test_irrelevant_streams_short_circuit_before_predicates(self):
+        matcher = _matcher()
+        matcher.process({"x": 10, "ts": 0.0}, "other")
+        assert matcher.stats.tuples_processed == 1
+        assert matcher.stats.predicate_evaluations == 0
+
+
+class TestBatchProcessing:
+    def test_process_batch_matches_per_tuple_detections(self):
+        values = [10, 999, 110, 20, 210, 10, 110, 210, 999]
+        per_tuple = _matcher(within=1.0)
+        batched = _matcher(within=1.0)
+        expected = per_tuple.process_many(_tuples(values), "s")
+        actual = batched.process_batch(_tuples(values), "s")
+        assert actual == expected
+        assert len(expected) > 0
+        assert batched.stats.detections == per_tuple.stats.detections
+
+    def test_process_batch_across_chunks_matches_per_tuple(self):
+        values = [10, 110, 999, 10, 210, 110, 210, 10, 110, 210]
+        per_tuple = _matcher(within=1.0)
+        chunked = _matcher(within=1.0)
+        expected = per_tuple.process_many(_tuples(values), "s")
+        tuples = _tuples(values)
+        actual = []
+        for start in range(0, len(tuples), 3):
+            actual.extend(chunked.process_batch(tuples[start : start + 3], "s"))
+        assert actual == expected
+
+    def test_process_batch_ignores_irrelevant_streams(self):
+        matcher = _matcher()
+        assert matcher.process_batch(_tuples([10, 110]), "other") == []
+        assert matcher.stats.tuples_processed == 2
+        assert matcher.active_runs == 0
+
+    def test_process_batch_prunes_at_the_batch_boundary(self):
+        matcher = _matcher(within=0.5)
+        matcher.process({"x": 10, "ts": 0.0}, "s")
+        assert matcher.active_runs == 1
+        matcher.process_batch(_tuples([999, 999], start_ts=10.0), "s")
+        assert matcher.active_runs == 0
+        assert matcher.stats.runs_pruned >= 1
+
+    def test_process_batch_matches_per_tuple_under_ttl(self):
+        # TTL expiry is only checked by pruning, so TTL-governed patterns
+        # must prune per tuple inside a batch to stay equivalent.
+        per_tuple = _matcher(config=MatcherConfig(run_ttl_seconds=0.5))
+        batched = _matcher(config=MatcherConfig(run_ttl_seconds=0.5))
+        tuples = [
+            {"x": 10, "ts": 0.0},
+            {"x": 110, "ts": 0.2},
+            {"x": 210, "ts": 1.0},  # arrives after the TTL expired
+        ]
+        expected = per_tuple.process_many(tuples, "s")
+        assert expected == []  # the run must be pruned before completing
+        assert batched.process_batch(tuples, "s") == expected
+
+    def test_process_batch_matches_per_tuple_at_the_run_cap(self):
+        # Expired runs lingering mid-batch must not hold run slots and
+        # suppress the start that completes the gesture.
+        config = MatcherConfig(max_active_runs=2, run_ttl_seconds=None)
+        per_tuple = _matcher(within=0.5, steps=2, config=config)
+        batched = _matcher(within=0.5, steps=2, config=config)
+        # Hold the start pose long enough that early runs expire, then
+        # finish the gesture: [0, 0.4, 0.8, 1.2, 1.6(start), 1.7(finish)].
+        tuples = _tuples([10, 10, 10, 10, 10, 110], dt=0.4)
+        tuples[-1]["ts"] = 1.7
+        expected = per_tuple.process_many(tuples, "s")
+        assert len(expected) == 1
+        assert batched.process_batch(tuples, "s") == expected
+        assert batched.stats.runs_suppressed == per_tuple.stats.runs_suppressed
+
+    def test_process_batch_accepts_explicit_timestamps(self):
+        matcher = _matcher(within=1.0)
+        records = [{"x": 10}, {"x": 110}, {"x": 210}]
+        detections = matcher.process_batch(records, "s", timestamps=[0.0, 0.3, 0.6])
+        assert len(detections) == 1
+        assert detections[0].step_timestamps == (0.0, 0.3, 0.6)
+
+    def test_empty_batch_is_a_no_op(self):
+        matcher = _matcher()
+        assert matcher.process_batch([], "s") == []
+        assert matcher.stats.tuples_processed == 0

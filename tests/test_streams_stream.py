@@ -90,6 +90,56 @@ class TestStream:
         assert stream.subscriber_count == 1
 
 
+class TestPushBatch:
+    def test_batch_subscriber_receives_the_whole_chunk_once(self):
+        stream = Stream("s")
+        chunks = []
+        stream.subscribe(lambda item: None, batch_callback=chunks.append)
+        assert stream.push_batch([{"a": 1}, {"a": 2}]) == 2
+        assert chunks == [[{"a": 1}, {"a": 2}]]
+
+    def test_per_tuple_subscribers_still_get_each_item(self):
+        stream = Stream("s")
+        received = []
+        stream.subscribe(received.append)
+        stream.push_batch([{"a": 1}, {"a": 2}])
+        assert received == [{"a": 1}, {"a": 2}]
+
+    def test_mixed_subscribers_see_the_same_tuples(self):
+        stream = Stream("s")
+        chunks, singles = [], []
+        stream.subscribe(lambda item: None, batch_callback=chunks.append)
+        stream.subscribe(singles.append)
+        stream.push_batch([{"a": 1}, {"a": 2}, {"a": 3}])
+        assert chunks[0] == singles
+
+    def test_batch_stats_and_pause(self):
+        stream = Stream("s")
+        stream.subscribe(lambda item: None, batch_callback=lambda chunk: None)
+        stream.subscribe(lambda item: None)
+        stream.push_batch([{}, {}])
+        assert stream.stats.pushed == 2
+        assert stream.stats.delivered == 4
+        stream.pause()
+        assert stream.push_batch([{}, {}, {}]) == 0
+        assert stream.stats.dropped == 3
+
+    def test_batch_schema_validation_rejects_bad_tuples(self):
+        stream = Stream("s", fields=["ts"])
+        received = []
+        stream.subscribe(received.append)
+        with pytest.raises(SchemaError):
+            stream.push_batch([{"ts": 0.0}, {"other": 1}])
+        # The whole chunk is validated before any delivery happens.
+        assert received == []
+
+    def test_empty_batch_is_a_no_op(self):
+        stream = Stream("s")
+        stream.subscribe(lambda item: None)
+        assert stream.push_batch([]) == 0
+        assert stream.stats.pushed == 0
+
+
 class TestStreamRegistry:
     def test_create_and_get(self):
         registry = StreamRegistry()
