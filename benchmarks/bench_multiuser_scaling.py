@@ -1,0 +1,110 @@
+"""B2 — multi-user partitioned matching: correctness and scaling.
+
+The deployment story of the paper is a *shared sensor space*: one Kinect
+stream carries the movements of every tracked player.  The detection path
+partitions all per-stream state by the ``player`` field — the transformer's
+smoothed forearm scale and every matcher's run table — so N interleaved
+users must detect exactly like N isolated single-user streams.
+
+Two measurements:
+
+* **Equivalence** — replay a 4-user interleaved recording through the full
+  engine (raw frames → ``kinect_t`` view → 8 deployed gesture queries) on
+  the interpreted, compiled and batched paths, and assert the per-player
+  detection sequences are identical to running each player's isolated
+  recording alone.  Partitioning must never trade correctness for scale.
+* **Scaling** — throughput at 1, 4 and 16 concurrent users with 8 deployed
+  queries, on the per-tuple and batched delivery paths, against the
+  Kinect's 30 Hz-per-player real-time budget.
+"""
+
+import pytest
+
+from benchmarks.conftest import THROUGHPUT_GESTURES, print_table
+from repro.evaluation import measure_throughput
+from repro.kinect import generate_multiuser_recording
+
+BATCH_SIZE = 64
+USER_COUNTS = (1, 4, 16)
+GESTURES_PER_USER = 2
+
+
+def _make_recording(user_count: int, seed: int = 77):
+    return generate_multiuser_recording(
+        dict(THROUGHPUT_GESTURES[:4]),
+        user_count=user_count,
+        gestures_per_user=GESTURES_PER_USER,
+        seed=seed,
+    )
+
+
+def _per_player_detections(detections):
+    """Detection sequences keyed by (player, query) for exact equality."""
+    grouped = {}
+    for detection in detections:
+        grouped.setdefault((detection.partition, detection.query_name), []).append(
+            (
+                detection.output,
+                detection.timestamp,
+                detection.start_timestamp,
+                detection.step_timestamps,
+            )
+        )
+    return grouped
+
+
+def test_b2_interleaved_users_detect_like_isolated_users(gesture_queries):
+    recording = _make_recording(user_count=4)
+
+    # Ground truth: each player's recording replayed alone on a fresh engine.
+    isolated = {}
+    for player_id, player_recording in recording.players.items():
+        result = measure_throughput(gesture_queries, player_recording.frames)
+        for (partition, query), sequence in _per_player_detections(
+            result.detections
+        ).items():
+            assert partition == player_id
+            isolated[(partition, query)] = sequence
+    assert isolated, "no single-user detections; the comparison is vacuous"
+    assert len({player for player, _ in isolated}) > 1
+
+    # The interleaved stream must reproduce exactly that, player by player,
+    # on every engine path.
+    for label, kwargs in (
+        ("interpreted", dict(compile_predicates=False)),
+        ("compiled", dict()),
+        ("batched", dict(batch_size=BATCH_SIZE)),
+    ):
+        interleaved = measure_throughput(gesture_queries, recording.frames, **kwargs)
+        assert _per_player_detections(interleaved.detections) == isolated, label
+
+
+def test_b2_throughput_scales_with_user_count(benchmark, gesture_queries):
+    rows = []
+    for user_count in USER_COUNTS:
+        recording = _make_recording(user_count=user_count)
+        per_tuple = measure_throughput(gesture_queries, recording.frames)
+        batched = measure_throughput(
+            gesture_queries, recording.frames, batch_size=BATCH_SIZE
+        )
+        # The batched path must not change what anyone's gesture detects.
+        assert _per_player_detections(batched.detections) == _per_player_detections(
+            per_tuple.detections
+        )
+        for label, result in (("per-tuple", per_tuple), (f"batch={BATCH_SIZE}", batched)):
+            row = {"users": user_count, "path": label}
+            row.update(result.as_row())
+            # 30 Hz per tracked player: the real-time budget grows with the
+            # number of concurrent users.
+            row["realtime_x"] = round(
+                result.tuples_per_second / (30.0 * user_count), 1
+            )
+            row["detections"] = len(result.detections)
+            rows.append(row)
+    print_table("B2: multi-user scaling (8 queries)", rows)
+
+    for row in rows:
+        assert row["realtime_x"] > 1.0, f"below real time: {row}"
+
+    frames_16 = _make_recording(user_count=16).frames
+    benchmark(measure_throughput, gesture_queries, frames_16, batch_size=BATCH_SIZE)

@@ -17,7 +17,7 @@ provides everything those queries need:
   (:mod:`repro.cep.engine`).
 """
 
-from repro.cep.tuples import Field, Schema
+from repro.cep.tuples import DEFAULT_PARTITION_FIELD, Field, Schema
 from repro.cep.expressions import (
     BinaryOp,
     BooleanOp,
@@ -47,6 +47,7 @@ from repro.cep.views import install_kinect_view
 from repro.cep.engine import CEPEngine, DeployedQuery
 
 __all__ = [
+    "DEFAULT_PARTITION_FIELD",
     "Field",
     "Schema",
     "Expression",

@@ -17,6 +17,21 @@ operator:
 * ``consume all`` clears every run once a detection fires, so the same
   movement is not reported twice; ``consume none`` keeps partial matches.
 
+Partitioning
+------------
+A shared sensor space carries the movements of several users at once: every
+Kinect tuple declares the ``player`` id that performed it.
+``MatcherConfig.partition_field`` (default ``"player"``) keys the run table
+by that field, so a run started by one player's tuples can only ever be
+advanced, pruned, completed or consumed by tuples of the same player —
+matching on N interleaved users behaves exactly like N isolated matchers.
+``max_active_runs`` and ``run_ttl_seconds`` apply per partition,
+``consume all`` clears only the completing player's runs, and a completed
+:class:`Detection` carries the partition value so applications know *who*
+gestured.  Tuples missing the field share one partition (key ``None``);
+``partition_field=None`` restores the single global run table.  Partitions
+hold state only while they have live runs, so idle players cost nothing.
+
 Fast path
 ---------
 Step predicates are lowered to plain Python closures at construction time
@@ -46,8 +61,8 @@ existing run always reports, and a single-step pattern — whose matches
 never occupy a run slot — fires even when the table is full; only the start
 of a new multi-step run is suppressed at the cap.  ``select``/``consume``
 policies apply to the completions of one tuple as usual: ``select first``
-reports the oldest completed run, and ``consume all`` clears the whole run
-table, including runs started by that same tuple.
+reports the oldest completed run, and ``consume all`` clears the completing
+partition's run table, including runs started by that same tuple.
 
 The matcher also exposes the live progress information (how far the best
 partial match has advanced) that the paper's testing phase visualises to
@@ -57,7 +72,7 @@ help users understand why a movement was not detected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cep.expressions import (
     CompiledExpression,
@@ -66,7 +81,17 @@ from repro.cep.expressions import (
 )
 from repro.cep.nfa import CompiledPattern
 from repro.cep.query import ConsumePolicy, SelectPolicy
+from repro.cep.tuples import DEFAULT_PARTITION_FIELD
 from repro.cep.udf import FunctionRegistry, default_functions
+
+#: Run-table key used when ``partition_field`` is ``None``: all tuples share
+#: one partition, which is exactly the pre-partitioning behaviour.
+_UNPARTITIONED = object()
+
+#: Tuples processed between idle-partition sweeps.  Pruning only ever runs
+#: against a partition's own tuples, so runs of a player who stopped
+#: streaming need this periodic sweep to be reclaimed.
+_IDLE_SWEEP_TUPLES = 512
 
 
 @dataclass
@@ -76,12 +101,14 @@ class MatcherConfig:
     Attributes
     ----------
     max_active_runs:
-        Upper bound on simultaneously tracked partial matches.  A user
-        holding the start pose produces one matching tuple per frame; the
-        bound keeps state (and per-tuple cost) constant.  When the bound is
-        reached no new runs are started until existing ones advance, finish
-        or are pruned.  Completions are never suppressed: single-step
-        patterns detect even at the cap because they need no run slot.
+        Upper bound on simultaneously tracked partial matches *per
+        partition*.  A user holding the start pose produces one matching
+        tuple per frame; the bound keeps state (and per-tuple cost) constant
+        without letting one player's noisy stream starve the others.  When
+        the bound is reached no new runs are started in that partition until
+        existing ones advance, finish or are pruned.  Completions are never
+        suppressed: single-step patterns detect even at the cap because they
+        need no run slot.
     run_ttl_seconds:
         Optional hard lifetime for a partial match, applied only while a
         run sits at a step that no ``within`` constraint covers (in
@@ -98,6 +125,27 @@ class MatcherConfig:
         Lower step predicates to closures at deploy time (default).  When
         false the matcher interprets the expression AST per tuple — slower,
         but byte-identical in behaviour; kept for A/B benchmarking.
+    partition_field:
+        Tuple field that keys the run table (default ``"player"``, the
+        Kinect player id).  Runs advance, prune and consume strictly within
+        their own partition, so interleaved multi-user streams detect
+        exactly like isolated single-user streams.  Tuples missing the field
+        fall into one shared partition; ``None`` disables partitioning
+        entirely (one global run table, the pre-partitioning semantics).
+        Every stream of a pattern must agree on the field: a run started by
+        a player-stamped tuple can only be advanced by tuples carrying the
+        same value, so a query mixing streams *with* and *without* the
+        field should be deployed with ``partition_field=None``.
+    partition_idle_seconds:
+        Drop all partial matches of a partition whose newest run activity is
+        older than this (measured against the stream's latest event time).
+        A player who left the scene mid-gesture otherwise parks runs — and
+        stale :meth:`NFAMatcher.furthest_step` feedback — forever, since
+        pruning only ever runs against a partition's own tuples.  Pick it
+        far above every ``within`` window (players between gestures hold no
+        runs at all, so eviction only ever hits abandoned mid-gesture
+        state).  ``None`` disables the sweep; unpartitioned matchers never
+        sweep (the seed's single-table lifetime rules apply unchanged).
     """
 
     max_active_runs: int = 256
@@ -105,11 +153,19 @@ class MatcherConfig:
     store_matched_tuples: bool = True
     timestamp_field: str = "ts"
     compile_predicates: bool = True
+    partition_field: Optional[str] = DEFAULT_PARTITION_FIELD
+    partition_idle_seconds: Optional[float] = 30.0
 
 
 @dataclass
 class Detection:
-    """A completed pattern match."""
+    """A completed pattern match.
+
+    ``partition`` is the value of the matcher's partition field shared by
+    every tuple of the match (the player id on the default configuration);
+    ``None`` when the matcher runs unpartitioned or the tuples carried no
+    partition field.
+    """
 
     output: str
     query_name: str
@@ -117,6 +173,7 @@ class Detection:
     start_timestamp: float
     step_timestamps: Tuple[float, ...]
     matched: Optional[Tuple[Mapping[str, Any], ...]] = None
+    partition: Any = None
 
     @property
     def duration(self) -> float:
@@ -124,9 +181,10 @@ class Detection:
         return self.timestamp - self.start_timestamp
 
     def __repr__(self) -> str:
+        who = f", player={self.partition!r}" if self.partition is not None else ""
         return (
             f"Detection(output={self.output!r}, t={self.timestamp:.3f}, "
-            f"duration={self.duration:.3f}s)"
+            f"duration={self.duration:.3f}s{who})"
         )
 
 
@@ -204,8 +262,12 @@ class NFAMatcher:
         self.functions = functions or default_functions()
         self.config = config or MatcherConfig()
         self.stats = MatcherStats()
-        self._runs: List[_Run] = []
+        # Run tables keyed by partition value (player id).  Entries exist
+        # only while a partition has live runs, so idle players cost nothing.
+        self._partitions: Dict[Any, List[_Run]] = {}
+        self._partition_field = self.config.partition_field
         self._run_counter = 0
+        self._tuples_since_sweep = 0
 
         steps = pattern.steps
         self._length = len(steps)
@@ -243,27 +305,49 @@ class NFAMatcher:
 
     @property
     def active_runs(self) -> int:
-        """Number of partial matches currently tracked."""
-        return len(self._runs)
+        """Number of partial matches currently tracked, over all partitions."""
+        return sum(len(runs) for runs in self._partitions.values())
 
-    def furthest_step(self) -> int:
+    @property
+    def active_partitions(self) -> int:
+        """Number of partitions (players) with at least one partial match."""
+        return len(self._partitions)
+
+    def partition_keys(self) -> List[Any]:
+        """Partition values that currently hold partial matches."""
+        return [
+            None if key is _UNPARTITIONED else key for key in self._partitions
+        ]
+
+    def furthest_step(self, partition: Any = _UNPARTITIONED) -> int:
         """Index of the furthest step any partial match has reached.
 
         This is the "how far did my movement get" feedback of the testing
         phase: 0 means no pose has been matched yet, ``len(steps)`` would be
-        a full match (which is reported as a detection instead).
+        a full match (which is reported as a detection instead).  Pass
+        ``partition`` to restrict the answer to one player; the default
+        looks across all partitions.
         """
-        if not self._runs:
-            return 0
-        return max(run.next_step for run in self._runs)
+        if partition is _UNPARTITIONED and self._partition_field is not None:
+            tables: Sequence[List[_Run]] = list(self._partitions.values())
+        else:
+            key = partition if self._partition_field is not None else _UNPARTITIONED
+            runs = self._partitions.get(key)
+            tables = [runs] if runs else []
+        best = 0
+        for runs in tables:
+            for run in runs:
+                if run.next_step > best:
+                    best = run.next_step
+        return best
 
-    def progress(self) -> float:
+    def progress(self, partition: Any = _UNPARTITIONED) -> float:
         """Furthest progress as a fraction of the pattern length."""
-        return self.furthest_step() / self.pattern.length
+        return self.furthest_step(partition) / self.pattern.length
 
     def reset(self) -> None:
         """Discard all partial matches (used when a query is redeployed)."""
-        self._runs.clear()
+        self._partitions.clear()
 
     # -- matching -----------------------------------------------------------------------
 
@@ -290,9 +374,13 @@ class NFAMatcher:
             return []
         if timestamp is None:
             timestamp = float(record.get(self.config.timestamp_field, 0.0))
-        self._prune(timestamp)
+        key = self._partition_key(record)
+        runs = self._partitions.get(key)
+        if runs:
+            self._prune(runs, timestamp)
         detections: List[Detection] = []
-        self._process_tuple(record, stream, timestamp, detections)
+        self._process_tuple(record, stream, timestamp, key, detections)
+        self._maybe_sweep(1, timestamp)
         return detections
 
     def process_many(
@@ -314,15 +402,15 @@ class NFAMatcher:
     ) -> List[Detection]:
         """Feed a chunk of tuples sharing one prune window.
 
-        Expired runs are pruned once, at the batch boundary (using the first
-        tuple's timestamp), instead of per tuple; ``within`` constraints are
-        still enforced exactly whenever a run advances.  When the TTL can
-        govern a run (some step is not covered by any constraint and
+        Expired runs are pruned once per partition, when the batch first
+        touches that partition, instead of per tuple; ``within`` constraints
+        are still enforced exactly whenever a run advances.  When the TTL
+        can govern a run (some step is not covered by any constraint and
         ``run_ttl_seconds`` is set) pruning falls back to per tuple, and
         reaching the run cap mid-batch lazily evicts expired runs before
         suppressing a new one — so with monotone timestamps this produces
         the same detections as calling :meth:`process` per tuple (the
-        batched benchmark asserts it).
+        batched benchmarks assert it, single- and multi-user).
 
         Parameters
         ----------
@@ -345,12 +433,23 @@ class NFAMatcher:
             # TTL expiry is not re-checked on advancement (unlike within
             # constraints), so only per-tuple pruning keeps equivalence.
             for record, timestamp in zip(records, timestamps):
-                self._prune(timestamp)
-                self._process_tuple(record, stream, timestamp, detections)
+                key = self._partition_key(record)
+                runs = self._partitions.get(key)
+                if runs:
+                    self._prune(runs, timestamp)
+                self._process_tuple(record, stream, timestamp, key, detections)
+            self._maybe_sweep(len(records), timestamps[-1])
             return detections
-        self._prune(timestamps[0])
+        pruned: set = set()
         for record, timestamp in zip(records, timestamps):
-            self._process_tuple(record, stream, timestamp, detections)
+            key = self._partition_key(record)
+            if key not in pruned:
+                pruned.add(key)
+                runs = self._partitions.get(key)
+                if runs:
+                    self._prune(runs, timestamp)
+            self._process_tuple(record, stream, timestamp, key, detections)
+        self._maybe_sweep(len(records), timestamps[-1])
         return detections
 
     # -- internals -----------------------------------------------------------------------
@@ -364,16 +463,28 @@ class NFAMatcher:
 
         return evaluate
 
+    def _partition_key(self, record: Mapping[str, Any]) -> Any:
+        """Run-table key of a tuple (``_UNPARTITIONED`` when partitioning is off)."""
+        if self._partition_field is None:
+            return _UNPARTITIONED
+        return record.get(self._partition_field)
+
     def _process_tuple(
         self,
         record: Mapping[str, Any],
         stream: str,
         timestamp: float,
+        key: Any,
         detections: List[Detection],
     ) -> None:
-        """Advance runs / start a run for one tuple; append its detections."""
+        """Advance runs / start a run for one tuple; append its detections.
+
+        Only the tuple's own partition is touched: other players' runs are
+        invisible to this tuple.
+        """
         stats = self.stats
-        runs = self._runs
+        partitions = self._partitions
+        runs = partitions.get(key)
         completed: List[_Run] = []
 
         # Advance existing runs (each run by at most one step per tuple).
@@ -390,7 +501,7 @@ class NFAMatcher:
                 if not step_predicates[index](record):
                     continue
                 if not self._satisfies_constraints(run, timestamp):
-                    self._remove_run(run)
+                    self._remove_run(runs, run)
                     stats.runs_pruned += 1
                     continue
                 run.next_step = index + 1
@@ -399,7 +510,7 @@ class NFAMatcher:
                     run.matched.append(dict(record))
                 if run.next_step >= self._length:
                     completed.append(run)
-                    self._remove_run(run)
+                    self._remove_run(runs, run)
 
         # Possibly start a new run from this tuple.
         if stream == self._first_stream:
@@ -409,18 +520,24 @@ class NFAMatcher:
                     # A single-step match never occupies a run slot, so the
                     # run cap must not suppress it.
                     completed.append(self._new_run(record, timestamp))
-                elif (
-                    len(runs) >= self.config.max_active_runs
-                    and not self._evict_expired(timestamp)
-                ):
-                    stats.runs_suppressed += 1
                 else:
-                    run = self._new_run(record, timestamp)
-                    run.index = len(runs)
-                    runs.append(run)
+                    if runs is None:
+                        runs = partitions.setdefault(key, [])
+                    if (
+                        len(runs) >= self.config.max_active_runs
+                        and not self._evict_expired(runs, timestamp)
+                    ):
+                        stats.runs_suppressed += 1
+                    else:
+                        run = self._new_run(record, timestamp)
+                        run.index = len(runs)
+                        runs.append(run)
 
         if completed:
-            detections.extend(self._report(completed, timestamp))
+            detections.extend(self._report(key, completed, timestamp))
+        # Drop emptied partitions so the table only tracks live players.
+        if runs is not None and not runs:
+            partitions.pop(key, None)
 
     def _new_run(self, record: Mapping[str, Any], timestamp: float) -> _Run:
         run = _Run(
@@ -434,7 +551,32 @@ class NFAMatcher:
         self.stats.runs_started += 1
         return run
 
-    def _evict_expired(self, timestamp: float) -> bool:
+    def _maybe_sweep(self, count: int, now: float) -> None:
+        """Periodically drop partitions of players who stopped streaming.
+
+        A partition is only ever pruned by its own tuples, so a player who
+        leaves the scene mid-gesture would park runs (and stale progress
+        feedback) forever.  Every ``_IDLE_SWEEP_TUPLES`` tuples, partitions
+        whose newest run activity lags the stream's event time by more than
+        ``partition_idle_seconds`` are reclaimed.  Unpartitioned matchers
+        never sweep — the single table keeps the seed's lifetime rules.
+        """
+        self._tuples_since_sweep += count
+        if self._tuples_since_sweep < _IDLE_SWEEP_TUPLES:
+            return
+        self._tuples_since_sweep = 0
+        idle = self.config.partition_idle_seconds
+        if idle is None or self._partition_field is None:
+            return
+        stale = [
+            key
+            for key, runs in self._partitions.items()
+            if now - max(run.step_timestamps[-1] for run in runs) > idle
+        ]
+        for key in stale:
+            self.stats.runs_pruned += len(self._partitions.pop(key))
+
+    def _evict_expired(self, runs: List[_Run], timestamp: float) -> bool:
         """At the run cap, prune expired runs; return whether a slot freed up.
 
         The batched path prunes once per chunk, so expired runs may still
@@ -442,8 +584,8 @@ class NFAMatcher:
         behaviour identical to the per-tuple path (which prunes before
         every tuple).  On the per-tuple path this re-prune is a no-op.
         """
-        self._prune(timestamp)
-        return len(self._runs) < self.config.max_active_runs
+        self._prune(runs, timestamp)
+        return len(runs) < self.config.max_active_runs
 
     def _satisfies_constraints(self, run: _Run, timestamp: float) -> bool:
         """Check the ``within`` constraints that end at the step being entered."""
@@ -452,18 +594,17 @@ class NFAMatcher:
                 return False
         return True
 
-    def _prune(self, timestamp: float) -> None:
-        """Drop runs that can no longer complete within their time windows.
+    def _prune(self, runs: List[_Run], timestamp: float) -> None:
+        """Drop one partition's runs that can no longer complete in time.
 
         A run inside a ``within`` constraint window is pruned by that
         constraint alone; the TTL fallback applies only while a run sits at
         a step no constraint covers (see :class:`MatcherConfig`), so
         long-window patterns are never cut short while runs at uncovered
-        steps still cannot accumulate forever.
+        steps still cannot accumulate forever.  Pruning happens with the
+        partition's own event time, never another player's, so interleaving
+        cannot change when a run expires.
         """
-        runs = self._runs
-        if not runs:
-            return
         ttl = self.config.run_ttl_seconds
         if not self._has_constraints and ttl is None:
             return
@@ -479,13 +620,15 @@ class NFAMatcher:
                 if not constraints and ttl is not None:
                     if timestamp - run.start_timestamp > ttl:
                         expired.append(run)
+        # Emptied partitions are dropped by _process_tuple's cleanup (pruning
+        # is always followed by processing a tuple of the same partition);
+        # popping here would orphan the list _process_tuple still appends to.
         for run in expired:
-            self._remove_run(run)
+            self._remove_run(runs, run)
         self.stats.runs_pruned += len(expired)
 
-    def _remove_run(self, run: _Run) -> None:
+    def _remove_run(self, runs: List[_Run], run: _Run) -> None:
         """O(1) removal by identity: swap the last run into the freed slot."""
-        runs = self._runs
         index = run.index
         if index < 0 or index >= len(runs) or runs[index] is not run:
             return  # already removed (e.g. cleared by consume all)
@@ -495,7 +638,9 @@ class NFAMatcher:
             last.index = index
         run.index = -1
 
-    def _report(self, completed: List[_Run], timestamp: float) -> List[Detection]:
+    def _report(
+        self, key: Any, completed: List[_Run], timestamp: float
+    ) -> List[Detection]:
         completed.sort(key=lambda run: run.sequence_number)
         if self.pattern.select is SelectPolicy.FIRST:
             selected = [completed[0]]
@@ -504,6 +649,7 @@ class NFAMatcher:
         else:
             selected = completed
 
+        partition = None if key is _UNPARTITIONED else key
         detections = [
             Detection(
                 output=self.output,
@@ -512,11 +658,18 @@ class NFAMatcher:
                 start_timestamp=run.start_timestamp,
                 step_timestamps=tuple(run.step_timestamps),
                 matched=tuple(run.matched) if self.config.store_matched_tuples else None,
+                partition=partition,
             )
             for run in selected
         ]
         self.stats.detections += len(detections)
 
         if self.pattern.consume is ConsumePolicy.ALL:
-            self._runs.clear()
+            # Consumption is per player: only the completing partition's
+            # partial matches are discarded.
+            runs = self._partitions.get(key)
+            if runs:
+                for run in runs:
+                    run.index = -1
+                runs.clear()
         return detections

@@ -21,6 +21,13 @@ from repro.errors import SchemaError
 #: Types a schema field may declare.  ``"number"`` accepts ints and floats.
 _ALLOWED_TYPES = ("number", "int", "float", "string", "bool", "any")
 
+#: Canonical partition key of the sensor streams: the tracked player id the
+#: Kinect middleware stamps on every frame (declared in
+#: :func:`kinect_schema`).  The matcher's run table and the transformer's
+#: smoothing state are keyed by this field so concurrent users never share
+#: detection state; see :class:`repro.cep.matcher.MatcherConfig`.
+DEFAULT_PARTITION_FIELD = "player"
+
 
 @dataclass(frozen=True)
 class Field:

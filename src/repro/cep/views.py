@@ -10,6 +10,7 @@ stream computed by applying a per-tuple function to a source stream.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import for type hints only
@@ -17,6 +18,9 @@ if TYPE_CHECKING:  # pragma: no cover - import for type hints only
 
 from repro.streams.stream import Stream, Subscription
 from repro.transform.pipeline import KinectTransformer, TransformConfig
+
+#: Sentinel distinguishing "parameter not given" from an explicit ``None``.
+_UNSET: Any = object()
 
 #: Default names of the raw and transformed Kinect streams.
 RAW_STREAM_NAME = "kinect"
@@ -76,6 +80,7 @@ def install_kinect_view(
     transform_config: Optional[TransformConfig] = None,
     raw_name: str = RAW_STREAM_NAME,
     view_name: str = TRANSFORMED_STREAM_NAME,
+    partition_field: Optional[str] = _UNSET,
 ) -> View:
     """Create the raw Kinect stream and its transformed ``kinect_t`` view.
 
@@ -83,8 +88,19 @@ def install_kinect_view(
     the transformation view between them.  Returns the installed view; its
     transformer is available as ``view.function`` (a
     :class:`~repro.transform.pipeline.KinectTransformer`).
+
+    The transformer keeps its smoothed forearm scale per tracked player
+    (``transform_config.partition_field``, default ``"player"``) so
+    concurrent users in one sensor space never blend scale factors; the
+    ``player`` and ``ts`` fields pass through the transformation unchanged,
+    which is what lets deployed queries partition their run tables on the
+    transformed stream.  ``partition_field`` here overrides the config's
+    value (pass ``None`` explicitly for one shared smoothing state).
     """
     if raw_name not in engine.streams:
         engine.create_stream(raw_name)
-    transformer = KinectTransformer(transform_config)
+    config = transform_config
+    if partition_field is not _UNSET:
+        config = replace(config or TransformConfig(), partition_field=partition_field)
+    transformer = KinectTransformer(config)
     return engine.register_view(view_name, raw_name, transformer)

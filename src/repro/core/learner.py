@@ -104,6 +104,11 @@ def detect_moving_joints(
     active joint are treated as stationary and excluded from the gesture
     description — this keeps a right-hand swipe from accidentally
     constraining the left hand.
+
+    Tracking dropouts are tolerated: a joint is measured over exactly the
+    frames where all three of its coordinates are present, so a joint that
+    is occluded in the first frame is not dropped outright, and the per-axis
+    spans are never computed over different frame subsets.
     """
     if not frames:
         return []
@@ -112,13 +117,14 @@ def detect_moving_joints(
         if joint in _EXCLUDED_JOINTS:
             continue
         fields = joint_fields([joint])
-        if not all(name in frames[0] for name in fields):
+        tracked = [
+            frame for frame in frames if all(name in frame for name in fields)
+        ]
+        if not tracked:
             continue
         extent_sq = 0.0
         for name in fields:
-            values = [float(frame[name]) for frame in frames if name in frame]
-            if not values:
-                continue
+            values = [float(frame[name]) for frame in tracked]
             span = max(values) - min(values)
             extent_sq += span * span
         extents[joint] = math.sqrt(extent_sq)

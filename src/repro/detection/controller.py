@@ -169,6 +169,7 @@ class RecordingController:
         self.phase = RecordingPhase.IDLE
         self._state = _RecordingState()
         self._completed: Optional[List[Dict[str, float]]] = None
+        self._last_timestamp = -1.0 / self.config.frequency_hz
 
     # -- control ---------------------------------------------------------------------
 
@@ -191,7 +192,7 @@ class RecordingController:
     def observe(self, frame: Mapping[str, float]) -> RecordingPhase:
         """Feed one transformed frame; returns the controller phase after it."""
         stationary = self.motion.observe(frame)
-        timestamp = float(frame.get("ts", 0.0))
+        timestamp = self._frame_timestamp(frame)
 
         if self.phase in (RecordingPhase.IDLE, RecordingPhase.COMPLETE):
             return self.phase
@@ -226,6 +227,25 @@ class RecordingController:
             return self.phase
 
         return self.phase
+
+    def _frame_timestamp(self, frame: Mapping[str, float]) -> float:
+        """Event time of a frame, synthesised when the frame carries no ``ts``.
+
+        The max-duration guard compares the current frame's time against the
+        recording's start time, so both must come from one monotone basis.
+        Frames lacking ``ts`` previously defaulted to ``0.0``, which made
+        the guard compare against zero and either never fire or cancel
+        immediately.  A ``ts``-less frame now advances the last seen
+        timestamp by one frame period, so fully ts-less streams count time
+        from zero at the configured rate, and streams that lose ``ts``
+        mid-recording keep counting from where the real timestamps stopped.
+        """
+        value = frame.get("ts")
+        if value is not None:
+            self._last_timestamp = float(value)
+        else:
+            self._last_timestamp += 1.0 / self.config.frequency_hz
+        return self._last_timestamp
 
     def _check_duration(self, timestamp: float) -> None:
         if timestamp - self._state.start_ts > self.config.max_recording_s:

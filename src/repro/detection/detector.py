@@ -18,6 +18,7 @@ from repro.cep.matcher import Detection
 from repro.cep.query import Query
 from repro.cep.sinks import CallbackSink
 from repro.cep.views import TRANSFORMED_STREAM_NAME, install_kinect_view
+from repro.transform.pipeline import KinectTransformer
 from repro.core.description import GestureDescription
 from repro.core.querygen import QueryGenConfig, QueryGenerator
 from repro.detection.events import DetectionFeedback, GestureEvent
@@ -170,6 +171,26 @@ class GestureDetector:
         """
         return self.engine.push_many(stream, frames, batch_size=batch_size)
 
+    # -- transformation state ---------------------------------------------------------
+
+    @property
+    def transformers(self) -> List[KinectTransformer]:
+        """The stateful Kinect transformers of the engine's installed views."""
+        return [
+            view.function
+            for view in self.engine.views.values()
+            if isinstance(view.function, KinectTransformer)
+        ]
+
+    @property
+    def transformer(self) -> Optional[KinectTransformer]:
+        """The ``kinect_t`` view's transformer (``None`` if not installed)."""
+        view = self.engine.views.get(TRANSFORMED_STREAM_NAME)
+        if view is not None and isinstance(view.function, KinectTransformer):
+            return view.function
+        transformers = self.transformers
+        return transformers[0] if transformers else None
+
     # -- feedback / introspection --------------------------------------------------------------
 
     def feedback(self) -> DetectionFeedback:
@@ -192,10 +213,18 @@ class GestureDetector:
         return self.engine.detections(name)
 
     def clear(self) -> None:
-        """Drop collected events/detections and all partial matches."""
+        """Reset the detector for a fresh scene.
+
+        Drops collected events/detections, all partial matches, *and* the
+        kinect view's smoothed-scale state: ``KinectTransformer.reset`` is
+        exactly the "new user steps in" hook, and skipping it would let a
+        previous user's smoothed scale skew the next user's first seconds.
+        """
         self.events.clear()
         self.engine.clear_detections()
         self.engine.reset_matchers()
+        for transformer in self.transformers:
+            transformer.reset()
 
     def __repr__(self) -> str:
         return (

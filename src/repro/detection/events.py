@@ -15,20 +15,31 @@ Two kinds of objects leave the detection layer:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.cep.matcher import Detection
 
 
 @dataclass(frozen=True)
 class GestureEvent:
-    """A detected gesture, as delivered to application callbacks."""
+    """A detected gesture, as delivered to application callbacks.
+
+    ``partition`` identifies *who* gestured: it is the value of the
+    matcher's partition field (the Kinect player id on the default
+    configuration), or ``None`` for unpartitioned deployments.
+    """
 
     gesture: str
     timestamp: float
     duration: float
     pose_timestamps: Tuple[float, ...] = ()
     measures: Dict[str, float] = field(default_factory=dict)
+    partition: Any = None
+
+    @property
+    def player(self) -> Any:
+        """Alias for :attr:`partition` under the Kinect schema's field name."""
+        return self.partition
 
     @classmethod
     def from_detection(cls, detection: Detection) -> "GestureEvent":
@@ -45,12 +56,14 @@ class GestureEvent:
             duration=detection.duration,
             pose_timestamps=detection.step_timestamps,
             measures=measures,
+            partition=detection.partition,
         )
 
     def __repr__(self) -> str:
+        who = f", player={self.partition!r}" if self.partition is not None else ""
         return (
             f"GestureEvent(gesture={self.gesture!r}, t={self.timestamp:.3f}, "
-            f"duration={self.duration:.3f}s)"
+            f"duration={self.duration:.3f}s{who})"
         )
 
 

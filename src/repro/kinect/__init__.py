@@ -43,8 +43,10 @@ from repro.kinect.trajectories import (
 )
 from repro.kinect.simulator import KinectSimulator, KINECT_FREQUENCY_HZ
 from repro.kinect.recordings import (
+    MultiUserRecording,
     Recording,
     generate_dataset,
+    generate_multiuser_recording,
     load_recording_csv,
     save_recording_csv,
 )
@@ -76,8 +78,10 @@ __all__ = [
     "standard_gesture_catalog",
     "KinectSimulator",
     "KINECT_FREQUENCY_HZ",
+    "MultiUserRecording",
     "Recording",
     "generate_dataset",
+    "generate_multiuser_recording",
     "load_recording_csv",
     "save_recording_csv",
 ]

@@ -7,12 +7,23 @@ only a single step needs to be performed on the incoming data stream" and
 exposes it as a view (``kinect_t``); :class:`KinectTransformer` is that
 single step, and :func:`repro.cep.views.install_kinect_view` registers it
 with the CEP engine as a derived stream.
+
+The transformer's only state is the exponentially smoothed forearm scale.
+In a shared sensor space that state must never be shared between users — a
+child and a tall adult in front of the same camera would otherwise blend
+their scale factors — so it is kept *per partition*, keyed by the frame's
+``player`` field (``TransformConfig.partition_field``).  Smoothing state of
+players that left the scene is evicted after
+``TransformConfig.partition_idle_seconds`` of inactivity, both to bound
+memory and so a player who steps back in starts from a fresh measurement
+(the eviction decision only looks at that player's own timestamps, which
+keeps multi-user streams frame-for-frame identical to isolated ones).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping, Optional
 
 from repro.transform.coordinate import (
     REFERENCE_FOREARM_MM,
@@ -21,6 +32,11 @@ from repro.transform.coordinate import (
     shift_to_torso,
 )
 from repro.transform.rotation import estimate_yaw_deg, rotate_about_y
+
+#: How many frames pass between sweeps that evict idle partitions' smoothing
+#: state.  Output-neutral: a partition idle past the TTL is reset on its next
+#: own frame anyway; the sweep only reclaims memory earlier.
+_EVICTION_SWEEP_FRAMES = 256
 
 
 @dataclass(frozen=True)
@@ -43,12 +59,26 @@ class TransformConfig:
         Exponential smoothing factor in ``[0, 1)`` applied to the per-frame
         forearm measurement; sensor noise on two joints otherwise makes the
         scale factor itself jitter.  ``0`` disables smoothing.
+    partition_field:
+        Frame field that keys the smoothing state (default ``"player"``).
+        Each tracked player smooths against their own history only.  Frames
+        missing the field share one slot; ``None`` keeps a single shared
+        smoothing state for the whole stream (the single-user behaviour).
+    partition_idle_seconds:
+        Evict a player's smoothing state after this many seconds without a
+        frame from them; their next frame starts from a fresh measurement.
+        ``None`` keeps state forever (single long-lived user).
+    timestamp_field:
+        Frame field carrying the event time used for idle eviction.
     """
 
     align_orientation: bool = True
     scale_side: str = "right"
     scale_reference_mm: float = REFERENCE_FOREARM_MM
     smooth_scale: float = 0.8
+    partition_field: Optional[str] = "player"
+    partition_idle_seconds: Optional[float] = 30.0
+    timestamp_field: str = "ts"
 
     def __post_init__(self) -> None:
         if self.scale_side not in ("right", "left"):
@@ -57,12 +87,15 @@ class TransformConfig:
             raise ValueError("smooth_scale must be in [0, 1)")
         if self.scale_reference_mm <= 0:
             raise ValueError("scale_reference_mm must be positive")
+        if self.partition_idle_seconds is not None and self.partition_idle_seconds <= 0:
+            raise ValueError("partition_idle_seconds must be positive when given")
 
 
 class KinectTransformer:
     """Stateful per-frame transformation into user-independent coordinates.
 
-    The transformer is stateful only for scale smoothing; it can be shared
+    The transformer is stateful only for scale smoothing — kept separately
+    per tracked player (see :class:`TransformConfig`) — and can be shared
     between the learning pipeline and the deployed detector so both see the
     same coordinates.
 
@@ -80,22 +113,62 @@ class KinectTransformer:
 
     def __init__(self, config: Optional[TransformConfig] = None) -> None:
         self.config = config or TransformConfig()
-        self._smoothed_scale: Optional[float] = None
+        self._scales: Dict[Any, float] = {}
+        self._last_seen: Dict[Any, float] = {}
         self.frames_transformed = 0
 
     def reset(self) -> None:
-        """Forget the smoothed scale (e.g. when a new user steps in)."""
-        self._smoothed_scale = None
+        """Forget all smoothed scales (e.g. when the scene is re-populated)."""
+        self._scales.clear()
+        self._last_seen.clear()
         self.frames_transformed = 0
 
+    def reset_partition(self, partition: Any) -> None:
+        """Forget one player's smoothed scale (when a new user takes the id)."""
+        self._scales.pop(partition, None)
+        self._last_seen.pop(partition, None)
+
+    @property
+    def active_partitions(self) -> int:
+        """Number of players currently holding smoothing state."""
+        return len(self._scales)
+
+    def smoothed_scale(self, partition: Any = None) -> Optional[float]:
+        """Current smoothed forearm scale of one player (``None`` if unseen)."""
+        return self._scales.get(partition)
+
     def _current_scale(self, frame: Mapping[str, float]) -> float:
-        measured = forearm_scale(frame, side=self.config.scale_side)
-        alpha = self.config.smooth_scale
-        if alpha <= 0 or self._smoothed_scale is None:
-            self._smoothed_scale = measured
+        cfg = self.config
+        key = frame.get(cfg.partition_field) if cfg.partition_field is not None else None
+        timestamp = frame.get(cfg.timestamp_field)
+        if timestamp is not None:
+            timestamp = float(timestamp)
+            ttl = cfg.partition_idle_seconds
+            if ttl is not None:
+                last = self._last_seen.get(key)
+                if last is not None and timestamp - last > ttl:
+                    # The player left and came back: their body may have
+                    # changed (a different person took the id) — re-measure.
+                    self._scales.pop(key, None)
+                if self.frames_transformed % _EVICTION_SWEEP_FRAMES == 0:
+                    self._evict_idle(timestamp, ttl)
+            self._last_seen[key] = timestamp
+        measured = forearm_scale(frame, side=cfg.scale_side)
+        alpha = cfg.smooth_scale
+        previous = self._scales.get(key)
+        if alpha <= 0 or previous is None:
+            smoothed = measured
         else:
-            self._smoothed_scale = alpha * self._smoothed_scale + (1 - alpha) * measured
-        return self._smoothed_scale
+            smoothed = alpha * previous + (1 - alpha) * measured
+        self._scales[key] = smoothed
+        return smoothed
+
+    def _evict_idle(self, now: float, ttl: float) -> None:
+        """Reclaim smoothing state of players idle longer than ``ttl``."""
+        idle = [key for key, last in self._last_seen.items() if now - last > ttl]
+        for key in idle:
+            self._scales.pop(key, None)
+            self._last_seen.pop(key, None)
 
     def transform(self, frame: Mapping[str, float]) -> Dict[str, float]:
         """Transform one raw sensor frame into the ``kinect_t`` frame."""
@@ -126,10 +199,5 @@ def transform_frame(
     """
     cfg = config or TransformConfig(smooth_scale=0.0)
     if cfg.smooth_scale != 0.0:
-        cfg = TransformConfig(
-            align_orientation=cfg.align_orientation,
-            scale_side=cfg.scale_side,
-            scale_reference_mm=cfg.scale_reference_mm,
-            smooth_scale=0.0,
-        )
+        cfg = replace(cfg, smooth_scale=0.0)
     return KinectTransformer(cfg).transform(frame)

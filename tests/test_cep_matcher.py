@@ -218,16 +218,16 @@ class TestRunManagement:
         twin_b = _Run(next_step=1, start_timestamp=0.0, step_timestamps=[0.0])
         twin_a.index = 0
         twin_b.index = 1
-        matcher._runs.extend([twin_a, twin_b])
-        matcher._remove_run(twin_b)
-        assert len(matcher._runs) == 1
-        assert matcher._runs[0] is twin_a
+        runs = [twin_a, twin_b]
+        matcher._remove_run(runs, twin_b)
+        assert len(runs) == 1
+        assert runs[0] is twin_a
         # Removing the survivor (now possibly swapped) also works.
-        matcher._remove_run(twin_a)
-        assert matcher._runs == []
+        matcher._remove_run(runs, twin_a)
+        assert runs == []
         # Double removal is a no-op, not an error or a wrong eviction.
-        matcher._remove_run(twin_a)
-        assert matcher._runs == []
+        matcher._remove_run(runs, twin_a)
+        assert runs == []
 
     def test_single_step_pattern_detects_even_at_run_cap(self):
         # A single-step match never occupies a run slot; the cap must not

@@ -172,6 +172,27 @@ class TestDetectMovingJoints:
         frames = [{"rhand_x": 0.0, "rhand_y": 0.0, "rhand_z": 0.0}] * 10
         assert detect_moving_joints(frames) == []
 
+    def test_joint_occluded_in_first_frame_is_still_detected(self):
+        # A tracking dropout on frame 0 used to exclude the joint outright,
+        # even when the rest of the sample shows clear movement.
+        frames = [
+            {"rhand_x": float(i * 100), "rhand_y": 0.0, "rhand_z": 0.0}
+            for i in range(10)
+        ]
+        frames[0] = {}
+        assert detect_moving_joints(frames) == ["rhand"]
+
+    def test_mid_sample_dropout_uses_consistent_frame_subsets(self):
+        # When tracking drops mid-sample, per-axis spans must be measured
+        # over the same frames.  Here the only frame with a large x also
+        # lacks y/z; measuring axes over inconsistent subsets would count
+        # the joint as moving although no fully tracked frame moved.
+        frames = [
+            {"rhand_x": 0.0, "rhand_y": 0.0, "rhand_z": 0.0} for _ in range(10)
+        ]
+        frames[5] = {"rhand_x": 900.0}
+        assert detect_moving_joints(frames) == []
+
 
 class TestGestureLearner:
     def test_requires_name(self):

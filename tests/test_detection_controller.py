@@ -145,6 +145,65 @@ class TestRecordingController:
             self._run(controller, _moving_frames(120, start_ts=1.0))
         assert controller.phase is RecordingPhase.IDLE
 
+    def test_overlong_recording_without_timestamps_still_cancels(self):
+        # Frames lacking "ts" used to default to 0.0, so the max-duration
+        # guard compared against zero and never fired; the controller now
+        # synthesises time from the frame count and the configured rate.
+        config = ControllerConfig(
+            motion_window_s=0.2, stationary_hold_s=0.3, max_recording_s=1.0,
+            stationary_threshold_mm=60.0,
+        )
+        controller = RecordingController(config)
+        controller.arm()
+        stripped_still = [
+            {k: v for k, v in frame.items() if k != "ts"}
+            for frame in _still_frames(30)
+        ]
+        self._run(controller, stripped_still)
+        assert controller.phase is RecordingPhase.READY
+        stripped_moving = [
+            {k: v for k, v in frame.items() if k != "ts"}
+            for frame in _moving_frames(120, start_ts=1.0)
+        ]
+        with pytest.raises(RecordingError):
+            self._run(controller, stripped_moving)
+        assert controller.phase is RecordingPhase.IDLE
+
+    def test_short_recording_without_timestamps_is_not_cancelled(self):
+        # The synthesised clock must not fire the guard early either: a
+        # normal-length ts-less recording completes like a timestamped one.
+        controller = RecordingController(self._config())
+        controller.arm()
+        frames = (
+            _still_frames(30)
+            + _moving_frames(30, start_ts=1.0)
+            + _still_frames(30, x=30.0 * 29, start_ts=2.0)
+        )
+        stripped = [{k: v for k, v in frame.items() if k != "ts"} for frame in frames]
+        self._run(controller, stripped)
+        assert controller.phase is RecordingPhase.COMPLETE
+
+    def test_timestamps_lost_mid_recording_keep_one_time_basis(self):
+        # A stream that starts with real timestamps (far from zero) and
+        # loses them mid-recording must keep counting from where the real
+        # clock stopped — not restart a synthetic clock at zero, which
+        # would disable the max-duration guard for thousands of frames.
+        config = ControllerConfig(
+            motion_window_s=0.2, stationary_hold_s=0.3, max_recording_s=1.0,
+            stationary_threshold_mm=60.0,
+        )
+        controller = RecordingController(config)
+        controller.arm()
+        self._run(controller, _still_frames(30, start_ts=100.0))
+        assert controller.phase is RecordingPhase.READY
+        # 10 timestamped moving frames, then the tracker stops stamping.
+        moving = _moving_frames(120, start_ts=101.0)
+        for frame in moving[10:]:
+            del frame["ts"]
+        with pytest.raises(RecordingError):
+            self._run(controller, moving)
+        assert controller.phase is RecordingPhase.IDLE
+
     def test_recorded_sample_covers_the_movement(self):
         controller = RecordingController(self._config())
         controller.arm()

@@ -121,6 +121,31 @@ class TestGestureDetector:
         assert detector.events == []
         assert detector.detections() == []
 
+    def test_clear_resets_kinect_transformer_state(self, swipe_description, simulator, swipe):
+        # clear() is the "new user steps in" hook: it must also drop the
+        # kinect view's smoothed scale, or the previous user's body size
+        # skews the next user's first seconds.
+        detector = GestureDetector()
+        detector.deploy(swipe_description)
+        transformer = detector.transformer
+        assert transformer is not None
+        detector.process_frames(simulator.perform_variation(swipe))
+        assert transformer.frames_transformed > 0
+        detector.clear()
+        assert transformer.frames_transformed == 0
+        assert transformer.active_partitions == 0
+        assert transformer.smoothed_scale(1) is None
+
+    def test_transformer_exposed_for_external_engines(self):
+        from repro.cep import CEPEngine
+        from repro.cep.views import install_kinect_view
+
+        engine = CEPEngine(clock=SimulatedClock())
+        view = install_kinect_view(engine)
+        detector = GestureDetector(engine=engine)
+        assert detector.transformer is view.function
+        assert detector.transformers == [view.function]
+
     def test_deploy_from_database(self, swipe_description):
         database = GestureDatabase(":memory:")
         database.save_gesture(swipe_description)

@@ -187,6 +187,84 @@ class TestPipeline:
         transformer.transform(_rest_frame(user="child"))
         transformer.reset()
         assert transformer.frames_transformed == 0
+        assert transformer.active_partitions == 0
+
+    def test_concurrent_players_do_not_blend_scale_factors(self):
+        # A child and a tall adult sharing the stream: each player's frames
+        # must smooth against their own history only, so the interleaved
+        # stream yields the same scales as two isolated transformers.
+        child = [_rest_frame(user="child") for _ in range(40)]
+        adult = [_rest_frame(user="tall_adult") for _ in range(40)]
+        for i, frame in enumerate(child):
+            frame.update(player=1, ts=i / 30.0)
+        for i, frame in enumerate(adult):
+            frame.update(player=2, ts=i / 30.0)
+
+        shared = KinectTransformer(TransformConfig(smooth_scale=0.9))
+        interleaved = [
+            shared.transform(frame)
+            for pair in zip(child, adult)
+            for frame in pair
+        ]
+        isolated_child = KinectTransformer(TransformConfig(smooth_scale=0.9))
+        expected_child = [isolated_child.transform(frame) for frame in child]
+        isolated_adult = KinectTransformer(TransformConfig(smooth_scale=0.9))
+        expected_adult = [isolated_adult.transform(frame) for frame in adult]
+
+        assert [t["scale"] for t in interleaved[0::2]] == [
+            t["scale"] for t in expected_child
+        ]
+        assert [t["scale"] for t in interleaved[1::2]] == [
+            t["scale"] for t in expected_adult
+        ]
+        assert shared.active_partitions == 2
+        # Sanity: the two bodies converge to genuinely different scales.
+        assert interleaved[-2]["scale"] != pytest.approx(
+            interleaved[-1]["scale"], rel=0.2
+        )
+
+    def test_unpartitioned_transformer_blends_players(self):
+        # partition_field=None restores the single shared smoothing slot.
+        config = TransformConfig(smooth_scale=0.9, partition_field=None)
+        shared = KinectTransformer(config)
+        child = _rest_frame(user="child")
+        child.update(player=1, ts=0.0)
+        adult = _rest_frame(user="tall_adult")
+        adult.update(player=2, ts=1 / 30.0)
+        first = shared.transform(child)["scale"]
+        second = shared.transform(adult)["scale"]
+        # The adult's scale is dragged toward the child's history.
+        alone = KinectTransformer(config).transform(dict(adult))["scale"]
+        assert second != pytest.approx(alone, rel=0.01)
+        assert abs(second - first) < abs(alone - first)
+
+    def test_idle_partition_state_is_evicted(self):
+        config = TransformConfig(smooth_scale=0.9, partition_idle_seconds=5.0)
+        transformer = KinectTransformer(config)
+        child = _rest_frame(user="child")
+        child.update(player=1, ts=0.0)
+        transformer.transform(child)
+        smoothed = transformer.smoothed_scale(1)
+        assert smoothed is not None
+        # The same player id returns after the idle TTL — possibly a
+        # different person — and must start from a fresh measurement.
+        adult = _rest_frame(user="tall_adult")
+        adult.update(player=1, ts=10.0)
+        returned = transformer.transform(adult)["scale"]
+        fresh = KinectTransformer(config).transform(dict(adult))["scale"]
+        assert returned == pytest.approx(fresh)
+
+    def test_reset_partition_forgets_single_player(self):
+        transformer = KinectTransformer()
+        child = _rest_frame(user="child")
+        child.update(player=1, ts=0.0)
+        adult = _rest_frame(user="tall_adult")
+        adult.update(player=2, ts=0.0)
+        transformer.transform(child)
+        transformer.transform(adult)
+        transformer.reset_partition(1)
+        assert transformer.smoothed_scale(1) is None
+        assert transformer.smoothed_scale(2) is not None
 
     def test_orientation_alignment_can_be_disabled(self):
         config = TransformConfig(align_orientation=False)
@@ -195,9 +273,34 @@ class TestPipeline:
         unaligned = transform_frame(turned, config)
         assert aligned["rhand_x"] != pytest.approx(unaligned["rhand_x"], abs=5.0)
 
+    def test_transform_frame_honours_every_config_field(self):
+        # transform_frame zeroes smoothing via dataclasses.replace, so any
+        # config field (including ones added later, like the partition
+        # settings) survives instead of being silently dropped.
+        config = TransformConfig(
+            align_orientation=False,
+            scale_side="left",
+            scale_reference_mm=100.0,
+            smooth_scale=0.5,
+            partition_field="player",
+            partition_idle_seconds=1.0,
+        )
+        frame = _rest_frame(yaw=45.0)
+        result = transform_frame(frame, config)
+        import dataclasses
+
+        manual_cfg = dataclasses.replace(config, smooth_scale=0.0)
+        expected = KinectTransformer(manual_cfg).transform(frame)
+        assert result == expected
+        # And the non-smoothing fields genuinely took effect.
+        default = transform_frame(frame)
+        assert result["rhand_x"] != pytest.approx(default["rhand_x"], abs=1.0)
+
     def test_config_validation(self):
         with pytest.raises(ValueError):
             TransformConfig(scale_side="middle")
+        with pytest.raises(ValueError):
+            TransformConfig(partition_idle_seconds=0.0)
         with pytest.raises(ValueError):
             TransformConfig(smooth_scale=1.5)
         with pytest.raises(ValueError):
