@@ -1,0 +1,98 @@
+"""B3 — the GestureSession façade vs raw engine wiring.
+
+The façade must be free: ``GestureSession.feed(batch_size=…)`` is a thin
+delegation onto ``CEPEngine.push_many(batch_size=…)``, so its throughput on
+the C5 workload (8 deployed gesture queries, raw frames through the
+``kinect_t`` view) has to stay within 5% of hand-wired engine throughput.
+
+Both stacks are built from the same learned queries and fed the same
+frames; before any timing comparison the benchmark asserts the per-query
+detection sequences are identical — the façade must not change semantics.
+Timings take the best of several interleaved repetitions, which damps
+shared-runner noise.
+"""
+
+import time
+
+from benchmarks.conftest import print_table
+from repro.api import GestureSession
+from repro.cep import CEPEngine, install_kinect_view
+from repro.streams import SimulatedClock
+
+BATCH_SIZE = 64
+REPEATS = 5
+
+
+def _per_query_detections(detections):
+    grouped = {}
+    for detection in detections:
+        grouped.setdefault(detection.query_name, []).append(
+            (
+                detection.output,
+                detection.timestamp,
+                detection.start_timestamp,
+                detection.step_timestamps,
+            )
+        )
+    return grouped
+
+
+def _run_raw(queries, frames):
+    """Hand-wired stack: engine + view + register_query + push_many."""
+    engine = CEPEngine(clock=SimulatedClock())
+    install_kinect_view(engine)
+    for query in queries:
+        engine.register_query(query, create_missing_streams=True)
+    start = time.perf_counter()
+    engine.push_many("kinect", frames, batch_size=BATCH_SIZE)
+    elapsed = time.perf_counter() - start
+    return len(frames) / elapsed, _per_query_detections(engine.detections())
+
+
+def _run_facade(queries, frames):
+    """The same workload through GestureSession.deploy + feed."""
+    with GestureSession() as session:
+        for query in queries:
+            session.deploy(query)
+        start = time.perf_counter()
+        session.feed(frames, batch_size=BATCH_SIZE)
+        elapsed = time.perf_counter() - start
+        return len(frames) / elapsed, _per_query_detections(session.detections())
+
+
+def test_b3_facade_overhead_within_five_percent(
+    benchmark, request, gesture_queries, sensor_frames
+):
+    raw_best, raw_detections = 0.0, None
+    facade_best, facade_detections = 0.0, None
+    # Interleave repetitions so machine-load drift hits both stacks alike.
+    for _ in range(REPEATS):
+        tps, detections = _run_raw(gesture_queries, sensor_frames)
+        raw_best, raw_detections = max(raw_best, tps), detections
+        tps, detections = _run_facade(gesture_queries, sensor_frames)
+        facade_best, facade_detections = max(facade_best, tps), detections
+
+    # Correctness first: the façade must detect exactly what raw wiring does.
+    assert raw_detections, "workload produced no detections; comparison is vacuous"
+    assert facade_detections == raw_detections
+
+    ratio = facade_best / raw_best
+    print_table(
+        "B3: GestureSession.feed vs raw CEPEngine.push_many "
+        f"(batch={BATCH_SIZE}, best of {REPEATS})",
+        [
+            {"stack": "raw engine", "tuples/s": f"{raw_best:,.0f}", "ratio": "1.00"},
+            {"stack": "GestureSession", "tuples/s": f"{facade_best:,.0f}",
+             "ratio": f"{ratio:.3f}"},
+        ],
+    )
+
+    # The 5% bound is the satellite's acceptance criterion; skip it in the
+    # untimed smoke pass where single-shot ratios are unreliable.
+    if not request.config.getoption("benchmark_disable", False):
+        assert ratio >= 0.95, (
+            f"façade throughput is {ratio:.1%} of raw engine throughput; "
+            f"the session layer must stay within 5%"
+        )
+
+    benchmark(_run_facade, gesture_queries, sensor_frames)

@@ -15,7 +15,6 @@ configurations produce *identical per-query detection sequences* — the fast
 paths must never trade correctness for throughput.
 """
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.evaluation import measure_throughput

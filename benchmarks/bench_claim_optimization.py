@@ -8,7 +8,6 @@ detection quality (recall must not drop).
 The benchmark kernel times one optimiser pass over all learned gestures.
 """
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.core import PatternOptimizer

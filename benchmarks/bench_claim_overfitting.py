@@ -15,7 +15,6 @@ The benchmark kernel times detection of one performance against the
 distance-sampled pattern.
 """
 
-import pytest
 
 from benchmarks.conftest import make_simulator, print_table
 from repro.core import GestureLearner, LearnerConfig, SamplingConfig

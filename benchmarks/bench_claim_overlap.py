@@ -9,7 +9,6 @@ the offline validator flags the conflict before deployment.
 The benchmark kernel times one validator pass over the learned gesture set.
 """
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.core import PatternValidator

@@ -9,7 +9,6 @@ The benchmark kernel times one full detection experiment at 3 training
 samples (learning + deployment + replay + scoring).
 """
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.evaluation import DetectionExperiment, ExperimentConfig

@@ -12,8 +12,8 @@ merging, query generation) for one gesture.
 
 import pytest
 
-from benchmarks.conftest import learn_gesture, make_simulator, print_table
-from repro.core import GestureLearner, LearnerConfig, QueryGenerator
+from benchmarks.conftest import make_simulator, print_table
+from repro.core import GestureLearner, LearnerConfig
 from repro.detection import GestureDetector
 from repro.kinect import SwipeTrajectory
 

@@ -10,7 +10,6 @@ finalisation, one test detection).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.detection import LearningWorkflow, WorkflowConfig

@@ -12,7 +12,6 @@ performance (the per-frame cost the paper's view incurs).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import learn_gesture, make_simulator, print_table
 from repro.detection import GestureDetector

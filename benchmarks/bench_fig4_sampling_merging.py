@@ -14,7 +14,6 @@ recorded sample.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import make_simulator, print_table
 from repro.core import (

@@ -12,7 +12,6 @@ The benchmark kernel times one feedback snapshot (cheap: it is read per
 rendered GUI frame in the original system).
 """
 
-import pytest
 
 from benchmarks.conftest import learn_gesture, make_simulator, print_table
 from repro.detection import GestureDetector

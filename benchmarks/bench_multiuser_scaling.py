@@ -18,7 +18,6 @@ Two measurements:
   Kinect's 30 Hz-per-player real-time budget.
 """
 
-import pytest
 
 from benchmarks.conftest import THROUGHPUT_GESTURES, print_table
 from repro.evaluation import measure_throughput

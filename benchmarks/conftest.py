@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import sys
 from pathlib import Path
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 # Allow `python -m pytest benchmarks` without an explicit PYTHONPATH=src.
 _SRC = str(Path(__file__).resolve().parent.parent / "src")

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """The interactive learning workflow of the paper (Fig. 2), end to end.
 
-This example drives the :class:`repro.detection.LearningWorkflow` the way the
-demo at EDBT drove it — through the sensor stream only:
+This example drives the interactive workflow through a
+:class:`~repro.api.GestureSession` the way the demo at EDBT drove it —
+through the sensor stream only:
 
 1. the user performs the *wave* control gesture, which arms the recording
    controller,
@@ -23,14 +24,14 @@ Run with::
 
 import numpy as np
 
+from repro.api import F, GestureSession, Q, SessionConfig
 from repro.apps import CubeNavigator, GestureBindings, olap_demo_cube
-from repro.detection import LearningWorkflow
 from repro.kinect import CircleTrajectory, GaussianNoise, KinectSimulator, WaveTrajectory
 from repro.streams import SimulatedClock
 
 
 def main() -> None:
-    workflow = LearningWorkflow()
+    config = SessionConfig(deploy_control_gestures=True)
     simulator = KinectSimulator(
         clock=SimulatedClock(),
         noise=GaussianNoise(sigma_mm=5.0, rng=np.random.default_rng(1)),
@@ -40,51 +41,64 @@ def main() -> None:
     circle = CircleTrajectory()
     wave = WaveTrajectory()
 
-    print("=== collecting phase ===")
-    workflow.begin_gesture("circle")
-    for attempt in range(3):
-        # Wave -> the control query fires and arms the recording controller.
-        for frame in simulator.perform(wave, hold_start_s=0.2, hold_end_s=0.2):
-            workflow.process_frame(frame)
-        # Move to the start pose, hold, perform the circle, hold again.
-        for frame in simulator.perform_variation(circle, hold_start_s=1.0, hold_end_s=1.0):
-            workflow.process_frame(frame)
-        print(f"  after attempt {attempt + 1}: {workflow.sample_count} sample(s) recorded")
+    with GestureSession(config) as session:
+        print("=== collecting phase ===")
+        session.begin_gesture("circle")
+        for attempt in range(3):
+            # Wave -> the control query fires and arms the recording controller.
+            session.feed(simulator.perform(wave, hold_start_s=0.2, hold_end_s=0.2))
+            # Move to the start pose, hold, perform the circle, hold again.
+            session.feed(
+                simulator.perform_variation(circle, hold_start_s=1.0, hold_end_s=1.0)
+            )
+            print(f"  after attempt {attempt + 1}: "
+                  f"{session.workflow.sample_count} sample(s) recorded")
 
-    print("\n=== finalising ===")
-    description = workflow.finalize()
-    record = workflow.database.load_gesture("circle")
-    print(f"  learned '{description.name}': {description.pose_count} poses from "
-          f"{description.sample_count} samples")
-    print(f"  stored query text ({len(record.query_text or '')} characters) in the gesture database")
+        print("\n=== finalising ===")
+        description = session.finalize()
+        record = session.database.load_gesture("circle")
+        print(f"  learned '{description.name}': {description.pose_count} poses from "
+              f"{description.sample_count} samples")
+        print(f"  stored query text ({len(record.query_text or '')} characters) "
+              f"in the gesture database")
 
-    print("\n=== testing phase ===")
-    # A complete performance is detected ...
-    workflow.process_frames(
-        simulator.perform_variation(circle, hold_start_s=0.3, hold_end_s=0.3)
-    )
-    print(f"  detections so far: {[event.gesture for event in workflow.test_events()]}")
+        print("\n=== testing phase ===")
+        # A complete performance is detected ...
+        session.feed(
+            simulator.perform_variation(circle, hold_start_s=0.3, hold_end_s=0.3)
+        )
+        print(f"  detections so far: {[event.gesture for event in session.events]}")
 
-    # ... an aborted performance is not, but the feedback explains how far it got.
-    frames = simulator.perform_variation(circle, hold_start_s=0.3)
-    workflow.process_frames(frames[: len(frames) // 3])
-    feedback = workflow.feedback()
-    print(f"  aborted movement feedback: {feedback.describe()}")
-    workflow.accept()
+        # ... an aborted performance is not, but the feedback explains how far it got.
+        frames = simulator.perform_variation(circle, hold_start_s=0.3)
+        session.feed(frames[: len(frames) // 3])
+        feedback = session.feedback()
+        print(f"  aborted movement feedback: {feedback.describe()}")
+        session.accept()
 
-    print("\n=== application binding ===")
-    navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
-    bindings = GestureBindings(workflow.detector)
-    bindings.bind("circle", navigator.drill_down, name="drill_down")
-    workflow.process_frames(
-        simulator.perform_variation(circle, hold_start_s=0.3, hold_end_s=0.3)
-    )
-    print(f"  OLAP view after gesture: {navigator.describe()}")
-    print(f"  action log: {[entry.action for entry in bindings.log.entries]}")
+        print("\n=== application binding ===")
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        bindings = GestureBindings(session)
+        bindings.bind("circle", navigator.drill_down, name="drill_down")
+        # Learned and hand-written gestures coexist in one vocabulary: the
+        # reset command is a fluent-DSL query, no training required.
+        session.deploy(
+            Q.stream("kinect_t")
+            .where((abs(F("rhand_y") + 120) < 200) & (F("rhand_x") > 0))
+            .then(F("rhand_y") > 550)
+            .within(2.0)
+            .named("raise_hand")
+        )
+        bindings.bind("raise_hand", navigator.reset, name="reset")
+        session.feed(
+            simulator.perform_variation(circle, hold_start_s=0.3, hold_end_s=0.3)
+        )
+        print(f"  OLAP view after gesture: {navigator.describe()}")
+        print(f"  action log: {[entry.action for entry in bindings.log.entries]}")
 
-    print("\nWorkflow messages:")
-    for message in workflow.messages:
-        print(f"  - {message}")
+        print("\nWorkflow messages:")
+        for message in session.messages:
+            print(f"  - {message}")
 
 
 if __name__ == "__main__":

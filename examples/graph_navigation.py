@@ -7,9 +7,12 @@ node's neighbours, a push follows the highlighted edge, raising the hand
 steps back.  The goal of the game: reach Kevin Bacon from a randomly chosen
 start actor in as few steps as possible.
 
-The example also shows the runtime re-binding the paper emphasises: halfway
-through the session the swipe gesture is re-bound from "highlight next" to
-"follow the shortest path", turning the manual game into an assisted one.
+The whole stack runs behind one :class:`~repro.api.GestureSession`: the
+control vocabulary is learned from a name → samples manifest, and the
+gesture bindings attach straight to the session.  The example also shows
+the runtime re-binding the paper emphasises: halfway through the session
+the swipe gesture is re-bound from "highlight next" to "follow the
+shortest path", turning the manual game into an assisted one.
 
 Run with::
 
@@ -18,9 +21,8 @@ Run with::
 
 import numpy as np
 
+from repro.api import F, GestureSession, Q
 from repro.apps import GestureBindings, GraphNavigator, collaboration_demo_graph
-from repro.core import GestureLearner, LearnerConfig
-from repro.detection import GestureDetector
 from repro.kinect import (
     GaussianNoise,
     KinectSimulator,
@@ -38,25 +40,35 @@ GESTURES = {
 }
 
 
-def learn_gestures(detector: GestureDetector) -> None:
+def training_manifest() -> dict:
+    """Two learned gestures plus a hand-written DSL query for 'back'."""
     trainer = KinectSimulator(
         user=user_by_name("adult"),
         clock=SimulatedClock(),
         noise=GaussianNoise(sigma_mm=5.0, rng=np.random.default_rng(30)),
         rng=np.random.default_rng(31),
     )
-    for name, trajectory in GESTURES.items():
-        learner = GestureLearner(name, config=LearnerConfig())
-        for _ in range(4):
-            learner.add_sample(
-                trainer.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
-            )
-        detector.deploy(learner.description())
-        print(f"  learned '{name}'")
+    manifest: dict = {
+        name: [
+            trainer.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
+            for _ in range(4)
+        ]
+        for name, trajectory in GESTURES.items()
+        if name != "raise_hand"
+    }
+    # Raising the hand steps back; written fluently instead of learned.
+    manifest["raise_hand"] = (
+        Q.stream("kinect_t")
+        .where((abs(F("rhand_y") + 120) < 200) & (F("rhand_x") > 0))
+        .then(F("rhand_y") > 550)
+        .within(2.0)
+        .output("raise_hand")
+    )
+    return manifest
 
 
-def perform(detector, simulator, gesture) -> None:
-    detector.process_frames(
+def perform(session, simulator, gesture) -> None:
+    session.feed(
         simulator.perform_variation(GESTURES[gesture], hold_start_s=0.3, hold_end_s=0.3)
     )
     simulator.idle_frames(0.6)
@@ -70,42 +82,44 @@ def main() -> None:
     print(f"=== Kevin Bacon game: from '{start}' to '{target}' ===")
     print(f"shortest possible path: {' -> '.join(graph.shortest_path(start, target))}\n")
 
-    print("=== learning the control gestures ===")
-    detector = GestureDetector()
-    learn_gestures(detector)
+    with GestureSession() as session:
+        print("=== learning the control gestures ===")
+        for name in session.deploy_vocabulary(training_manifest()):
+            print(f"  learned '{name}'")
 
-    bindings = GestureBindings(detector)
-    bindings.bind("swipe_right", navigator.highlight_next, name="highlight_next")
-    bindings.bind("push", navigator.follow, name="follow")
-    bindings.bind("raise_hand", navigator.back, name="back")
+        bindings = GestureBindings(session)
+        bindings.bind("swipe_right", navigator.highlight_next, name="highlight_next")
+        bindings.bind("push", navigator.follow, name="follow")
+        bindings.bind("raise_hand", navigator.back, name="back")
 
-    player = KinectSimulator(
-        user=user_by_name("adult"),
-        clock=SimulatedClock(),
-        noise=GaussianNoise(sigma_mm=6.0, rng=np.random.default_rng(40)),
-        rng=np.random.default_rng(41),
-    )
+        player = KinectSimulator(
+            user=user_by_name("adult"),
+            clock=SimulatedClock(),
+            noise=GaussianNoise(sigma_mm=6.0, rng=np.random.default_rng(40)),
+            rng=np.random.default_rng(41),
+        )
 
-    print("\n=== manual play ===")
-    print(f"  {navigator.describe()}")
-    for gesture in ("swipe_right", "push", "swipe_right", "push"):
-        perform(detector, player, gesture)
-        print(f"  performed {gesture:12s} -> {navigator.describe()}")
+        print("\n=== manual play ===")
+        print(f"  {navigator.describe()}")
+        for gesture in ("swipe_right", "push", "swipe_right", "push"):
+            perform(session, player, gesture)
+            print(f"  performed {gesture:12s} -> {navigator.describe()}")
 
-    print("\n=== re-binding swipe to 'assisted path' at runtime ===")
-    bindings.rebind("swipe_right", navigator.follow_path, name="follow_path")
-    steps = 0
-    while navigator.current != target and steps < 10:
-        perform(detector, player, "swipe_right")
-        steps += 1
-        print(f"  assisted step {steps}: now at '{navigator.current}'")
+        print("\n=== re-binding swipe to 'assisted path' at runtime ===")
+        bindings.rebind("swipe_right", navigator.follow_path, name="follow_path")
+        steps = 0
+        while navigator.current != target and steps < 10:
+            perform(session, player, "swipe_right")
+            steps += 1
+            print(f"  assisted step {steps}: now at '{navigator.current}'")
 
-    print("\n=== result ===")
-    reached = navigator.current == target
-    print(f"  reached {target}: {reached}")
-    print(f"  gesture-triggered actions: {len(bindings.log.successes())} succeeded, "
-          f"{len(bindings.log.failures())} failed")
-    print(f"  navigation history: {' -> '.join([start] + navigator.history[1:] + [navigator.current])}")
+        print("\n=== result ===")
+        reached = navigator.current == target
+        print(f"  reached {target}: {reached}")
+        print(f"  gesture-triggered actions: {len(bindings.log.successes())} succeeded, "
+              f"{len(bindings.log.failures())} failed")
+        print(f"  navigation history: "
+              f"{' -> '.join([start] + navigator.history[1:] + [navigator.current])}")
 
 
 if __name__ == "__main__":

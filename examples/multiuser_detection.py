@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Multi-user detection: two simulated players, one engine, per-player events.
+"""Multi-user detection: two simulated players, one session, per-player events.
 
 The paper's deployment is a shared sensor space — one Kinect stream carries
 every tracked player, and each frame is stamped with its ``player`` id.
@@ -10,17 +10,20 @@ The detection path partitions all per-stream state by that id:
 * every deployed query keys its NFA run table by player, so one player's
   half-finished gesture can never be completed by another player's frames.
 
-This example learns a swipe from one user, then replays an *interleaved*
-recording of a child and a tall adult performing it concurrently.  The
-handlers receive one event per performance, attributed to the right player.
+This example learns a swipe from one user through a
+:class:`~repro.api.GestureSession`, then replays an *interleaved* recording
+of a child and a tall adult performing it concurrently.  The handlers
+receive one event per performance, attributed to the right player, and
+``session.detections(partition=…)`` slices the result per player.
 
 Run with::
 
     python examples/multiuser_detection.py
 """
 
-from repro.core import GestureLearner, LearnerConfig
-from repro.detection import GestureDetector
+from repro.api import F, GestureSession, Q, SessionConfig
+from repro.core import LearnerConfig
+from repro.detection import WorkflowConfig
 from repro.kinect import (
     KinectSimulator,
     SwipeTrajectory,
@@ -32,48 +35,69 @@ from repro.streams import SimulatedClock
 
 def main() -> None:
     swipe = SwipeTrajectory(direction="right")
-
-    # ------------------------------------------------------------------ learn
     trainer = KinectSimulator(user=user_by_name("adult"), clock=SimulatedClock())
-    learner = GestureLearner("swipe_right", config=LearnerConfig(joints=("rhand",)))
-    print("Learning 'swipe_right' from 4 samples of one adult user ...")
-    for _ in range(4):
-        learner.add_sample(trainer.perform_variation(swipe, hold_start_s=0.3, hold_end_s=0.3))
 
-    detector = GestureDetector()
-    detector.deploy(learner.description())
-
-    # --------------------------------------------- a shared, interleaved scene
-    recording = generate_multiuser_recording(
-        {"swipe_right": swipe},
-        users=[user_by_name("child"), user_by_name("tall_adult")],
-        gestures_per_user=2,
-        seed=11,
+    config = SessionConfig(
+        workflow=WorkflowConfig(learner=LearnerConfig(joints=("rhand",)))
     )
-    names = {
-        player_id: recording.players[player_id].user
-        for player_id in recording.player_ids
-    }
-    print(f"\nReplaying {len(recording)} interleaved frames of "
-          f"{len(names)} concurrent players: {names}")
+    with GestureSession(config) as session:
+        # ------------------------------------------------------------------ learn
+        print("Learning 'swipe_right' from 4 samples of one adult user ...")
+        session.learn(
+            "swipe_right",
+            (
+                trainer.perform_variation(swipe, hold_start_s=0.3, hold_end_s=0.3)
+                for _ in range(4)
+            ),
+            deploy=True,
+        )
 
-    detector.on_gesture(
-        "swipe_right",
-        lambda event: print(
-            f"  player {event.player} ({names.get(event.player, '?')}) swiped "
-            f"at t={event.timestamp:.2f}s (duration {event.duration:.2f}s)"
-        ),
-    )
-    detector.process_frames(recording.frames)
+        # A coarse hand-written swipe (fluent DSL) runs alongside the learned
+        # one; its run table is partitioned per player exactly the same way.
+        session.deploy(
+            Q.stream("kinect_t")
+            .where(F("rhand_x") < 100)
+            .then(F("rhand_x") > 700)
+            .within(2.0)
+            .named("swipe_coarse")
+        )
 
-    per_player = {
-        player_id: sum(1 for e in detector.events if e.player == player_id)
-        for player_id in recording.player_ids
-    }
-    print(f"\nDetections per player: {per_player}")
-    assert all(count >= 1 for count in per_player.values()), (
-        "every player's swipes should be detected despite the interleaving"
-    )
+        # --------------------------------------------- a shared, interleaved scene
+        recording = generate_multiuser_recording(
+            {"swipe_right": swipe},
+            users=[user_by_name("child"), user_by_name("tall_adult")],
+            gestures_per_user=2,
+            seed=11,
+        )
+        names = {
+            player_id: recording.players[player_id].user
+            for player_id in recording.player_ids
+        }
+        print(f"\nReplaying {len(recording)} interleaved frames of "
+              f"{len(names)} concurrent players: {names}")
+
+        session.on(
+            "swipe_right",
+            lambda event: print(
+                f"  player {event.player} ({names.get(event.player, '?')}) swiped "
+                f"at t={event.timestamp:.2f}s (duration {event.duration:.2f}s)"
+            ),
+        )
+        session.feed(recording.frames)
+
+        per_player = {
+            player_id: len(session.detections("swipe_right", partition=player_id))
+            for player_id in recording.player_ids
+        }
+        coarse = {
+            player_id: len(session.detections("swipe_coarse", partition=player_id))
+            for player_id in recording.player_ids
+        }
+        print(f"\nLearned-query detections per player : {per_player}")
+        print(f"Hand-written-query detections per player: {coarse}")
+        assert all(count >= 1 for count in per_player.values()), (
+            "every player's swipes should be detected despite the interleaving"
+        )
 
 
 if __name__ == "__main__":

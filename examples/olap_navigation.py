@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
 """Gesture-controlled OLAP navigation (the paper's Data3-style demo).
 
-A whole gesture vocabulary is learned from simulated samples, deployed on
-the CEP engine, and bound to navigation operators of an in-memory OLAP
-cube: swipe right/left drill down / roll up, a push pivots, a raised hand
-resets the view.  The script then simulates an "analysis session" — a user
-standing in front of the camera performing gestures — and prints the cube
-view after every detected command.
+A whole gesture vocabulary is learned from simulated samples through one
+:class:`~repro.api.GestureSession` (``session.deploy_vocabulary`` with a
+name → samples manifest), and bound to navigation operators of an
+in-memory OLAP cube: swipe right/left drill down / roll up, a push pivots,
+a raised hand resets the view.  The script then simulates an "analysis
+session" — a user standing in front of the camera performing gestures —
+and prints the cube view after every detected command.
 
 Run with::
 
@@ -15,9 +16,8 @@ Run with::
 
 import numpy as np
 
+from repro.api import F, GestureSession, Q
 from repro.apps import CubeNavigator, GestureBindings, olap_demo_cube
-from repro.core import GestureLearner, LearnerConfig
-from repro.detection import GestureDetector
 from repro.kinect import (
     GaussianNoise,
     KinectSimulator,
@@ -28,7 +28,7 @@ from repro.kinect import (
 )
 from repro.streams import SimulatedClock
 
-#: Gesture name -> (trajectory, bound cube operation name).
+#: Gesture name -> trajectory performed for its training samples.
 GESTURE_SET = {
     "swipe_right": SwipeTrajectory(direction="right"),
     "swipe_left": SwipeTrajectory(direction="left", hand="lhand"),
@@ -36,70 +36,90 @@ GESTURE_SET = {
     "raise_hand": RaiseHandTrajectory(),
 }
 
+#: The reset gesture is *hand-written* with the fluent DSL instead of being
+#: learned — the "manual fine tuning" path the paper mentions.  Pose 1: the
+#: right hand hangs near the hip; pose 2: it rises above the head.
+RAISE_HAND_QUERY = (
+    Q.stream("kinect_t")
+    .where((abs(F("rhand_y") + 120) < 200) & (F("rhand_x") > 0))
+    .then(F("rhand_y") > 550)
+    .within(2.0)
+    .select("first")
+    .consume("all")
+    .output("raise_hand")
+)
 
-def learn_vocabulary(detector: GestureDetector) -> None:
-    """Learn every gesture of the vocabulary from four samples each."""
+
+def training_manifest() -> dict:
+    """The deployed vocabulary: three learned gestures + one DSL query."""
     trainer = KinectSimulator(
         user=user_by_name("adult"),
         clock=SimulatedClock(),
         noise=GaussianNoise(sigma_mm=5.0, rng=np.random.default_rng(10)),
         rng=np.random.default_rng(11),
     )
-    for name, trajectory in GESTURE_SET.items():
-        learner = GestureLearner(name, config=LearnerConfig())
-        for _ in range(4):
-            learner.add_sample(
-                trainer.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
-            )
-        description = learner.description()
-        detector.deploy(description)
-        print(f"  learned '{name}': {description.pose_count} poses, "
-              f"joints {description.joints}")
+    manifest: dict = {
+        name: [
+            trainer.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
+            for _ in range(4)
+        ]
+        for name, trajectory in GESTURE_SET.items()
+        if name != "raise_hand"
+    }
+    manifest["raise_hand"] = RAISE_HAND_QUERY
+    return manifest
 
 
 def main() -> None:
-    print("=== learning the gesture vocabulary ===")
-    detector = GestureDetector()
-    learn_vocabulary(detector)
+    with GestureSession() as session:
+        print("=== learning the gesture vocabulary ===")
+        session.deploy_vocabulary(training_manifest())
+        for name in session.deployed_gestures():
+            if session.database.has_gesture(name):
+                description = session.database.load_gesture(name).description
+                print(f"  learned '{name}': {description.pose_count} poses, "
+                      f"joints {description.joints}")
+            else:
+                print(f"  hand-written '{name}' (fluent DSL)")
 
-    print("\n=== binding gestures to OLAP operations ===")
-    navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
-    bindings = GestureBindings(detector)
-    bindings.bind("swipe_right", navigator.drill_down, name="drill_down")
-    bindings.bind("swipe_left", navigator.roll_up, name="roll_up")
-    bindings.bind("push", navigator.pivot, name="pivot")
-    bindings.bind("raise_hand", navigator.reset, name="reset")
-    for gesture in bindings.bound_gestures():
-        print(f"  {gesture:12s} -> {bindings.action_name(gesture)}")
+        print("\n=== binding gestures to OLAP operations ===")
+        navigator = CubeNavigator(olap_demo_cube(), "time", "geography")
+        bindings = GestureBindings(session)
+        bindings.bind("swipe_right", navigator.drill_down, name="drill_down")
+        bindings.bind("swipe_left", navigator.roll_up, name="roll_up")
+        bindings.bind("push", navigator.pivot, name="pivot")
+        bindings.bind("raise_hand", navigator.reset, name="reset")
+        for gesture in bindings.bound_gestures():
+            print(f"  {gesture:12s} -> {bindings.action_name(gesture)}")
 
-    print("\n=== analysis session ===")
-    print(f"initial view: {navigator.describe()}")
-    session = ["swipe_right", "push", "swipe_right", "swipe_left", "raise_hand"]
-    user = KinectSimulator(
-        user=user_by_name("tall_adult"),
-        clock=SimulatedClock(),
-        noise=GaussianNoise(sigma_mm=6.0, rng=np.random.default_rng(20)),
-        rng=np.random.default_rng(21),
-        position=(200.0, 0.0, 2500.0),
-    )
-    for gesture in session:
-        before = len(bindings.log)
-        detector.process_frames(
-            user.perform_variation(GESTURE_SET[gesture], hold_start_s=0.3, hold_end_s=0.3)
+        print("\n=== analysis session ===")
+        print(f"initial view: {navigator.describe()}")
+        commands = ["swipe_right", "push", "swipe_right", "swipe_left", "raise_hand"]
+        user = KinectSimulator(
+            user=user_by_name("tall_adult"),
+            clock=SimulatedClock(),
+            noise=GaussianNoise(sigma_mm=6.0, rng=np.random.default_rng(20)),
+            rng=np.random.default_rng(21),
+            position=(200.0, 0.0, 2500.0),
         )
-        user.idle_frames(0.6)
-        executed = bindings.log.entries[before:]
-        actions = ", ".join(entry.action for entry in executed) or "(not detected)"
-        print(f"  performed {gesture:12s} -> {actions:12s} | view: {navigator.describe()}")
+        for gesture in commands:
+            before = len(bindings.log)
+            session.feed(
+                user.perform_variation(GESTURE_SET[gesture], hold_start_s=0.3, hold_end_s=0.3)
+            )
+            user.idle_frames(0.6)
+            executed = bindings.log.entries[before:]
+            actions = ", ".join(entry.action for entry in executed) or "(not detected)"
+            print(f"  performed {gesture:12s} -> {actions:12s} | view: {navigator.describe()}")
 
-    print("\n=== session summary ===")
-    print(f"  commands performed : {len(session)}")
-    print(f"  actions executed   : {len(bindings.log.successes())}")
-    print(f"  failed operations  : {len(bindings.log.failures())}")
-    top = sorted(navigator.view().items(), key=lambda item: -item[1])[:3]
-    print("  top cells in the current view:")
-    for key, value in top:
-        print(f"    {key}: {value:,.0f}")
+        print("\n=== session summary ===")
+        print(f"  commands performed : {len(commands)}")
+        print(f"  actions executed   : {len(bindings.log.successes())}")
+        print(f"  failed operations  : {len(bindings.log.failures())}")
+        top = sorted(navigator.view().items(), key=lambda item: -item[1])[:3]
+        print("  top cells in the current view:")
+        for key, value in top:
+            print(f"    {key}: {value:,.0f}")
 
 
 if __name__ == "__main__":

@@ -1,74 +1,105 @@
 #!/usr/bin/env python3
 """Quickstart: learn a gesture from a few samples and detect it.
 
-This is the smallest end-to-end tour of the library:
+This is the smallest end-to-end tour of the library, built entirely on the
+public API (:mod:`repro.api`): one :class:`~repro.api.GestureSession` owns
+the CEP engine, the ``kinect_t`` transformation view, the detector and the
+gesture database.
 
 1. simulate a user performing the ``swipe_right`` gesture a few times in
    front of a (simulated) Kinect camera,
 2. learn the gesture's event pattern with the distance-based sampling +
-   window-merging pipeline of the paper,
+   window-merging pipeline of the paper (``session.learn``),
 3. print the generated CEP query (the paper's Fig. 1 artefact),
-4. deploy it on the CEP engine and detect fresh performances — including
-   ones by a *different* user standing somewhere else.
+4. deploy it and detect fresh performances — including ones by a
+   *different* user standing somewhere else,
+5. deploy a second, *hand-written* gesture through the fluent query DSL
+   (``Q`` / ``F``) — the "manual fine tuning" path the paper mentions.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.core import GestureLearner, LearnerConfig, QueryGenerator
-from repro.detection import GestureDetector
+from repro.api import F, GestureSession, Q, SessionConfig
+from repro.cep import parse_query
+from repro.core import LearnerConfig
+from repro.detection import WorkflowConfig
 from repro.kinect import KinectSimulator, SwipeTrajectory, user_by_name
 from repro.streams import SimulatedClock
 
 
 def main() -> None:
     swipe = SwipeTrajectory(direction="right")
-
-    # ------------------------------------------------------------------ learn
     trainer = KinectSimulator(user=user_by_name("adult"), clock=SimulatedClock())
-    learner = GestureLearner("swipe_right", config=LearnerConfig(joints=("rhand",)))
-    print("Recording 4 training samples of 'swipe_right' ...")
-    for index in range(4):
-        frames = trainer.perform_variation(swipe, hold_start_s=0.3, hold_end_s=0.3)
-        result = learner.add_sample(frames)
-        print(f"  sample {index + 1}: {len(frames)} frames, "
-              f"deviation from learned windows: {result.deviation:.2f}")
 
-    description = learner.description()
-    print(f"\nLearned description: {description.pose_count} poses, "
-          f"{description.predicate_count()} range predicates, joints={description.joints}")
-    for pose in description.poses:
-        center = pose.window.center
-        print(f"  pose {pose.sequence_index}: rhand at "
-              f"({center['rhand_x']:.0f}, {center['rhand_y']:.0f}, {center['rhand_z']:.0f}) "
-              f"± ({pose.window.width['rhand_x']:.0f}, "
-              f"{pose.window.width['rhand_y']:.0f}, {pose.window.width['rhand_z']:.0f}) mm")
-
-    # --------------------------------------------------------- generate query
-    query = QueryGenerator().generate(description)
-    print("\nGenerated CEP query (paper Fig. 1 format):\n")
-    print(query.to_query())
-
-    # ------------------------------------------------------------------ detect
-    detector = GestureDetector()
-    detector.deploy(query)
-
-    print("\nTesting with a different user (child) standing elsewhere ...")
-    tester = KinectSimulator(
-        user=user_by_name("child"), clock=SimulatedClock(), position=(400.0, 0.0, 2600.0)
+    config = SessionConfig(
+        workflow=WorkflowConfig(learner=LearnerConfig(joints=("rhand",)))
     )
-    detections = 0
-    for _ in range(5):
-        detector.process_frames(
-            tester.perform_variation(swipe, hold_start_s=0.2, hold_end_s=0.2)
+    with GestureSession(config) as session:
+        # ---------------------------------------------------------------- learn
+        print("Recording 4 training samples of 'swipe_right' ...")
+        description = session.learn(
+            "swipe_right",
+            (
+                trainer.perform_variation(swipe, hold_start_s=0.3, hold_end_s=0.3)
+                for _ in range(4)
+            ),
+            deploy=True,
         )
-        tester.idle_frames(0.5)
-    detections = len(detector.events)
-    print(f"Detected {detections}/5 performances.")
-    for event in detector.events:
-        print(f"  {event.gesture} at t={event.timestamp:.2f}s "
-              f"(duration {event.duration:.2f}s)")
+        print(f"\nLearned description: {description.pose_count} poses, "
+              f"{description.predicate_count()} range predicates, "
+              f"joints={description.joints}")
+        for pose in description.poses:
+            center = pose.window.center
+            print(f"  pose {pose.sequence_index}: rhand at "
+                  f"({center['rhand_x']:.0f}, {center['rhand_y']:.0f}, "
+                  f"{center['rhand_z']:.0f}) "
+                  f"± ({pose.window.width['rhand_x']:.0f}, "
+                  f"{pose.window.width['rhand_y']:.0f}, "
+                  f"{pose.window.width['rhand_z']:.0f}) mm")
+
+        # The generated query text is stored alongside the gesture; it is the
+        # paper's Fig. 1 artefact and round-trips through the parser.
+        query_text = session.database.load_gesture("swipe_right").query_text
+        print("\nGenerated CEP query (paper Fig. 1 format):\n")
+        print(query_text)
+        # The text form is canonical: parsing and re-rendering is a no-op.
+        assert parse_query(query_text).to_query() == query_text
+
+        # --------------------------------------------- a hand-written DSL query
+        # The same dialect, written fluently: two poses of the right hand, low
+        # then high, within a second — no learning involved.
+        raise_hand = (
+            Q.stream("kinect_t")
+            .where((abs(F("rhand_y") - 0) < 120) & (F("rhand_x") > -200))
+            .then(abs(F("rhand_y") - 450) < 150)
+            .within(1.5)
+            .select("first")
+            .consume("all")
+            .named("raise_hand_manual")
+        )
+        session.deploy(raise_hand)
+        print("Hand-written DSL query:\n")
+        print(raise_hand.to_query())
+
+        # ------------------------------------------------------------------ detect
+        print("\nTesting with a different user (child) standing elsewhere ...")
+        tester = KinectSimulator(
+            user=user_by_name("child"),
+            clock=SimulatedClock(),
+            position=(400.0, 0.0, 2600.0),
+        )
+        for _ in range(5):
+            session.feed(
+                tester.perform_variation(swipe, hold_start_s=0.2, hold_end_s=0.2)
+            )
+            tester.idle_frames(0.5)
+        swipes = [event for event in session.events if event.gesture == "swipe_right"]
+        print(f"Detected {len(swipes)}/5 performances.")
+        for event in swipes:
+            print(f"  {event.gesture} at t={event.timestamp:.2f}s "
+                  f"(duration {event.duration:.2f}s)")
 
 
 if __name__ == "__main__":

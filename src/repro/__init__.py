@@ -6,8 +6,35 @@ described declaratively as complex-event-processing (CEP) queries over a
 3D-camera skeleton stream, and those queries are *learned* from a handful
 of recorded samples via distance-based sampling and window merging.
 
+Quickstart
+----------
+The public API is :mod:`repro.api`: a fluent query DSL plus the
+:class:`~repro.api.GestureSession` façade, which owns the CEP engine, the
+``kinect_t`` transformation view, the detector, the learning pipeline and
+the gesture database behind one object:
+
+>>> from repro import GestureSession, F, Q
+>>> hands_up = (
+...     Q.stream("kinect_t")                 # events default to this stream
+...     .where(F("rhand_y") > 400)           # pose 1: right hand raised
+...     .named("hands_up")                   # -> a deployable Query
+... )
+>>> with GestureSession() as session:        # doctest: +SKIP
+...     session.deploy(hands_up)             # DSL chains, Query objects,
+...     session.learn("swipe", samples,      # query text and descriptions
+...                   deploy=True)           # all deploy the same way
+...     session.on("swipe", print)           # exception-isolated handlers
+...     session.feed(frames, batch_size=64)  # batched engine delivery path
+...     session.detections(partition=1)      # per-player filtering
+
+Learned queries render to the paper's Fig. 1 text via ``to_query()`` and
+round-trip through :func:`repro.cep.parse_query`; ``quick_learn_and_detect``
+below runs the whole loop on simulated data.
+
 The package is organised by subsystem (see ``DESIGN.md`` for the full map):
 
+``repro.api``
+    the public façade: fluent query DSL + ``GestureSession``.
 ``repro.streams``
     push-based streams, simulated clocks, sources.
 ``repro.kinect``
@@ -27,22 +54,36 @@ The package is organised by subsystem (see ``DESIGN.md`` for the full map):
     gesture-controlled OLAP and graph navigation demos.
 ``repro.evaluation``
     metrics, workload generation and experiment harnesses.
-
-Quickstart
-----------
->>> from repro import quick_learn_and_detect
->>> events = quick_learn_and_detect()          # doctest: +SKIP
 """
 
 from repro.errors import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ReproError",
     "__version__",
     "quick_learn_and_detect",
+    # Lazily re-exported from repro.api (PEP 562):
+    "GestureSession",
+    "SessionConfig",
+    "F",
+    "Q",
+    "QueryBuilder",
+    "Expr",
 ]
+
+#: Names re-exported lazily from :mod:`repro.api` so that importing
+#: ``repro`` stays lightweight (no numpy import at package-import time).
+_API_EXPORTS = ("GestureSession", "SessionConfig", "F", "Q", "QueryBuilder", "Expr")
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")
 
 
 def quick_learn_and_detect(samples: int = 4, test_performances: int = 3):
@@ -50,27 +91,27 @@ def quick_learn_and_detect(samples: int = 4, test_performances: int = 3):
 
     Learns the ``swipe_right`` gesture from a few simulated samples,
     deploys the generated CEP query, performs the gesture a few more times
-    and returns the resulting gesture events.
+    and returns the resulting gesture events.  Thin shim over
+    :class:`repro.api.GestureSession`.
     """
-    from repro.core import GestureLearner, QueryGenerator
-    from repro.detection import GestureDetector
+    from repro.api import GestureSession
     from repro.kinect import KinectSimulator, SwipeTrajectory
     from repro.streams import SimulatedClock
 
     simulator = KinectSimulator(clock=SimulatedClock())
     trajectory = SwipeTrajectory(direction="right")
 
-    learner = GestureLearner("swipe_right")
-    for _ in range(samples):
-        learner.add_sample(
-            simulator.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
+    with GestureSession() as session:
+        session.learn(
+            "swipe_right",
+            (
+                simulator.perform_variation(trajectory, hold_start_s=0.3, hold_end_s=0.3)
+                for _ in range(samples)
+            ),
+            deploy=True,
         )
-    description = learner.description()
-
-    detector = GestureDetector()
-    detector.deploy(description)
-    for _ in range(test_performances):
-        detector.process_frames(
-            simulator.perform_variation(trajectory, hold_start_s=0.2, hold_end_s=0.2)
-        )
-    return list(detector.events)
+        for _ in range(test_performances):
+            session.feed(
+                simulator.perform_variation(trajectory, hold_start_s=0.2, hold_end_s=0.2)
+            )
+        return list(session.events)

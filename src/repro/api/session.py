@@ -1,0 +1,563 @@
+"""The unified ``GestureSession`` façade.
+
+Before this module, every application hand-wired the same stack: a
+:class:`~repro.cep.engine.CEPEngine`, the ``kinect_t`` view
+(:func:`~repro.cep.views.install_kinect_view`), a
+:class:`~repro.detection.detector.GestureDetector`, one
+:class:`~repro.core.learner.GestureLearner` per gesture, and a
+:class:`~repro.storage.database.GestureDatabase`.  A
+:class:`GestureSession` owns all of it behind one object with a
+context-manager lifecycle::
+
+    with GestureSession() as session:
+        session.learn("swipe_right", samples, deploy=True)
+        session.on("swipe_right", handler)
+        session.feed(frames, batch_size=64)
+        events = session.events
+
+Everything composes the engine's fast paths transparently: deployed
+predicates go through the engine-wide compiled-predicate cache,
+``feed(batch_size=…)`` uses the batched delivery path, and detections stay
+partitioned per player (``session.detections(partition=…)``).
+
+Lifecycle
+---------
+A session starts lazily on first use (or explicitly via :meth:`start` /
+``with``).  Calling :meth:`start` twice raises
+:class:`~repro.errors.SessionStateError`; feeding a closed session raises
+:class:`~repro.errors.SessionClosedError`.  Handlers registered through
+:meth:`on` / :meth:`on_any` are exception-isolated: a raising handler never
+breaks delivery to other handlers, the failure is recorded in
+:attr:`GestureSession.handler_errors` (and forwarded to :meth:`on_error`
+observers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.api.dsl import Expr, QueryBuilder
+from repro.cep.engine import CEPEngine, DeployedQuery
+from repro.cep.matcher import Detection, MatcherConfig
+from repro.cep.query import Query
+from repro.cep.sinks import Sink
+from repro.cep.views import (
+    RAW_STREAM_NAME,
+    TRANSFORMED_STREAM_NAME,
+    View,
+    install_kinect_view,
+)
+from repro.core.description import GestureDescription
+from repro.core.learner import GestureLearner
+from repro.detection.detector import GestureDetector, GestureHandler
+from repro.detection.events import DetectionFeedback, GestureEvent
+from repro.detection.workflow import LearningWorkflow, WorkflowConfig
+from repro.errors import QueryBuilderError, SessionClosedError, SessionStateError
+from repro.storage.database import GestureDatabase
+from repro.streams.clock import Clock, SimulatedClock
+from repro.transform.pipeline import KinectTransformer, TransformConfig
+
+#: Sentinel distinguishing "parameter not given" from an explicit ``None``.
+_UNSET: Any = object()
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Configuration of a :class:`GestureSession`.
+
+    Composes the per-subsystem configurations instead of duplicating their
+    knobs: ``matcher`` tunes the NFA runtime (partitioning, run caps,
+    compiled predicates), ``transform`` the ``kinect_t`` view, and
+    ``workflow`` the learning pipeline (learner, query generation,
+    recording controller, validation).
+
+    Attributes
+    ----------
+    matcher:
+        Engine-wide NFA runtime configuration.
+    transform:
+        Configuration of the installed Kinect transformation view.
+    workflow:
+        Learning-pipeline configuration (its ``learner`` and ``querygen``
+        entries are also what :meth:`GestureSession.learn` and
+        :meth:`GestureSession.deploy` use for descriptions).
+    raw_stream / view_stream:
+        Names of the raw sensor stream and the transformed view.
+    database_path:
+        Gesture-database location (``":memory:"`` by default).
+    batch_size:
+        Default chunk size of :meth:`GestureSession.feed`; ``None`` keeps
+        the per-tuple delivery path.
+    deploy_control_gestures:
+        Deploy the wave/finalise control queries when the interactive
+        workflow is first used.
+    """
+
+    matcher: MatcherConfig = field(default_factory=MatcherConfig)
+    transform: TransformConfig = field(default_factory=TransformConfig)
+    workflow: WorkflowConfig = field(default_factory=WorkflowConfig)
+    raw_stream: str = RAW_STREAM_NAME
+    view_stream: str = TRANSFORMED_STREAM_NAME
+    database_path: Union[str, Path] = ":memory:"
+    batch_size: Optional[int] = None
+    deploy_control_gestures: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.raw_stream or not self.view_stream:
+            raise ValueError("stream names must be non-empty")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1 when given")
+
+
+@dataclass(frozen=True)
+class HandlerFailure:
+    """One exception raised by a gesture handler (delivery was not broken)."""
+
+    gesture: str
+    event: GestureEvent
+    error: BaseException
+
+
+#: Vocabulary sources ``deploy_vocabulary`` accepts.
+VocabularySource = Union[GestureDatabase, Mapping[str, Any]]
+
+
+class GestureSession:
+    """One façade over the whole learn-deploy-detect stack.
+
+    Parameters
+    ----------
+    config:
+        Session configuration; defaults compose the subsystem defaults.
+    clock:
+        Time source of a newly created engine (a fresh
+        :class:`~repro.streams.clock.SimulatedClock` by default).
+    engine:
+        An existing engine to run on.  The session installs its transform
+        view only if the configured view stream is missing; the engine
+        keeps its own matcher config and clock (combining an external
+        engine with a non-default ``config.matcher`` or a ``clock`` is
+        rejected rather than silently ignored).
+    database:
+        An existing gesture database; the session will not close it.
+
+    Examples
+    --------
+    >>> from repro.api import GestureSession, F, Q
+    >>> with GestureSession() as session:
+    ...     _ = session.deploy(
+    ...         Q.stream("kinect_t").where(F("rhand_y") > 400).named("hands_up")
+    ...     )
+    ...     session.feed([{"ts": 0.0, "rhand_y": 500.0}], stream="kinect_t")
+    ...     [event.gesture for event in session.events]
+    1
+    ['hands_up']
+    """
+
+    def __init__(
+        self,
+        config: Optional[SessionConfig] = None,
+        clock: Optional[Clock] = None,
+        engine: Optional[CEPEngine] = None,
+        database: Optional[GestureDatabase] = None,
+    ) -> None:
+        self.config = config or SessionConfig()
+        self._clock = clock
+        self._engine = engine
+        self._database = database
+        self._owns_database = database is None
+        self._view: Optional[View] = None
+        self._detector: Optional[GestureDetector] = None
+        self._workflow: Optional[LearningWorkflow] = None
+        self._started = False
+        self._closed = False
+        self.handler_errors: List[HandlerFailure] = []
+        self._error_handlers: List[Callable[[HandlerFailure], None]] = []
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "GestureSession":
+        """Build and wire the stack.  Raises on double-start or after close."""
+        if self._closed:
+            raise SessionClosedError("this session has been closed")
+        if self._started:
+            raise SessionStateError(
+                "the session is already started; create a new GestureSession "
+                "for a fresh stack"
+            )
+        if self._engine is not None:
+            # An injected engine was built with its own matcher config and
+            # clock; silently dropping the session's would mislead callers.
+            if self.config.matcher != MatcherConfig():
+                raise SessionStateError(
+                    "cannot apply a non-default SessionConfig.matcher to an "
+                    "externally created engine; configure the engine's "
+                    "matcher_config instead"
+                )
+            if self._clock is not None and self._clock is not self._engine.clock:
+                raise SessionStateError(
+                    "cannot apply a clock to an externally created engine; "
+                    "the engine already owns one"
+                )
+        if self._engine is None:
+            self._engine = CEPEngine(
+                clock=self._clock or SimulatedClock(),
+                matcher_config=self.config.matcher,
+            )
+        if self.config.view_stream in self._engine.views:
+            if self.config.transform != TransformConfig():
+                raise SessionStateError(
+                    "cannot apply a non-default SessionConfig.transform: the "
+                    "engine already has the view installed; configure the "
+                    "view's transformer instead"
+                )
+            self._view = self._engine.get_view(self.config.view_stream)
+        else:
+            self._view = install_kinect_view(
+                self._engine,
+                transform_config=self.config.transform,
+                raw_name=self.config.raw_stream,
+                view_name=self.config.view_stream,
+            )
+        if self._database is None:
+            self._database = GestureDatabase(self.config.database_path)
+        self._detector = GestureDetector(
+            engine=self._engine, querygen_config=self.config.workflow.querygen
+        )
+        self._started = True
+        return self
+
+    def close(self) -> None:
+        """End the session.  Idempotent; further feeding raises."""
+        if self._closed:
+            return
+        self._closed = True
+        self._started = False
+        if self._database is not None and self._owns_database:
+            self._database.close()
+
+    def __enter__(self) -> "GestureSession":
+        self._ensure_started()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise SessionClosedError("this session has been closed")
+        if not self._started:
+            self.start()
+
+    # -- owned components --------------------------------------------------------------
+
+    @property
+    def engine(self) -> CEPEngine:
+        self._ensure_started()
+        assert self._engine is not None
+        return self._engine
+
+    @property
+    def detector(self) -> GestureDetector:
+        self._ensure_started()
+        assert self._detector is not None
+        return self._detector
+
+    @property
+    def database(self) -> GestureDatabase:
+        self._ensure_started()
+        assert self._database is not None
+        return self._database
+
+    @property
+    def view(self) -> View:
+        self._ensure_started()
+        assert self._view is not None
+        return self._view
+
+    @property
+    def transformer(self) -> Optional[KinectTransformer]:
+        """The view's stateful Kinect transformer, when one is installed."""
+        function = self.view.function
+        return function if isinstance(function, KinectTransformer) else None
+
+    @property
+    def workflow(self) -> LearningWorkflow:
+        """The interactive learning workflow, created on first use.
+
+        Shares the session's engine, database and detector, so gestures
+        finalised by the workflow dispatch to :meth:`on` handlers and land
+        in :attr:`events` like everything else.
+        """
+        self._ensure_started()
+        if self._workflow is None:
+            self._workflow = LearningWorkflow(
+                engine=self._engine,
+                database=self._database,
+                config=self.config.workflow,
+                detector=self._detector,
+                deploy_control_gestures=self.config.deploy_control_gestures,
+            )
+        return self._workflow
+
+    # -- learning ----------------------------------------------------------------------
+
+    def learn(
+        self,
+        name: str,
+        samples: Iterable[Sequence[Mapping[str, float]]],
+        joints: Optional[Sequence[str]] = None,
+        save: bool = True,
+        deploy: bool = False,
+    ) -> GestureDescription:
+        """Learn one gesture from raw recorded ``samples``.
+
+        Runs the paper's pipeline (transform → distance-based sampling →
+        window merging) under the session's learner configuration, stores
+        the result (and its generated query text) in the gesture database,
+        and optionally deploys it immediately.
+        """
+        self._ensure_started()
+        learner_config = self.config.workflow.learner
+        if joints is not None:
+            learner_config = replace(learner_config, joints=tuple(joints))
+        learner = GestureLearner(name, config=learner_config)
+        for sample in samples:
+            learner.add_sample(sample)
+        description = learner.description()
+        query = self.detector.generator.generate(description)
+        if save:
+            self.database.save_gesture(description, query_text=query.to_query())
+        if deploy:
+            self.deploy(query, name=description.name)
+        return description
+
+    # -- interactive workflow delegation ------------------------------------------------
+
+    def begin_gesture(self, name: str) -> None:
+        """Start the interactive collect-samples phase for ``name``."""
+        self.workflow.begin_gesture(name)
+
+    def record_sample(self, frames: Sequence[Mapping[str, float]], raw: bool = True):
+        """Add one sample to the gesture under interactive learning."""
+        return self.workflow.record_sample(frames, raw=raw)
+
+    def finalize(self) -> GestureDescription:
+        """Finish interactive learning: generate, validate, store, deploy."""
+        return self.workflow.finalize()
+
+    def accept(self) -> None:
+        """Accept the gesture under test and return the workflow to idle."""
+        self.workflow.accept()
+
+    def discard(self) -> None:
+        """Throw away the gesture being learned or tested."""
+        self.workflow.discard()
+
+    @property
+    def messages(self) -> List[str]:
+        """Log messages of the interactive workflow (empty if unused)."""
+        if self._workflow is None:
+            return []
+        return list(self._workflow.messages)
+
+    # -- deployment --------------------------------------------------------------------
+
+    def deploy(
+        self,
+        gesture: Union[GestureDescription, Query, str, Any],
+        name: Optional[str] = None,
+        sink: Optional[Sink] = None,
+    ) -> DeployedQuery:
+        """Deploy a gesture description, query, query text, or builder chain.
+
+        All deployments go through the session's detector, so detections are
+        dispatched to :meth:`on` handlers and collected in :attr:`events`.
+        ``sink`` additionally attaches a :class:`~repro.cep.sinks.Sink` to
+        the deployed query.
+        """
+        self._ensure_started()
+        deployed = self.detector.deploy(gesture, name=name)
+        if sink is not None:
+            deployed.sink.add(sink)
+        return deployed
+
+    def deploy_vocabulary(
+        self, source: Optional[VocabularySource] = None, enabled_only: bool = True
+    ) -> List[str]:
+        """Deploy a whole gesture vocabulary; returns the deployed names.
+
+        ``source`` may be
+
+        * ``None`` — the session's own gesture database,
+        * a :class:`GestureDatabase`,
+        * a manifest mapping gesture name → description, query, query text,
+          builder chain, or a list of raw samples (which are learned first
+          via :meth:`learn`).
+
+        The manifest key becomes the *registration* name and, for builder
+        chains without an explicit output, the detection output as well.  A
+        pre-built :class:`Query` (or query text) keeps its own output value
+        — events and :meth:`on` handlers are keyed by that output, so give
+        such entries a manifest key equal to their output unless you
+        deliberately want a registration alias.
+        """
+        self._ensure_started()
+        if source is None:
+            source = self.database
+        if isinstance(source, GestureDatabase):
+            return self.detector.deploy_from_database(source, enabled_only=enabled_only)
+        deployed: List[str] = []
+        for name, entry in source.items():
+            if isinstance(entry, Expr):
+                raise QueryBuilderError(
+                    f"manifest entry '{name}' is a bare predicate; wrap it in "
+                    f"a chain: Q.stream(...).where(<predicate>)"
+                )
+            if isinstance(entry, QueryBuilder):
+                # The manifest key supplies the output value unless the
+                # chain set one explicitly.
+                entry = entry.build(entry.output_value or name)
+            if isinstance(entry, (GestureDescription, Query, str)):
+                self.deploy(entry, name=name)
+            else:
+                self.learn(name, entry, deploy=True)
+            deployed.append(name)
+        return deployed
+
+    def undeploy(self, name: str) -> None:
+        """Remove one deployed gesture."""
+        self.detector.undeploy(name)
+
+    def deployed_gestures(self) -> List[str]:
+        """Names of the deployed gestures (readable even after close)."""
+        if self._detector is None:
+            return []
+        return self._detector.deployed_gestures()
+
+    def attach_sink(self, sink: Sink, query: Optional[str] = None) -> None:
+        """Attach ``sink`` to one deployed query, or to all of them."""
+        self._ensure_started()
+        if query is not None:
+            self.engine.get_query(query).sink.add(sink)
+            return
+        for deployed in self.engine.queries.values():
+            deployed.sink.add(sink)
+
+    # -- data path ---------------------------------------------------------------------
+
+    def feed(
+        self,
+        frames: Iterable[Mapping[str, float]],
+        batch_size: Any = _UNSET,
+        stream: Optional[str] = None,
+    ) -> int:
+        """Push sensor frames through the stack; returns the number fed.
+
+        ``batch_size`` selects the engine's batched delivery path (chunks
+        amortise fan-out and run-table pruning); it defaults to the
+        session configuration's ``batch_size``.  ``stream`` overrides the
+        target stream (the raw sensor stream by default).
+        """
+        self._ensure_started()
+        if batch_size is _UNSET:
+            batch_size = self.config.batch_size
+        return self.engine.push_many(
+            stream or self.config.raw_stream, frames, batch_size=batch_size
+        )
+
+    def feed_frame(self, frame: Mapping[str, float], stream: Optional[str] = None) -> None:
+        """Push a single sensor frame (interactive / live sources)."""
+        self._ensure_started()
+        self.engine.push(stream or self.config.raw_stream, frame)
+
+    # -- events and handlers --------------------------------------------------------------
+
+    def on(self, gesture: str, handler: GestureHandler) -> None:
+        """Call ``handler`` for every detection of ``gesture``.
+
+        Handlers are exception-isolated: a raising handler is recorded in
+        :attr:`handler_errors` without breaking delivery to other handlers
+        or to the engine's sinks.
+        """
+        self.detector.on_gesture(gesture, self._guard(gesture, handler))
+
+    def on_any(self, handler: GestureHandler) -> None:
+        """Call ``handler`` for every detection of any gesture."""
+        self.detector.on_any_gesture(self._guard("*", handler))
+
+    # Alias so the session satisfies the detector protocol that
+    # :class:`repro.apps.binding.GestureBindings` expects.
+    on_gesture = on
+    on_any_gesture = on_any
+
+    def on_error(self, callback: Callable[[HandlerFailure], None]) -> None:
+        """Observe handler failures (each also lands in ``handler_errors``)."""
+        self._error_handlers.append(callback)
+
+    def _guard(self, gesture: str, handler: GestureHandler) -> GestureHandler:
+        def wrapped(event: GestureEvent) -> None:
+            try:
+                handler(event)
+            except Exception as error:  # noqa: BLE001 — isolation is the point
+                failure = HandlerFailure(gesture=gesture, event=event, error=error)
+                self.handler_errors.append(failure)
+                for observer in self._error_handlers:
+                    observer(failure)
+
+        return wrapped
+
+    @property
+    def events(self) -> List[GestureEvent]:
+        """All gesture events observed so far, in detection order.
+
+        Collected results stay readable after :meth:`close` — only feeding
+        and deploying are lifecycle-guarded.
+        """
+        if self._detector is None:
+            return []
+        return list(self._detector.events)
+
+    def detections(
+        self, name: Optional[str] = None, partition: Any = _UNSET
+    ) -> List[Detection]:
+        """Raw engine detections of one query or all queries.
+
+        ``partition`` restricts the result to one player (compare
+        :attr:`~repro.cep.matcher.Detection.partition`).  Like
+        :attr:`events`, collected detections stay readable after close.
+        """
+        if self._engine is None:
+            self._ensure_started()
+        if partition is _UNSET:
+            return self._engine.detections(name)
+        return self._engine.detections(name, partition=partition)
+
+    def feedback(self) -> DetectionFeedback:
+        """Partial-match progress of every deployed gesture (Fig. 5 style)."""
+        return self.detector.feedback()
+
+    def progress(self) -> Dict[str, float]:
+        """Gesture name → fraction of its pattern already matched."""
+        return self.feedback().progress
+
+    def clear(self) -> None:
+        """Reset for a fresh scene: events, detections, runs, transform state."""
+        self._ensure_started()
+        self.detector.clear()
+        self.handler_errors.clear()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else ("started" if self._started else "new")
+        deployed = self.deployed_gestures() if self._started else []
+        return f"GestureSession(state={state}, deployed={deployed})"

@@ -31,7 +31,7 @@ identical predicates, keyed by their canonical ``to_query()`` text.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ExpressionError, UnknownFunctionError
 

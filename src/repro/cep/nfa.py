@@ -18,8 +18,8 @@ constraint window has already elapsed can be pruned early.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
 from repro.cep.expressions import Expression
 from repro.cep.query import (

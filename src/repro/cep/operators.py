@@ -12,7 +12,7 @@ results to an output stream, so operators compose into pipelines.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Deque, Iterable, List, Mapping, Optional, Sequence
 
 from repro.cep.expressions import Expression
 from repro.cep.udf import FunctionRegistry, default_functions

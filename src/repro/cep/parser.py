@@ -33,7 +33,7 @@ Keywords are case-insensitive.  Time units: ``seconds``, ``second``, ``s``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 from repro.cep.expressions import (
     BinaryOp,

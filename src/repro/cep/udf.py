@@ -19,7 +19,7 @@ they become available in every query deployed afterwards.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import ExpressionError, UnknownFunctionError
 

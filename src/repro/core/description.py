@@ -12,7 +12,7 @@ paper highlights as the benefit of declarative gesture definitions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.core.windows import PoseWindow, Window
 

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.description import GestureDescription
-from repro.core.sampling import CharacteristicPoint, SampledPath
+from repro.core.sampling import SampledPath
 from repro.core.windows import PoseWindow, Window
 from repro.errors import IncompatibleSampleError, SampleDeviationWarning
 

@@ -21,7 +21,7 @@ precision impact of coordinate elimination is measured by benchmark C4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.description import GestureDescription
 from repro.core.windows import PoseWindow, Window

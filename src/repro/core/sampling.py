@@ -22,7 +22,7 @@ support and time span.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.distance import DistanceMetric, EuclideanDistance

@@ -20,7 +20,7 @@ The validator only *reports*; resolving a conflict is left to the user
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.core.description import GestureDescription
 from repro.errors import ValidationError

@@ -21,9 +21,9 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Mapping, Optional, Tuple
 
-from repro.core.distance import EuclideanDistance, joint_fields
+from repro.core.distance import joint_fields
 from repro.errors import RecordingError
 
 

@@ -11,7 +11,7 @@ the paper's Fig. 2.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cep.engine import CEPEngine, DeployedQuery
 from repro.cep.matcher import Detection
@@ -79,10 +79,11 @@ class GestureDetector:
 
     def deploy(
         self,
-        gesture: Union[GestureDescription, Query, str],
+        gesture: Union[GestureDescription, Query, str, Any],
         name: Optional[str] = None,
     ) -> DeployedQuery:
-        """Deploy a gesture description, a query object, or query text.
+        """Deploy a gesture description, a query object, query text, or a
+        fluent builder chain (anything with a ``build() -> Query`` method).
 
         Returns the engine's deployed-query handle.  The gesture becomes
         active immediately; previously deployed gestures keep running.

@@ -15,7 +15,7 @@ Two kinds of objects leave the detection layer:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.cep.matcher import Detection
 

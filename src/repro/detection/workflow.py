@@ -23,11 +23,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence
 
 from repro.cep.engine import CEPEngine
 from repro.cep.matcher import Detection
-from repro.cep.query import Query
 from repro.cep.sinks import CallbackSink
 from repro.cep.views import RAW_STREAM_NAME, TRANSFORMED_STREAM_NAME, install_kinect_view
 from repro.core.description import GestureDescription
@@ -39,7 +38,6 @@ from repro.detection.controller import ControllerConfig, RecordingController, Re
 from repro.detection.detector import GestureDetector
 from repro.detection.events import DetectionFeedback, GestureEvent
 from repro.errors import InvalidWorkflowStateError, RecordingError
-from repro.kinect.recordings import Recording
 from repro.storage.database import GestureDatabase
 from repro.streams.clock import Clock, SimulatedClock
 
@@ -127,14 +125,23 @@ class LearningWorkflow:
         config: Optional[WorkflowConfig] = None,
         clock: Optional[Clock] = None,
         deploy_control_gestures: bool = True,
+        detector: Optional[GestureDetector] = None,
     ) -> None:
         self.config = config or WorkflowConfig()
+        if engine is None:
+            engine = detector.engine if detector is not None else None
         if engine is None:
             engine = CEPEngine(clock=clock or SimulatedClock())
             install_kinect_view(engine)
         self.engine = engine
         self.database = database or GestureDatabase(":memory:")
-        self.detector = GestureDetector(engine=engine, querygen_config=self.config.querygen)
+        if detector is not None and detector.engine is not engine:
+            raise InvalidWorkflowStateError(
+                "the workflow's detector must share the workflow's engine"
+            )
+        self.detector = detector or GestureDetector(
+            engine=engine, querygen_config=self.config.querygen
+        )
         self.controller = RecordingController(self.config.controller)
         self.generator = QueryGenerator(self.config.querygen)
         self.validator = PatternValidator()

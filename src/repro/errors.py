@@ -59,6 +59,27 @@ class UnknownStreamError(CEPError):
     """A query or view references a stream that is not registered."""
 
 
+class UnknownViewError(UnknownStreamError):
+    """A view name is not installed on the engine.
+
+    Subclasses :class:`UnknownStreamError` because views *are* derived
+    streams; existing ``except UnknownStreamError`` handlers keep working.
+    """
+
+
+class UnknownQueryError(QueryRegistrationError):
+    """No deployed query has the requested name.
+
+    Subclasses :class:`QueryRegistrationError` for backwards compatibility
+    with callers that catch the broader class.
+    """
+
+
+class QueryBuilderError(CEPError):
+    """A fluent query-builder chain is incomplete or inconsistent
+    (no event patterns, missing output name, unknown policy …)."""
+
+
 class UnknownFunctionError(ExpressionError):
     """An expression calls a function that is not registered as a UDF."""
 
@@ -133,6 +154,25 @@ class InvalidWorkflowStateError(WorkflowError):
 class RecordingError(WorkflowError):
     """Recording a gesture sample failed (e.g. the user never became
     stationary, or the recording contained no movement)."""
+
+
+# ---------------------------------------------------------------------------
+# Session façade errors
+# ---------------------------------------------------------------------------
+
+
+class SessionError(ReproError):
+    """Base class for errors raised by the :class:`repro.api.GestureSession`
+    façade."""
+
+
+class SessionStateError(SessionError):
+    """An operation is not legal in the session's current lifecycle state
+    (e.g. calling ``start()`` twice)."""
+
+
+class SessionClosedError(SessionStateError):
+    """The session has been closed; no further data can be fed through it."""
 
 
 # ---------------------------------------------------------------------------

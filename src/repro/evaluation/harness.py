@@ -20,8 +20,8 @@ Two families of experiments cover the paper's claims:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.cep.engine import CEPEngine
 from repro.cep.matcher import Detection, MatcherConfig

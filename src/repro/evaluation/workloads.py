@@ -10,7 +10,7 @@ workloads so the numbers in ``EXPERIMENTS.md`` can be regenerated exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -18,7 +18,7 @@ from repro.kinect.noise import GaussianNoise
 from repro.kinect.recordings import Recording
 from repro.kinect.simulator import KinectSimulator
 from repro.kinect.trajectories import Trajectory, standard_gesture_catalog
-from repro.kinect.users import STANDARD_USERS, BodyProfile, user_by_name
+from repro.kinect.users import BodyProfile, user_by_name
 from repro.streams.clock import SimulatedClock
 
 

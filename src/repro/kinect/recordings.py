@@ -28,7 +28,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.kinect.noise import GaussianNoise, NoiseModel
+from repro.kinect.noise import GaussianNoise
 from repro.kinect.simulator import KINECT_FREQUENCY_HZ, KinectSimulator
 from repro.kinect.trajectories import Trajectory
 from repro.kinect.users import STANDARD_USERS, BodyProfile

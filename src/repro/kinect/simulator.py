@@ -26,7 +26,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.kinect.noise import GaussianNoise, NoiseModel, NoNoise
+from repro.kinect.noise import GaussianNoise, NoiseModel
 from repro.kinect.skeleton import Skeleton
 from repro.kinect.trajectories import Trajectory, WaypointTrajectory
 from repro.kinect.users import BodyProfile, user_by_name

@@ -10,7 +10,7 @@ movement, how fast they perform it).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 #: Height of the reference adult the rest pose was authored for (mm).

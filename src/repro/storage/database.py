@@ -25,7 +25,7 @@ import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.description import GestureDescription
 from repro.errors import DuplicateGestureError, GestureNotFoundError, StorageError

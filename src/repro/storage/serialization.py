@@ -9,7 +9,7 @@ serialisation goes through this module so the format lives in one place.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Mapping
+from typing import Any, Dict
 
 from repro.core.description import GestureDescription
 from repro.errors import SerializationError

@@ -21,7 +21,7 @@ subscribers differs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 TupleCallback = Callable[[Mapping[str, Any]], None]

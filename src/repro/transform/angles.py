@@ -16,7 +16,7 @@ the learning pipeline can constrain angles exactly like coordinates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.kinect.skeleton import TRACKED_AXES, joint_field

@@ -11,11 +11,9 @@ two specialized comparison shapes (``field <op> literal`` and the learner's
 import pytest
 
 from repro.cep.expressions import (
-    BooleanOp,
     Comparison,
     CompiledPredicateCache,
     Expression,
-    FieldRef,
     Literal,
     abs_diff_predicate,
 )

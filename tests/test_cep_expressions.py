@@ -1,6 +1,5 @@
 """Unit tests for repro.cep.expressions and repro.cep.udf."""
 
-import math
 
 import pytest
 

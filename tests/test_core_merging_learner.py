@@ -8,7 +8,6 @@ from repro.core.description import GestureDescription
 from repro.core.learner import GestureLearner, LearnerConfig, detect_moving_joints
 from repro.core.merging import MergeConfig, WindowMerger, align_centers
 from repro.core.sampling import DistanceBasedSampler, SamplingConfig
-from repro.core.windows import PoseWindow, Window
 from repro.errors import EmptySampleError, IncompatibleSampleError, SampleDeviationWarning
 from repro.kinect import SwipeTrajectory
 

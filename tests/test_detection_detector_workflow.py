@@ -17,7 +17,6 @@ from repro.errors import (
     InvalidWorkflowStateError,
     RecordingError,
 )
-from repro.kinect import CircleTrajectory, KinectSimulator, SwipeTrajectory
 from repro.storage import GestureDatabase
 from repro.streams import SimulatedClock
 

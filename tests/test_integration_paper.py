@@ -8,7 +8,6 @@ generation → CEP detection → application actions.
 import pytest
 
 from repro.apps import CubeNavigator, GestureBindings, GraphNavigator, collaboration_demo_graph, olap_demo_cube
-from repro.cep import CEPEngine, install_kinect_view
 from repro.cep.parser import parse_query
 from repro.core import (
     GestureLearner,

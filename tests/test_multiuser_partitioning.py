@@ -21,7 +21,6 @@ from repro.cep.query import ConsumePolicy, EventPattern, SelectPolicy, sequence
 from repro.cep.views import install_kinect_view
 from repro.detection import GestureDetector, GestureEvent
 from repro.kinect import (
-    KinectSimulator,
     SwipeTrajectory,
     generate_multiuser_recording,
     user_by_name,

@@ -1,8 +1,6 @@
 """Unit tests for repro.transform (coordinate, rotation, pipeline)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.kinect import KinectSimulator, NoNoise, SwipeTrajectory, user_by_name
