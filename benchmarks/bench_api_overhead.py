@@ -14,7 +14,7 @@ shared-runner noise.
 
 import time
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, record_benchmark
 from repro.api import GestureSession
 from repro.cep import CEPEngine, install_kinect_view
 from repro.streams import SimulatedClock
@@ -85,6 +85,16 @@ def test_b3_facade_overhead_within_five_percent(
             {"stack": "GestureSession", "tuples/s": f"{facade_best:,.0f}",
              "ratio": f"{ratio:.3f}"},
         ],
+    )
+
+    record_benchmark(
+        "api_overhead",
+        {
+            "config": {"batch_size": BATCH_SIZE, "repeats": REPEATS},
+            "raw_tuples_per_s": round(raw_best, 1),
+            "facade_tuples_per_s": round(facade_best, 1),
+            "ratio": round(ratio, 3),
+        },
     )
 
     # The 5% bound is the satellite's acceptance criterion; skip it in the

@@ -16,7 +16,7 @@ paths must never trade correctness for throughput.
 """
 
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import print_table, record_benchmark
 from repro.evaluation import measure_throughput
 
 BATCH_SIZE = 64
@@ -66,6 +66,7 @@ def test_b1_compiled_and_batched_match_interpreted(
         )
         rows.append(row)
     print_table("B1: interpreted vs compiled vs batched matching", rows)
+    record_benchmark("batch_matching", {"rows": rows})
 
     # Compiled predicates are the headline win; allow a generous noise
     # margin, and skip the timing assertion entirely in the untimed smoke

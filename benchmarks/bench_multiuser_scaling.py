@@ -19,7 +19,7 @@ Two measurements:
 """
 
 
-from benchmarks.conftest import THROUGHPUT_GESTURES, print_table
+from benchmarks.conftest import THROUGHPUT_GESTURES, print_table, record_benchmark
 from repro.evaluation import measure_throughput
 from repro.kinect import generate_multiuser_recording
 
@@ -101,6 +101,7 @@ def test_b2_throughput_scales_with_user_count(benchmark, gesture_queries):
             row["detections"] = len(result.detections)
             rows.append(row)
     print_table("B2: multi-user scaling (8 queries)", rows)
+    record_benchmark("multiuser_scaling", {"rows": rows})
 
     for row in rows:
         assert row["realtime_x"] > 1.0, f"below real time: {row}"

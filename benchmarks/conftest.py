@@ -14,9 +14,13 @@ that keeps the perf harness working without paying for calibration rounds.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import sys
+import time
 from pathlib import Path
-from typing import Dict, Sequence
+from typing import Dict, Mapping, Sequence
 
 # Allow `python -m pytest benchmarks` without an explicit PYTHONPATH=src.
 _SRC = str(Path(__file__).resolve().parent.parent / "src")
@@ -57,6 +61,35 @@ def pytest_collection_modifyitems(config, items):
     for item in items:
         if "bench_" in item.nodeid:
             item.add_marker(pytest.mark.smoke)
+
+
+#: Where ``record_benchmark`` writes its JSON files.
+RESULTS_DIR = Path(__file__).resolve().parent
+
+
+def record_benchmark(name: str, payload: Mapping[str, object]) -> Path:
+    """Dump one benchmark run to ``benchmarks/BENCH_<name>.json``.
+
+    The perf trajectory of the repo lives in these files: every benchmark
+    passes its configuration, throughput numbers and detection counts, and
+    the writer adds the environment (python, platform, cpu count) and a
+    wall-clock stamp.  Values must be JSON-serialisable — pass the same
+    plain rows the ``print_table`` reports use.
+    """
+    document = {
+        "benchmark": name,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "environment": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        **payload,
+    }
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n")
+    return path
 
 
 def print_table(title: str, rows: Sequence[Dict[str, object]]) -> None:

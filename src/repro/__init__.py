@@ -31,6 +31,29 @@ Learned queries render to the paper's Fig. 1 text via ``to_query()`` and
 round-trip through :func:`repro.cep.parse_query`; ``quick_learn_and_detect``
 below runs the whole loop on simulated data.
 
+Scaling out
+-----------
+The matchers keep all their state per player, so detection over a shared
+multi-user stream is embarrassingly parallel — and
+``GestureSession(SessionConfig(shards=N))`` exploits it: frames are routed
+to N worker shards by a stable hash of their ``player`` id, deployments
+fan out to every shard, and bounded per-shard queues apply an explicit
+backpressure policy (``block`` / ``drop_oldest`` / ``error``).  Per player
+the detections are byte-identical to the inline engine's (benchmark B4
+asserts it), ``session.metrics`` reports per-shard throughput / queue
+depth / drops, and ``shard_executor="process"`` turns the shards into
+worker processes for true multi-core parallelism:
+
+>>> from repro import GestureSession, SessionConfig            # doctest: +SKIP
+>>> with GestureSession(SessionConfig(shards=4)) as session:   # doctest: +SKIP
+...     session.deploy_vocabulary(manifest)
+...     session.feed(frames)                  # routed per player
+...     session.detections(partition=2)       # == the inline sequence
+
+``shards=1`` (the default) keeps the inline single-threaded path
+untouched.  The execution layer lives in :mod:`repro.runtime` and can be
+driven directly (``ShardedRuntime``) when the session façade is too much.
+
 The package is organised by subsystem (see ``DESIGN.md`` for the full map):
 
 ``repro.api``
@@ -43,6 +66,9 @@ The package is organised by subsystem (see ``DESIGN.md`` for the full map):
     the user-independent ``kinect_t`` coordinate transformation.
 ``repro.cep``
     the CEP engine: query language, NFA matcher, views, sinks.
+``repro.runtime``
+    the sharded concurrent runtime: partition-hash routing, worker
+    shards with backpressure, merged results, metrics.
 ``repro.core``
     the learning pipeline: sampling, merging, validation, optimisation,
     query generation (the paper's contribution).

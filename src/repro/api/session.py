@@ -30,6 +30,24 @@ A session starts lazily on first use (or explicitly via :meth:`start` /
 breaks delivery to other handlers, the failure is recorded in
 :attr:`GestureSession.handler_errors` (and forwarded to :meth:`on_error`
 observers).
+
+Scaling out
+-----------
+``SessionConfig(shards=N)`` with ``N > 1`` runs the whole session on a
+:class:`~repro.runtime.ShardedRuntime`: frames are routed to N worker
+shards by a stable hash of their ``player`` id, every ``deploy`` fans out
+to all shards, and ``detections`` / ``events`` / ``on`` behave exactly as
+inline — reads drain the shard queues first, so a ``feed`` is always fully
+observed, and restricted to one player the detection sequence is
+byte-identical to the inline engine's (the B4 benchmark asserts it).
+``shards=1`` (the default) keeps today's inline engine path untouched.
+``backpressure`` / ``queue_capacity`` bound the per-shard queues, and
+``shard_executor`` picks worker threads (default) or worker processes
+(true multi-core parallelism).  :attr:`GestureSession.metrics` exposes the
+per-shard counters.  The interactive learning workflow and direct
+``session.engine`` / ``session.view`` access require an inline session; a
+failed shard surfaces its original exception on the next feed or read as
+a :class:`~repro.errors.ShardFailedError`.
 """
 
 from __future__ import annotations
@@ -93,6 +111,19 @@ class SessionConfig:
     deploy_control_gestures:
         Deploy the wave/finalise control queries when the interactive
         workflow is first used.
+    shards:
+        Number of worker shards.  ``1`` (default) runs the inline engine
+        exactly as before; ``N > 1`` runs a
+        :class:`~repro.runtime.ShardedRuntime` of N engines with frames
+        routed per player (see "Scaling out" in the module docstring).
+    shard_executor:
+        ``"thread"`` (default) or ``"process"`` worker shards; only
+        meaningful with ``shards > 1``.
+    backpressure:
+        Per-shard queue policy when feeding outruns the workers:
+        ``"block"`` (default), ``"drop_oldest"`` or ``"error"``.
+    queue_capacity:
+        Per-shard queue bound, in tuples.
     """
 
     matcher: MatcherConfig = field(default_factory=MatcherConfig)
@@ -103,12 +134,26 @@ class SessionConfig:
     database_path: Union[str, Path] = ":memory:"
     batch_size: Optional[int] = None
     deploy_control_gestures: bool = False
+    shards: int = 1
+    shard_executor: str = "thread"
+    backpressure: str = "block"
+    queue_capacity: int = 2048
 
     def __post_init__(self) -> None:
         if not self.raw_stream or not self.view_stream:
             raise ValueError("stream names must be non-empty")
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be at least 1 when given")
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if self.shard_executor not in ("thread", "process"):
+            raise ValueError("shard_executor must be 'thread' or 'process'")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        # Validate the policy eagerly (and centrally) rather than at start().
+        from repro.runtime.queues import BackpressurePolicy
+
+        BackpressurePolicy.validate(self.backpressure)
 
 
 @dataclass(frozen=True)
@@ -166,6 +211,7 @@ class GestureSession:
         self.config = config or SessionConfig()
         self._clock = clock
         self._engine = engine
+        self._runtime = None  # type: Optional[Any]  # ShardedRuntime when shards > 1
         self._database = database
         self._owns_database = database is None
         self._view: Optional[View] = None
@@ -187,6 +233,9 @@ class GestureSession:
                 "the session is already started; create a new GestureSession "
                 "for a fresh stack"
             )
+        if self.config.shards > 1:
+            self._start_sharded()
+            return self
         if self._engine is not None:
             # An injected engine was built with its own matcher config and
             # clock; silently dropping the session's would mislead callers.
@@ -229,12 +278,63 @@ class GestureSession:
         self._started = True
         return self
 
+    def _start_sharded(self) -> None:
+        """Build the session on a :class:`~repro.runtime.ShardedRuntime`."""
+        from repro.runtime import ShardedRuntime
+        from repro.runtime.shard import ShardEngineSpec
+
+        if self._engine is not None:
+            raise SessionStateError(
+                "cannot shard an externally created engine; a sharded session "
+                "builds one engine per shard from SessionConfig"
+            )
+        if self._clock is not None:
+            # Each shard engine owns a private clock that only stamps
+            # tuples missing the timestamp field; silently substituting N
+            # diverging copies for an injected clock would corrupt 'within'
+            # windows.  Sharded feeding expects timestamped tuples.
+            raise SessionStateError(
+                "cannot apply a clock to a sharded session: each shard owns "
+                "its own engine clock, and routed frames must carry their "
+                "own timestamps; use an inline (shards=1) session for "
+                "clock-stamped feeding"
+            )
+        spec = ShardEngineSpec(
+            matcher=self.config.matcher,
+            transform=self.config.transform,
+            raw_stream=self.config.raw_stream,
+            view_stream=self.config.view_stream,
+        )
+        runtime = ShardedRuntime(
+            shard_count=self.config.shards,
+            spec=spec,
+            executor=self.config.shard_executor,
+            backpressure=self.config.backpressure,
+            queue_capacity=self.config.queue_capacity,
+        )
+        runtime.start()
+        self._runtime = runtime
+        # The runtime duck-types the engine surface the detector (and the
+        # session's own data path) uses, so everything below runs sharded
+        # without special cases.
+        self._engine = runtime
+        if self._database is None:
+            self._database = GestureDatabase(self.config.database_path)
+        self._detector = GestureDetector(
+            engine=runtime, querygen_config=self.config.workflow.querygen
+        )
+        self._started = True
+
     def close(self) -> None:
         """End the session.  Idempotent; further feeding raises."""
         if self._closed:
             return
         self._closed = True
         self._started = False
+        if self._runtime is not None:
+            # Finish queued work, stop the workers, keep results readable.
+            self._runtime.stop(drain=True)
+            self._runtime.join()
         if self._database is not None and self._owns_database:
             self._database.close()
 
@@ -265,7 +365,30 @@ class GestureSession:
     def engine(self) -> CEPEngine:
         self._ensure_started()
         assert self._engine is not None
+        if self._runtime is not None:
+            raise SessionStateError(
+                "a sharded session has one engine per shard, not a single "
+                "CEPEngine; use session.runtime (or an inline shards=1 "
+                "session) instead"
+            )
         return self._engine
+
+    @property
+    def runtime(self):
+        """The :class:`~repro.runtime.ShardedRuntime`, or ``None`` inline.
+
+        Stays readable after :meth:`close` (like :attr:`events`), so
+        metrics can be reported once a workload finished.
+        """
+        if self._runtime is None and self.config.shards > 1 and not self._closed:
+            self._ensure_started()
+        return self._runtime
+
+    @property
+    def metrics(self):
+        """Per-shard :class:`~repro.runtime.MetricsRegistry` (``None`` inline)."""
+        runtime = self.runtime
+        return None if runtime is None else runtime.metrics
 
     @property
     def detector(self) -> GestureDetector:
@@ -282,12 +405,23 @@ class GestureSession:
     @property
     def view(self) -> View:
         self._ensure_started()
+        if self._runtime is not None:
+            raise SessionStateError(
+                "a sharded session has one transformation view per shard; "
+                "shard-local transformer state is managed through "
+                "session.clear() (which resets every shard's transformer)"
+            )
         assert self._view is not None
         return self._view
 
     @property
     def transformer(self) -> Optional[KinectTransformer]:
-        """The view's stateful Kinect transformer, when one is installed."""
+        """The view's stateful Kinect transformer, when one is installed.
+
+        ``None`` on a sharded session (each shard owns its own transformer).
+        """
+        if self._runtime is not None:
+            return None
         function = self.view.function
         return function if isinstance(function, KinectTransformer) else None
 
@@ -300,6 +434,12 @@ class GestureSession:
         in :attr:`events` like everything else.
         """
         self._ensure_started()
+        if self._runtime is not None:
+            raise SessionStateError(
+                "the interactive learning workflow records through a single "
+                "inline engine; use a shards=1 session to learn, then deploy "
+                "the result on a sharded session"
+            )
         if self._workflow is None:
             self._workflow = LearningWorkflow(
                 engine=self._engine,
@@ -449,9 +589,9 @@ class GestureSession:
         """Attach ``sink`` to one deployed query, or to all of them."""
         self._ensure_started()
         if query is not None:
-            self.engine.get_query(query).sink.add(sink)
+            self._engine.get_query(query).sink.add(sink)
             return
-        for deployed in self.engine.queries.values():
+        for deployed in self._engine.queries.values():
             deployed.sink.add(sink)
 
     # -- data path ---------------------------------------------------------------------
@@ -472,14 +612,14 @@ class GestureSession:
         self._ensure_started()
         if batch_size is _UNSET:
             batch_size = self.config.batch_size
-        return self.engine.push_many(
+        return self._engine.push_many(
             stream or self.config.raw_stream, frames, batch_size=batch_size
         )
 
     def feed_frame(self, frame: Mapping[str, float], stream: Optional[str] = None) -> None:
         """Push a single sensor frame (interactive / live sources)."""
         self._ensure_started()
-        self.engine.push(stream or self.config.raw_stream, frame)
+        self._engine.push(stream or self.config.raw_stream, frame)
 
     # -- events and handlers --------------------------------------------------------------
 
@@ -522,10 +662,14 @@ class GestureSession:
         """All gesture events observed so far, in detection order.
 
         Collected results stay readable after :meth:`close` — only feeding
-        and deploying are lifecycle-guarded.
+        and deploying are lifecycle-guarded.  On a sharded session the read
+        waits for queued frames to finish processing first, so events are
+        consistent with everything already fed.
         """
         if self._detector is None:
             return []
+        if self._runtime is not None:
+            self._runtime._drain_for_read()
         return list(self._detector.events)
 
     def detections(
@@ -551,10 +695,26 @@ class GestureSession:
         """Gesture name → fraction of its pattern already matched."""
         return self.feedback().progress
 
+    def drain(self) -> None:
+        """Block until every fed frame has been fully processed.
+
+        A no-op on an inline session (feeding is synchronous there); on a
+        sharded session this is the explicit barrier — reads like
+        :attr:`events` and :meth:`detections` take it implicitly.  Raises
+        :class:`~repro.errors.ShardFailedError` if a worker shard died.
+        """
+        self._ensure_started()
+        if self._runtime is not None:
+            self._runtime.drain()
+
     def clear(self) -> None:
         """Reset for a fresh scene: events, detections, runs, transform state."""
         self._ensure_started()
         self.detector.clear()
+        if self._runtime is not None:
+            # Shard-local transformers are not reachable through the
+            # detector's view list; reset them through the runtime.
+            self._runtime.reset_transformers()
         self.handler_errors.clear()
 
     def __repr__(self) -> str:

@@ -42,7 +42,14 @@ from repro.cep.query import (
 )
 from repro.cep.nfa import CompiledPattern, compile_pattern
 from repro.cep.matcher import Detection, NFAMatcher, MatcherConfig
-from repro.cep.sinks import CallbackSink, CollectingSink, NullSink, Sink
+from repro.cep.sinks import (
+    CallbackSink,
+    CollectingSink,
+    FanOutSink,
+    NullSink,
+    Sink,
+    SinkFailure,
+)
 from repro.cep.views import install_kinect_view
 from repro.cep.engine import CEPEngine, DeployedQuery
 
@@ -76,8 +83,10 @@ __all__ = [
     "MatcherConfig",
     "Detection",
     "Sink",
+    "SinkFailure",
     "CallbackSink",
     "CollectingSink",
+    "FanOutSink",
     "NullSink",
     "install_kinect_view",
     "CEPEngine",

@@ -11,6 +11,7 @@ the paper's Fig. 2.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.cep.engine import CEPEngine, DeployedQuery
@@ -74,6 +75,11 @@ class GestureDetector:
         self._global_handlers: List[GestureHandler] = []
         self._deployed: Dict[str, DeployedQuery] = {}
         self.events: List[GestureEvent] = []
+        # Serialises event dispatch: on a sharded runtime detections arrive
+        # from several worker threads at once, and handlers plus the events
+        # list must observe them one at a time.  Reentrant because a handler
+        # may feed another frame whose detection dispatches recursively.
+        self._dispatch_lock = threading.RLock()
 
     # -- deployment ------------------------------------------------------------------
 
@@ -146,12 +152,13 @@ class GestureDetector:
         self._global_handlers.append(handler)
 
     def _dispatch(self, detection: Detection) -> None:
-        event = GestureEvent.from_detection(detection)
-        self.events.append(event)
-        for handler in self._handlers.get(event.gesture, []):
-            handler(event)
-        for handler in self._global_handlers:
-            handler(event)
+        with self._dispatch_lock:
+            event = GestureEvent.from_detection(detection)
+            self.events.append(event)
+            for handler in list(self._handlers.get(event.gesture, [])):
+                handler(event)
+            for handler in list(self._global_handlers):
+                handler(event)
 
     # -- data path --------------------------------------------------------------------------
 

@@ -176,6 +176,42 @@ class SessionClosedError(SessionStateError):
 
 
 # ---------------------------------------------------------------------------
+# Sharded runtime errors
+# ---------------------------------------------------------------------------
+
+
+class ShardedRuntimeError(ReproError):
+    """Base class for errors raised by the sharded concurrent runtime
+    (:mod:`repro.runtime`)."""
+
+
+class RuntimeStateError(ShardedRuntimeError):
+    """An operation is not legal in the runtime's current lifecycle state
+    (e.g. feeding before ``start()`` or after ``stop()``)."""
+
+
+class BackpressureError(ShardedRuntimeError):
+    """A bounded shard queue is full and its backpressure policy is
+    ``"error"``: the producer must slow down or drop data itself."""
+
+
+class ShardFailedError(ShardedRuntimeError):
+    """A worker shard died on an exception.
+
+    The failing shard's original exception is chained as ``__cause__`` and
+    also available as :attr:`cause`; ``shard_id`` names the shard.
+    """
+
+    def __init__(self, shard_id: int, cause: BaseException, detail: str = "") -> None:
+        message = f"shard {shard_id} failed: {cause!r}"
+        if detail:
+            message = f"{message}\n{detail}"
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.cause = cause
+
+
+# ---------------------------------------------------------------------------
 # Application-layer errors
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,67 @@
+"""Sharded concurrent runtime: scale the detection path across worker shards.
+
+The single-threaded :class:`~repro.cep.engine.CEPEngine` stays the unit of
+matching semantics; this package is the execution layer that runs N of them
+side by side:
+
+``repro.runtime.router``
+    stable partition-hash routing — all tuples of one player reach the
+    same shard, in order.
+``repro.runtime.queues``
+    bounded per-shard queues with explicit backpressure
+    (``block`` / ``drop_oldest`` / ``error``).
+``repro.runtime.shard``
+    worker shards: thread- and process-backed executors behind one
+    protocol, with graceful failure reporting.
+``repro.runtime.results``
+    merging per-shard detections into one timestamp-ordered view.
+``repro.runtime.metrics``
+    per-shard throughput / queue-depth / drop / detection counters.
+``repro.runtime.sharded``
+    :class:`ShardedRuntime`, the engine-shaped façade over all of it.
+
+Most applications never import this package directly:
+``GestureSession(SessionConfig(shards=4))`` runs the whole session on a
+sharded runtime transparently (see :mod:`repro.api.session`).
+"""
+
+from repro.errors import (
+    BackpressureError,
+    RuntimeStateError,
+    ShardedRuntimeError,
+    ShardFailedError,
+)
+from repro.runtime.metrics import MetricsRegistry, ShardMetrics
+from repro.runtime.queues import BackpressurePolicy, ShardQueue
+from repro.runtime.results import DetectionLog, merge_detections
+from repro.runtime.router import HashPartitionRouter, stable_partition_hash
+from repro.runtime.shard import (
+    EngineShard,
+    ProcessShard,
+    RemoteShardError,
+    ShardEngineSpec,
+    ShardFailure,
+)
+from repro.runtime.sharded import ShardedQuery, ShardedRuntime
+
+__all__ = [
+    "BackpressureError",
+    "BackpressurePolicy",
+    "DetectionLog",
+    "EngineShard",
+    "HashPartitionRouter",
+    "MetricsRegistry",
+    "ProcessShard",
+    "RemoteShardError",
+    "RuntimeStateError",
+    "ShardEngineSpec",
+    "ShardFailure",
+    "ShardFailedError",
+    "ShardMetrics",
+    "ShardQueue",
+    "ShardedQuery",
+    "ShardedRuntime",
+    "ShardedRuntimeError",
+    "merge_detections",
+    "stable_partition_hash",
+]

@@ -1,0 +1,200 @@
+"""Shard metrics: what the runtime measures about itself.
+
+Every shard maintains one :class:`ShardMetrics` bundle — tuples enqueued /
+processed / dropped, queue-depth high-water mark, detections, busy time —
+and a :class:`MetricsRegistry` aggregates them for callers (the
+``GestureSession`` exposes it as ``session.metrics``).  All counters are
+lock-protected: producers increment from the feeding thread, workers from
+their shard thread (or the result-listener thread of a process shard), and
+readers may snapshot at any time.
+
+Snapshots are plain dictionaries of plain numbers so they serialise
+directly into the benchmark-results JSON (``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List
+
+__all__ = ["ShardMetrics", "MetricsRegistry"]
+
+
+class ShardMetrics:
+    """Counters of one worker shard.  All methods are thread-safe."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self._lock = threading.Lock()
+        self._tuples_enqueued = 0
+        self._tuples_processed = 0
+        self._tuples_dropped = 0
+        self._batches_processed = 0
+        self._detections = 0
+        self._queue_depth_hwm = 0
+        self._busy_seconds = 0.0
+        self._errors = 0
+
+    # -- producer side ---------------------------------------------------------------
+
+    def add_enqueued(self, count: int) -> None:
+        with self._lock:
+            self._tuples_enqueued += count
+
+    def add_dropped(self, count: int) -> None:
+        with self._lock:
+            self._tuples_dropped += count
+
+    def record_queue_depth(self, depth: int) -> None:
+        with self._lock:
+            if depth > self._queue_depth_hwm:
+                self._queue_depth_hwm = depth
+
+    # -- worker side -----------------------------------------------------------------
+
+    def add_processed(self, count: int, busy_seconds: float = 0.0) -> None:
+        with self._lock:
+            self._tuples_processed += count
+            self._batches_processed += 1
+            self._busy_seconds += busy_seconds
+
+    def add_detections(self, count: int = 1) -> None:
+        with self._lock:
+            self._detections += count
+
+    def add_error(self) -> None:
+        with self._lock:
+            self._errors += 1
+
+    # -- readers ---------------------------------------------------------------------
+
+    @property
+    def tuples_enqueued(self) -> int:
+        with self._lock:
+            return self._tuples_enqueued
+
+    @property
+    def tuples_processed(self) -> int:
+        with self._lock:
+            return self._tuples_processed
+
+    @property
+    def tuples_dropped(self) -> int:
+        with self._lock:
+            return self._tuples_dropped
+
+    @property
+    def detections(self) -> int:
+        with self._lock:
+            return self._detections
+
+    @property
+    def queue_depth_hwm(self) -> int:
+        with self._lock:
+            return self._queue_depth_hwm
+
+    @property
+    def backlog(self) -> int:
+        """Tuples enqueued but not yet processed (or dropped)."""
+        with self._lock:
+            return self._tuples_enqueued - self._tuples_processed - self._tuples_dropped
+
+    @property
+    def tuples_per_second(self) -> float:
+        """Worker-side throughput over the shard's busy time only."""
+        with self._lock:
+            if self._busy_seconds <= 0:
+                return 0.0
+            return self._tuples_processed / self._busy_seconds
+
+    def snapshot(self) -> Dict[str, float]:
+        """A JSON-serialisable copy of every counter."""
+        with self._lock:
+            return {
+                "shard_id": self.shard_id,
+                "tuples_enqueued": self._tuples_enqueued,
+                "tuples_processed": self._tuples_processed,
+                "tuples_dropped": self._tuples_dropped,
+                "batches_processed": self._batches_processed,
+                "detections": self._detections,
+                "queue_depth_hwm": self._queue_depth_hwm,
+                "busy_seconds": round(self._busy_seconds, 6),
+                "tuples_per_second": round(
+                    self._tuples_processed / self._busy_seconds, 1
+                )
+                if self._busy_seconds > 0
+                else 0.0,
+                "errors": self._errors,
+            }
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"ShardMetrics(shard={snap['shard_id']}, "
+            f"processed={snap['tuples_processed']}, "
+            f"dropped={snap['tuples_dropped']}, "
+            f"detections={snap['detections']}, "
+            f"queue_hwm={snap['queue_depth_hwm']})"
+        )
+
+
+class MetricsRegistry:
+    """Shard id → :class:`ShardMetrics`, plus aggregate views.
+
+    Shard entries are created on first access, so sinks and callers can
+    read the registry before the runtime has started.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._shards: Dict[int, ShardMetrics] = {}
+
+    def shard(self, shard_id: int) -> ShardMetrics:
+        with self._lock:
+            metrics = self._shards.get(shard_id)
+            if metrics is None:
+                metrics = self._shards[shard_id] = ShardMetrics(shard_id)
+            return metrics
+
+    def shard_ids(self) -> List[int]:
+        with self._lock:
+            return sorted(self._shards)
+
+    def totals(self) -> Dict[str, float]:
+        """Counters summed over every shard (hwm is the max, not the sum)."""
+        snapshots = [self.shard(shard_id).snapshot() for shard_id in self.shard_ids()]
+        totals: Dict[str, float] = {
+            "tuples_enqueued": 0,
+            "tuples_processed": 0,
+            "tuples_dropped": 0,
+            "batches_processed": 0,
+            "detections": 0,
+            "queue_depth_hwm": 0,
+            "busy_seconds": 0.0,
+            "errors": 0,
+        }
+        for snap in snapshots:
+            for key in totals:
+                if key == "queue_depth_hwm":
+                    totals[key] = max(totals[key], snap[key])
+                else:
+                    totals[key] += snap[key]
+        totals["busy_seconds"] = round(totals["busy_seconds"], 6)
+        return totals
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full JSON-serialisable view: per-shard plus totals."""
+        return {
+            "shards": [
+                self.shard(shard_id).snapshot() for shard_id in self.shard_ids()
+            ],
+            "totals": self.totals(),
+        }
+
+    def __repr__(self) -> str:
+        totals = self.totals()
+        return (
+            f"MetricsRegistry(shards={len(self.shard_ids())}, "
+            f"processed={totals['tuples_processed']}, "
+            f"detections={totals['detections']})"
+        )

@@ -1,0 +1,736 @@
+"""Worker shards: one engine, one queue, one worker each.
+
+A shard is the unit of concurrency of the sharded runtime: it owns a
+private :class:`~repro.cep.engine.CEPEngine` (with its own ``kinect_t``
+view and run tables), a bounded :class:`~repro.runtime.queues.ShardQueue`,
+and a worker that services the queue.  Everything that touches the engine —
+tuples *and* control operations like deploying a query or resetting
+matchers — flows through the queue, so engine state is only ever touched
+from the worker and no engine-internal locking is needed.  Because the
+queue is FIFO, a control enqueued after a feed observes all of that feed's
+tuples, exactly like an inline engine would.
+
+Two executors implement the same protocol:
+
+:class:`EngineShard`
+    The worker is a daemon *thread*.  Zero serialisation cost and shared
+    memory (the runtime can introspect live matcher state), but on a
+    GIL-bound CPython build shards time-slice one core; the win over the
+    inline path comes from queue-drain batching, not parallelism.
+:class:`ProcessShard`
+    The worker is a *process* (forkserver/spawn, never a multi-threaded
+    fork).  Tuples and detections cross a pipe,
+    so there is pickling overhead and no live engine introspection, but
+    shards genuinely run in parallel — the executor to use for CPU-bound
+    scaling on multi-core machines.  Queries travel as query *text*
+    (builder/parser round-trips are byte-identical, so compiled-predicate
+    cache keys agree with the parent's), and the backpressure bound is
+    enforced parent-side with a credit counter fed by the worker's
+    processed acknowledgements.
+
+Failure semantics are identical: an exception on the data path marks the
+shard failed, pending control waiters are released with the failure, and
+the owning runtime surfaces a :class:`~repro.errors.ShardFailedError`
+(chaining the original exception) on the next interaction.  A failing
+*control* (e.g. deploying a malformed query) is reported to its caller and
+does **not** kill the shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+from repro.cep.engine import CEPEngine, DeployedQuery
+from repro.cep.matcher import Detection, MatcherConfig
+from repro.cep.sinks import CallbackSink
+from repro.cep.views import RAW_STREAM_NAME, TRANSFORMED_STREAM_NAME, install_kinect_view
+from repro.errors import BackpressureError, RuntimeStateError, ShardFailedError
+from repro.runtime.metrics import ShardMetrics
+from repro.runtime.queues import BackpressurePolicy, ShardQueue
+from repro.streams.clock import SimulatedClock
+from repro.transform.pipeline import KinectTransformer, TransformConfig
+
+__all__ = [
+    "ShardEngineSpec",
+    "EngineShard",
+    "ProcessShard",
+    "RemoteShardError",
+    "ShardFailure",
+]
+
+#: How detections leave a shard: ``callback(shard_id, detection)``.
+DetectionCallback = Callable[[int, Detection], None]
+
+
+class RemoteShardError(Exception):
+    """An exception that happened inside a shard *process*.
+
+    The original object cannot always cross the pipe, so this carries its
+    ``repr`` and the formatted remote traceback instead.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+@dataclass
+class ShardFailure:
+    """Why a shard died: the exception plus its (possibly remote) traceback."""
+
+    shard_id: int
+    error: BaseException
+    traceback_text: str = ""
+
+    def raise_(self) -> None:
+        raise ShardFailedError(
+            self.shard_id, self.error, detail=self.traceback_text
+        ) from self.error
+
+
+@dataclass(frozen=True)
+class ShardEngineSpec:
+    """A picklable recipe for one shard's engine.
+
+    Each shard builds the standard stack from it: a fresh
+    :class:`~repro.cep.engine.CEPEngine` with the configured matcher
+    defaults and the Kinect transformation view between ``raw_stream`` and
+    ``view_stream``.  Being a plain dataclass of plain dataclasses it
+    crosses a process boundary losslessly, which is what lets thread and
+    process shards run *identical* engines.
+    """
+
+    matcher: MatcherConfig = field(default_factory=MatcherConfig)
+    transform: TransformConfig = field(default_factory=TransformConfig)
+    raw_stream: str = RAW_STREAM_NAME
+    view_stream: str = TRANSFORMED_STREAM_NAME
+    install_view: bool = True
+
+    def build(self) -> CEPEngine:
+        engine = CEPEngine(clock=SimulatedClock(), matcher_config=self.matcher)
+        if self.install_view:
+            install_kinect_view(
+                engine,
+                transform_config=self.transform,
+                raw_name=self.raw_stream,
+                view_name=self.view_stream,
+            )
+        elif self.raw_stream not in engine.streams:
+            engine.create_stream(self.raw_stream)
+        return engine
+
+
+# ---------------------------------------------------------------------------
+# Control operations (shared by both executors)
+# ---------------------------------------------------------------------------
+
+
+def _apply_control(
+    engine: CEPEngine,
+    op: str,
+    payload: Any,
+    emit: Callable[[Detection], None],
+) -> Any:
+    """Execute one control operation against a shard-local engine."""
+    if op == "deploy":
+        name, query_text, matcher_config, partition_override = payload
+        kwargs: Dict[str, Any] = {}
+        if partition_override is not None:
+            kwargs["partition_field"] = partition_override[0]
+        return engine.register_query(
+            query_text,
+            name=name,
+            sink=CallbackSink(emit),
+            matcher_config=matcher_config,
+            create_missing_streams=True,
+            **kwargs,
+        )
+    if op == "undeploy":
+        engine.unregister_query(payload)
+        return None
+    if op == "enable":
+        name, enabled = payload
+        engine.enable_query(name, enabled)
+        return None
+    if op == "clear_detections":
+        engine.clear_detections()
+        return None
+    if op == "clear_query_detections":
+        engine.get_query(payload).clear_detections()
+        return None
+    if op == "reset_matchers":
+        engine.reset_matchers()
+        return None
+    if op == "reset_transformers":
+        for view in engine.views.values():
+            if isinstance(view.function, KinectTransformer):
+                view.function.reset()
+        return None
+    if op == "register_function":
+        name, function, arity = payload
+        engine.register_function(name, function, arity)
+        return None
+    if op == "flush":
+        return None
+    raise ValueError(f"unknown shard control operation {op!r}")
+
+
+class _Control:
+    """A control message with a completion event (thread-side handle)."""
+
+    __slots__ = ("op", "payload", "done", "result", "error")
+
+    def __init__(self, op: str, payload: Any = None) -> None:
+        self.op = op
+        self.payload = payload
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+    def resolve(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+class _ShardBase:
+    """Lifecycle/failure bookkeeping shared by both shard executors."""
+
+    def __init__(self, shard_id: int, metrics: ShardMetrics) -> None:
+        self.shard_id = shard_id
+        self.metrics = metrics
+        self._failure: Optional[ShardFailure] = None
+        self._failure_lock = threading.Lock()
+        self._started = False
+        self._stopped = False
+
+    @property
+    def failure(self) -> Optional[ShardFailure]:
+        with self._failure_lock:
+            return self._failure
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    def _record_failure(
+        self, error: BaseException, traceback_text: str = ""
+    ) -> ShardFailure:
+        with self._failure_lock:
+            if self._failure is None:
+                self._failure = ShardFailure(self.shard_id, error, traceback_text)
+                self.metrics.add_error()
+            return self._failure
+
+    def raise_if_failed(self) -> None:
+        failure = self.failure
+        if failure is not None:
+            failure.raise_()
+
+
+# ---------------------------------------------------------------------------
+# Thread executor
+# ---------------------------------------------------------------------------
+
+
+class EngineShard(_ShardBase):
+    """One engine serviced by a worker thread from a bounded queue."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        spec: ShardEngineSpec,
+        metrics: ShardMetrics,
+        on_detection: DetectionCallback,
+        queue_capacity: int = 2048,
+        backpressure: str = BackpressurePolicy.BLOCK,
+        engine_factory: Optional[Callable[[int], CEPEngine]] = None,
+    ) -> None:
+        super().__init__(shard_id, metrics)
+        self.spec = spec
+        self._engine_factory = engine_factory
+        self._on_detection = on_detection
+        self.queue = ShardQueue(queue_capacity, policy=backpressure, metrics=metrics)
+        self._thread: Optional[threading.Thread] = None
+        #: Shard-local deployed queries, for live introspection (progress).
+        self.deployed: Dict[str, DeployedQuery] = {}
+        self.engine: Optional[CEPEngine] = None
+        self._engine_ready = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeStateError(f"shard {self.shard_id} is already started")
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-shard-{self.shard_id}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the worker; with ``drain`` every queued item is processed first.
+
+        Best-effort on shutdown: if the drain times out, the queue is
+        closed anyway (mirroring :meth:`ProcessShard.stop`).
+        """
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        if drain and not self.failed:
+            self.queue.join(timeout=timeout)
+        self.queue.close()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- producer API ------------------------------------------------------------------
+
+    def enqueue_tuples(
+        self,
+        stream: str,
+        records: Sequence[Mapping[str, Any]],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        """Queue a chunk of tuples for this shard, respecting backpressure.
+
+        Chunks are split to at most the queue capacity so the ``block``
+        policy's bound stays meaningful, and to at most ``batch_size`` so
+        the worker's engine sees the same chunk boundaries an inline
+        ``push_many(batch_size=…)`` would produce.
+        """
+        self.raise_if_failed()
+        limit = self.queue.capacity
+        if batch_size is not None:
+            limit = min(limit, batch_size)
+        total = len(records)
+        for start in range(0, total, limit):
+            chunk = records[start : start + limit]
+            try:
+                self.queue.put(("tuples", stream, chunk, batch_size), weight=len(chunk))
+            except RuntimeStateError:
+                # The queue closes when the worker dies; surface the cause.
+                self.raise_if_failed()
+                raise
+            self.metrics.add_enqueued(len(chunk))
+
+    def control(self, op: str, payload: Any = None, timeout: Optional[float] = None) -> Any:
+        """Run a control operation on the worker and wait for its result."""
+        self.raise_if_failed()
+        handle = _Control(op, payload)
+        try:
+            self.queue.put(handle, weight=0)
+        except RuntimeStateError:
+            self.raise_if_failed()
+            raise
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not handle.done.wait(timeout=0.5):
+            self.raise_if_failed()
+            if deadline is not None and time.monotonic() > deadline:
+                raise RuntimeStateError(
+                    f"shard {self.shard_id} control {op!r} timed out"
+                )
+        if handle.error is not None:
+            raise handle.error
+        return handle.result
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until everything enqueued so far has been processed.
+
+        Raises :class:`~repro.errors.RuntimeStateError` if ``timeout``
+        expires with work still pending — returning normally would let the
+        caller read incomplete results believing them complete.
+        """
+        self.raise_if_failed()
+        completed = self.queue.join(timeout=timeout)
+        self.raise_if_failed()
+        if not completed:
+            raise RuntimeStateError(
+                f"shard {self.shard_id} drain timed out with work still queued"
+            )
+
+    # -- worker ------------------------------------------------------------------------
+
+    def _emit(self, detection: Detection) -> None:
+        self._on_detection(self.shard_id, detection)
+
+    def _run(self) -> None:
+        try:
+            if self._engine_factory is not None:
+                engine = self._engine_factory(self.shard_id)
+            else:
+                engine = self.spec.build()
+            self.engine = engine
+            self._engine_ready.set()
+        except Exception as error:  # noqa: BLE001 — a dead shard must report, not raise
+            self._record_failure(error, traceback.format_exc())
+            self._engine_ready.set()
+            self._fail_pending()
+            return
+        while True:
+            got = self.queue.get(timeout=0.5)
+            if got is None:
+                if self.queue.closed:
+                    break
+                continue
+            item, _weight = got
+            try:
+                if isinstance(item, _Control):
+                    try:
+                        result = _apply_control(engine, item.op, item.payload, self._emit)
+                    except Exception as error:  # noqa: BLE001 — report to the caller
+                        item.resolve(error=error)
+                    else:
+                        if item.op == "deploy" and isinstance(result, DeployedQuery):
+                            self.deployed[result.name] = result
+                        elif item.op == "undeploy":
+                            self.deployed.pop(item.payload, None)
+                        item.resolve(result=result)
+                else:
+                    _tag, stream, records, batch_size = item
+                    started = time.perf_counter()
+                    engine.push_many(stream, records, batch_size=batch_size)
+                    self.metrics.add_processed(
+                        len(records), time.perf_counter() - started
+                    )
+            except Exception as error:  # noqa: BLE001 — data-path failure kills the shard
+                self._record_failure(error, traceback.format_exc())
+                self.queue.task_done()
+                self._fail_pending()
+                return
+            self.queue.task_done()
+
+    def _fail_pending(self) -> None:
+        """After a failure: release every queued control and drain waiter."""
+        failure = self.failure
+        while True:
+            got = self.queue.get(timeout=0)
+            if got is None:
+                break
+            item, _weight = got
+            if isinstance(item, _Control):
+                item.resolve(
+                    error=ShardFailedError(
+                        self.shard_id, failure.error, detail=failure.traceback_text
+                    )
+                )
+            self.queue.task_done()
+        self.queue.close()
+        self.queue.abandon()
+
+
+# ---------------------------------------------------------------------------
+# Process executor
+# ---------------------------------------------------------------------------
+
+
+def _process_context():
+    """The safest available multiprocessing start method.
+
+    Never plain ``fork``: the parent already runs listener threads (and
+    arbitrary application threads), and forking a multi-threaded process is
+    a documented deadlock hazard.  ``forkserver`` (POSIX) forks workers
+    from a clean single-threaded server and does not re-execute
+    ``__main__``; ``spawn`` is the portable fallback.  Everything that
+    crosses the boundary (the spec, query text, tuples, detections) is
+    picklable by design.
+    """
+    if "forkserver" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("forkserver")
+    return multiprocessing.get_context("spawn")
+
+
+def _process_shard_main(shard_id: int, spec: ShardEngineSpec, in_queue, out_queue) -> None:
+    """Entry point of a shard worker process."""
+    try:
+        engine = spec.build()
+    except Exception:  # noqa: BLE001 — report construction failures too
+        out_queue.put(("failed", "engine construction failed", traceback.format_exc()))
+        out_queue.put(("bye",))
+        return
+
+    def emit(detection: Detection) -> None:
+        out_queue.put(("det", detection))
+
+    while True:
+        message = in_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            break
+        try:
+            if kind == "tuples":
+                _tag, stream, records, batch_size = message
+                started = time.perf_counter()
+                engine.push_many(stream, records, batch_size=batch_size)
+                out_queue.put(("done", len(records), time.perf_counter() - started))
+            elif kind == "control":
+                _tag, token, op, payload = message
+                try:
+                    _apply_control(engine, op, payload, emit)
+                except Exception as error:  # noqa: BLE001 — report to the caller
+                    out_queue.put(("nack", token, repr(error), traceback.format_exc()))
+                else:
+                    out_queue.put(("ack", token))
+        except Exception as error:  # noqa: BLE001 — data-path failure kills the shard
+            out_queue.put(("failed", repr(error), traceback.format_exc()))
+            break
+    out_queue.put(("bye",))
+
+
+class _Credits:
+    """Parent-side tuple-in-flight accounting for a process shard."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self._released = threading.Condition(self._lock)
+        self._broken = False
+
+    def acquire(self, count: int, block: bool) -> bool:
+        with self._lock:
+            if block:
+                while (
+                    self._in_flight > 0
+                    and self._in_flight + count > self.capacity
+                    and not self._broken
+                ):
+                    self._released.wait()
+                if self._broken:
+                    return False
+            elif self._in_flight + count > self.capacity:
+                return False
+            self._in_flight += count
+            return True
+
+    def release(self, count: int) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - count)
+            self._released.notify_all()
+
+    def break_(self) -> None:
+        """Wake and refuse all waiters (shard failed)."""
+        with self._lock:
+            self._broken = True
+            self._released.notify_all()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+
+class ProcessShard(_ShardBase):
+    """One engine serviced by a worker *process*; same protocol as
+    :class:`EngineShard`.
+
+    Restrictions compared to the thread executor: ``drop_oldest`` is not
+    supported (the queued data lives in the child), control payloads must
+    be picklable, there is no live matcher introspection (progress
+    feedback reads zero), and — as with any ``spawn``/``forkserver``
+    multiprocessing program — the application's ``__main__`` module must
+    be importable (guard entry points with ``if __name__ == "__main__":``).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        spec: ShardEngineSpec,
+        metrics: ShardMetrics,
+        on_detection: DetectionCallback,
+        queue_capacity: int = 2048,
+        backpressure: str = BackpressurePolicy.BLOCK,
+    ) -> None:
+        super().__init__(shard_id, metrics)
+        BackpressurePolicy.validate(backpressure)
+        if backpressure == BackpressurePolicy.DROP_OLDEST:
+            raise ValueError(
+                "the process executor cannot drop queued tuples (they live in "
+                "the worker process); use backpressure='block' or 'error', or "
+                "the thread executor"
+            )
+        self.spec = spec
+        self._on_detection = on_detection
+        self._backpressure = backpressure
+        self._credits = _Credits(queue_capacity)
+        self.queue_capacity = queue_capacity
+        context = _process_context()
+        self._in_queue = context.Queue()
+        self._out_queue = context.Queue()
+        self._process = context.Process(
+            target=_process_shard_main,
+            args=(shard_id, spec, self._in_queue, self._out_queue),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        self._listener: Optional[threading.Thread] = None
+        self._pending: Dict[int, _Control] = {}
+        self._pending_lock = threading.Lock()
+        self._token_counter = 0
+        self._listener_done = threading.Event()
+        self.deployed: Dict[str, DeployedQuery] = {}  # always empty; API parity
+        self.engine = None  # no parent-side engine; API parity
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeStateError(f"shard {self.shard_id} is already started")
+        self._started = True
+        self._process.start()
+        self._listener = threading.Thread(
+            target=self._listen, name=f"repro-shard-{self.shard_id}-listener", daemon=True
+        )
+        self._listener.start()
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        if drain and not self.failed:
+            try:
+                self.control("flush", timeout=timeout)
+            except Exception:  # noqa: BLE001 — best-effort drain on shutdown
+                pass
+        try:
+            self._in_queue.put(("stop",))
+        except Exception:  # noqa: BLE001 — the child may already be gone
+            pass
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if not self._started:
+            return
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout=1.0)
+        self._listener_done.wait(timeout=timeout or 5.0)
+        # Unblock any producer still waiting on credits.
+        self._credits.break_()
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    # -- producer API ------------------------------------------------------------------
+
+    def enqueue_tuples(
+        self,
+        stream: str,
+        records: Sequence[Mapping[str, Any]],
+        batch_size: Optional[int] = None,
+    ) -> None:
+        self.raise_if_failed()
+        limit = self.queue_capacity
+        if batch_size is not None:
+            limit = min(limit, batch_size)
+        total = len(records)
+        for start in range(0, total, limit):
+            chunk = records[start : start + limit]
+            chunk = chunk if isinstance(chunk, list) else list(chunk)
+            ok = self._credits.acquire(
+                len(chunk), block=self._backpressure == BackpressurePolicy.BLOCK
+            )
+            if not ok:
+                self.raise_if_failed()
+                raise BackpressureError(
+                    f"shard {self.shard_id} queue is full "
+                    f"({self._credits.in_flight}/{self.queue_capacity} tuples in flight)"
+                )
+            self._in_queue.put(("tuples", stream, chunk, batch_size))
+            self.metrics.add_enqueued(len(chunk))
+            self.metrics.record_queue_depth(self._credits.in_flight)
+
+    def control(self, op: str, payload: Any = None, timeout: Optional[float] = None) -> Any:
+        self.raise_if_failed()
+        handle = _Control(op, payload)
+        with self._pending_lock:
+            self._token_counter += 1
+            token = self._token_counter
+            self._pending[token] = handle
+        self._in_queue.put(("control", token, op, payload))
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not handle.done.wait(timeout=0.5):
+            self.raise_if_failed()
+            if not self._process.is_alive() and not handle.done.is_set():
+                failure = self._record_failure(
+                    RemoteShardError(f"shard process {self.shard_id} died unexpectedly")
+                )
+                self._release_pending(failure)
+            if deadline is not None and time.monotonic() > deadline:
+                raise RuntimeStateError(
+                    f"shard {self.shard_id} control {op!r} timed out"
+                )
+        if handle.error is not None:
+            raise handle.error
+        return handle.result
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """A flush round-trip: acked only after all earlier work finished."""
+        self.control("flush", timeout=timeout)
+
+    # -- listener ----------------------------------------------------------------------
+
+    def _listen(self) -> None:
+        while True:
+            try:
+                message = self._out_queue.get(timeout=0.5)
+            except Exception:  # noqa: BLE001 — queue.Empty, or a dead child's pipe
+                if not self._process.is_alive() and self._out_queue.empty():
+                    if not self._stopped and not self.failed:
+                        failure = self._record_failure(
+                            RemoteShardError(
+                                f"shard process {self.shard_id} died unexpectedly"
+                            )
+                        )
+                        self._release_pending(failure)
+                        self._credits.break_()
+                    break
+                continue
+            kind = message[0]
+            if kind == "det":
+                self._on_detection(self.shard_id, message[1])
+            elif kind == "done":
+                _tag, count, busy = message
+                self.metrics.add_processed(count, busy)
+                self._credits.release(count)
+            elif kind == "ack":
+                self._resolve(message[1], None)
+            elif kind == "nack":
+                _tag, token, error_repr, tb = message
+                self._resolve(token, RemoteShardError(error_repr, tb))
+            elif kind == "failed":
+                _tag, error_repr, tb = message
+                failure = self._record_failure(RemoteShardError(error_repr, tb), tb)
+                self._release_pending(failure)
+                self._credits.break_()
+            elif kind == "bye":
+                break
+        self._listener_done.set()
+
+    def _resolve(self, token: int, error: Optional[BaseException]) -> None:
+        with self._pending_lock:
+            handle = self._pending.pop(token, None)
+        if handle is not None:
+            handle.resolve(error=error)
+
+    def _release_pending(self, failure: ShardFailure) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for handle in pending:
+            handle.resolve(
+                error=ShardFailedError(
+                    self.shard_id, failure.error, detail=failure.traceback_text
+                )
+            )

@@ -1,0 +1,668 @@
+"""The sharded concurrent runtime: N engines behind one engine-shaped API.
+
+:class:`ShardedRuntime` executes the existing single-threaded
+:class:`~repro.cep.engine.CEPEngine` across N worker shards without
+touching matcher semantics.  The contract that makes this correct is PR 2's
+partitioning: all matcher and transformer state is keyed strictly per
+player, so as long as every tuple of one player reaches the same shard in
+order (:class:`~repro.runtime.router.HashPartitionRouter`), each shard is
+an exact replica of "an inline engine that only ever saw these players".
+Per-partition detection sequences are therefore byte-identical to the
+inline path — the B4 benchmark asserts it on the interpreted, compiled and
+batched paths.
+
+The runtime deliberately *duck-types the engine surface* used by
+:class:`~repro.detection.detector.GestureDetector` and
+:class:`~repro.api.session.GestureSession` (``register_query`` /
+``push_many`` / ``detections`` / ``reset_matchers`` / …), so the whole
+detection stack runs sharded unchanged: deployment fans out to every shard
+through the same text/compiled-predicate-cache path, feeds are routed by
+partition hash, and reads drain the queues first so callers observe
+everything they fed (the inline semantics).
+
+Choose the executor to match the hardware:
+
+* ``executor="thread"`` (default) — cheap, shared-memory, introspectable;
+  on GIL-bound CPython the shards time-slice one core.
+* ``executor="process"`` — real parallelism on multi-core machines at the
+  price of pickling tuples and detections across a pipe.
+
+Example
+-------
+>>> from repro.runtime import ShardedRuntime, ShardEngineSpec
+>>> with ShardedRuntime(shard_count=2) as runtime:
+...     _ = runtime.register_query(
+...         'SELECT "hands_up" MATCHING kinect_t(rhand_y > 400);'
+...     )
+...     runtime.push_many(
+...         "kinect_t",
+...         [{"ts": 0.0, "player": p, "rhand_y": 500.0} for p in (1, 2)],
+...     )
+...     sorted(d.partition for d in runtime.detections())
+2
+[1, 2]
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.cep.engine import CEPEngine, coerce_query
+from repro.cep.matcher import Detection, MatcherConfig
+from repro.cep.query import Query
+from repro.cep.sinks import FanOutSink, Sink
+from repro.errors import (
+    QueryRegistrationError,
+    RuntimeStateError,
+    ShardFailedError,
+    UnknownQueryError,
+)
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.queues import BackpressurePolicy
+from repro.runtime.results import DetectionLog
+from repro.runtime.router import HashPartitionRouter
+from repro.runtime.shard import (
+    EngineShard,
+    ProcessShard,
+    ShardEngineSpec,
+    ShardFailure,
+)
+from repro.streams.clock import Clock, SimulatedClock
+
+__all__ = ["ShardedRuntime", "ShardedQuery"]
+
+#: Sentinel distinguishing "parameter not given" from an explicit ``None``.
+_UNSET: Any = object()
+
+#: The executors a runtime can run its shards on.
+_EXECUTORS = ("thread", "process")
+
+
+class _ShardedMatcherView:
+    """Aggregate, best-effort view over the per-shard matchers.
+
+    Thread shards expose their live matcher state (reads are lock-free and
+    may be slightly stale); process shards expose nothing, so their
+    contribution reads as zero.  Only used for Fig. 5 style progress
+    feedback, never for correctness.
+    """
+
+    def __init__(self, runtime: "ShardedRuntime", name: str) -> None:
+        self._runtime = runtime
+        self._name = name
+
+    def _shard_matchers(self):
+        for shard in self._runtime._shards:
+            deployed = shard.deployed.get(self._name)
+            if deployed is not None:
+                yield deployed.matcher
+
+    def progress(self) -> float:
+        best = 0.0
+        for matcher in self._shard_matchers():
+            try:
+                best = max(best, matcher.progress())
+            except RuntimeError:  # racy read of a live run table
+                continue
+        return best
+
+    @property
+    def active_runs(self) -> int:
+        total = 0
+        for matcher in self._shard_matchers():
+            try:
+                total += matcher.active_runs
+            except RuntimeError:
+                continue
+        return total
+
+
+class ShardedQuery:
+    """A query deployed on every shard of a :class:`ShardedRuntime`.
+
+    The engine-side analogue is :class:`~repro.cep.engine.DeployedQuery`;
+    this handle exposes the same reading surface (``name`` / ``sink`` /
+    ``detections`` / ``clear_detections`` / ``progress``), backed by the
+    runtime's merged detection log instead of a single collector.
+    """
+
+    def __init__(self, runtime: "ShardedRuntime", query: Query, name: str) -> None:
+        self._runtime = runtime
+        self.query = query
+        self.name = name
+        #: Parent-side sinks: every detection of every shard is emitted
+        #: here, in global arrival order, from the runtime's dispatch lock.
+        self.sink = FanOutSink([])
+        self.enabled = True
+        self.matcher = _ShardedMatcherView(runtime, name)
+
+    def detections(self, partition: Any = _UNSET) -> List[Detection]:
+        """Merged, timestamp-ordered detections of this query so far."""
+        self._runtime._drain_for_read()
+        if partition is _UNSET:
+            return self._runtime._log.snapshot(query_name=self.name)
+        return self._runtime._log.snapshot(query_name=self.name, partition=partition)
+
+    def clear_detections(self) -> None:
+        self._runtime._drain_for_read()
+        if self._runtime.started and not self._runtime.stopped:
+            self._runtime._broadcast("clear_query_detections", self.name)
+        self._runtime._log.clear_query(self.name)
+
+    def progress(self) -> float:
+        """Partial-match progress (best shard; zero on process shards)."""
+        return self.matcher.progress()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedQuery(name={self.name!r}, "
+            f"shards={self._runtime.shard_count}, enabled={self.enabled})"
+        )
+
+
+class ShardedRuntime:
+    """Owns N engine shards, a partition-hash router and a metrics registry.
+
+    Parameters
+    ----------
+    shard_count:
+        Number of worker shards (engines).  ``1`` is legal and useful for
+        A/B tests, but the inline engine is cheaper when no concurrency is
+        wanted — :class:`~repro.api.session.SessionConfig` keeps ``shards=1``
+        on the inline path for exactly that reason.
+    spec:
+        Per-shard engine recipe (matcher/transform configuration, stream
+        names).  Every shard builds an identical engine from it.
+    executor:
+        ``"thread"`` (default) or ``"process"`` — see the module docstring.
+    backpressure:
+        Queue policy when a producer outruns a shard: ``"block"`` (default),
+        ``"drop_oldest"`` (thread executor only) or ``"error"``.
+    queue_capacity:
+        Per-shard queue bound, in tuples.
+    partition_field:
+        Tuple field the router hashes (default: the spec's matcher
+        partition field).  Deployed queries must partition on the same
+        field; ``register_query`` enforces it.
+    engine_factory:
+        Optional ``shard_id -> CEPEngine`` override for custom stacks
+        (thread executor only — a factory cannot cross a process boundary).
+    metrics:
+        Optional shared :class:`MetricsRegistry`; a private one is created
+        by default.
+    clock:
+        Time source reported to callers (``feedback()`` timestamps);
+        defaults to a fresh simulated clock.
+    """
+
+    def __init__(
+        self,
+        shard_count: int,
+        spec: Optional[ShardEngineSpec] = None,
+        executor: str = "thread",
+        backpressure: str = BackpressurePolicy.BLOCK,
+        queue_capacity: int = 2048,
+        partition_field: Optional[str] = None,
+        engine_factory: Optional[Callable[[int], CEPEngine]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if shard_count < 1:
+            raise ValueError("shard_count must be at least 1")
+        if executor not in _EXECUTORS:
+            raise ValueError(f"unknown executor {executor!r}; expected one of {_EXECUTORS}")
+        if executor == "process" and engine_factory is not None:
+            raise ValueError(
+                "engine_factory requires executor='thread'; a factory cannot "
+                "cross a process boundary"
+            )
+        BackpressurePolicy.validate(backpressure)
+        self.spec = spec or ShardEngineSpec()
+        field = partition_field or self.spec.matcher.partition_field
+        if not field:
+            raise ValueError(
+                "a sharded runtime needs a partition field to route on; "
+                "configure MatcherConfig.partition_field (or partition_field=)"
+            )
+        self.shard_count = shard_count
+        self.executor = executor
+        self.backpressure = backpressure
+        self.queue_capacity = queue_capacity
+        self.router = HashPartitionRouter(shard_count, partition_field=field)
+        self.metrics = metrics or MetricsRegistry()
+        self.clock = clock or SimulatedClock()
+        self.tuples_processed = 0
+        self._engine_factory = engine_factory
+        self._shards: List[Union[EngineShard, ProcessShard]] = []
+        self._queries: Dict[str, ShardedQuery] = {}
+        self._log = DetectionLog()
+        self._dispatch_lock = threading.Lock()
+        self._listeners: List[Callable[[Detection], None]] = []
+        #: Exceptions raised by ``add_listener`` callbacks, as
+        #: ``(detection, error)`` pairs (bounded; oldest dropped).
+        self.listener_errors: Deque[tuple] = deque(maxlen=256)
+        self._started = False
+        self._stopped = False
+        self._worker_idents: set = set()
+        self._failure_handled = False
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> "ShardedRuntime":
+        """Build and start every shard.  Raises on double-start."""
+        if self._started:
+            raise RuntimeStateError("the runtime is already started")
+        if self._stopped:
+            raise RuntimeStateError("the runtime has been stopped")
+        self._started = True
+        for shard_id in range(self.shard_count):
+            shard_metrics = self.metrics.shard(shard_id)
+            if self.executor == "process":
+                shard: Union[EngineShard, ProcessShard] = ProcessShard(
+                    shard_id,
+                    self.spec,
+                    shard_metrics,
+                    self._on_detection,
+                    queue_capacity=self.queue_capacity,
+                    backpressure=self.backpressure,
+                )
+            else:
+                shard = EngineShard(
+                    shard_id,
+                    self.spec,
+                    shard_metrics,
+                    self._on_detection,
+                    queue_capacity=self.queue_capacity,
+                    backpressure=self.backpressure,
+                    engine_factory=self._engine_factory,
+                )
+            self._shards.append(shard)
+        for shard in self._shards:
+            shard.start()
+        for shard in self._shards:
+            thread = getattr(shard, "_thread", None)
+            if thread is not None:
+                self._worker_idents.add(thread.ident)
+            listener = getattr(shard, "_listener", None)
+            if listener is not None:
+                self._worker_idents.add(listener.ident)
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop every shard; with ``drain`` all queued work finishes first.
+
+        Idempotent.  A failure recorded during shutdown is kept readable on
+        :attr:`failure` but not raised — ``stop()`` is the cleanup path.
+        """
+        if not self._started or self._stopped:
+            self._stopped = True
+            return
+        self._stopped = True
+        for shard in self._shards:
+            shard.stop(drain=drain and not self.failed, timeout=timeout)
+        for shard in self._shards:
+            shard.join(timeout=timeout)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for every shard worker to exit (after :meth:`stop`)."""
+        for shard in self._shards:
+            shard.join(timeout=timeout)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Barrier: block until every tuple fed so far has been processed."""
+        self._raise_if_failed()
+        if not self._started or self._stopped:
+            return
+        try:
+            for shard in self._shards:
+                shard.drain(timeout=timeout)
+        except ShardFailedError:
+            self._raise_if_failed()  # graceful shutdown of healthy shards
+            raise
+        self._raise_if_failed()
+
+    def __enter__(self) -> "ShardedRuntime":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    # -- failure handling --------------------------------------------------------------
+
+    @property
+    def failure(self) -> Optional[ShardFailure]:
+        """The first shard failure, if any shard died."""
+        for shard in self._shards:
+            if shard.failure is not None:
+                return shard.failure
+        return None
+
+    @property
+    def failed(self) -> bool:
+        return self.failure is not None
+
+    def _raise_if_failed(self) -> None:
+        failure = self.failure
+        if failure is None:
+            return
+        # Graceful shutdown: stop the healthy shards once, without waiting
+        # on their queues, then surface the failing shard's exception.
+        if not self._failure_handled:
+            self._failure_handled = True
+            for shard in self._shards:
+                if shard.failure is None:
+                    shard.stop(drain=False)
+            self._stopped = True
+        failure.raise_()
+
+    # -- deployment (engine-compatible surface) ----------------------------------------
+
+    def register_query(
+        self,
+        query: Union[str, Query, Any],
+        name: Optional[str] = None,
+        sink: Optional[Sink] = None,
+        matcher_config: Optional[MatcherConfig] = None,
+        create_missing_streams: bool = True,
+        partition_field: Optional[str] = _UNSET,
+    ) -> ShardedQuery:
+        """Deploy a query on **every** shard; returns the fan-out handle.
+
+        Accepts exactly what :meth:`CEPEngine.register_query` accepts
+        (query text, a :class:`Query`, or a builder chain).  The query is
+        normalised to its canonical text and deployed shard-side through
+        the standard parse → compiled-predicate-cache path, so cache keys
+        and matcher behaviour are identical to an inline deployment.
+
+        The effective partition field must match the router's: a query
+        partitioned on a different field (or unpartitioned) would see only
+        a hash-arbitrary subset of its partitions per shard.
+        """
+        self._raise_if_failed()
+        self._ensure_running()
+        query = coerce_query(query)
+        registration_name = name or query.registration_name
+        if registration_name in self._queries:
+            raise QueryRegistrationError(
+                f"a query named '{registration_name}' is already registered"
+            )
+        base_config = matcher_config or self.spec.matcher
+        effective_field = (
+            partition_field if partition_field is not _UNSET else base_config.partition_field
+        )
+        if effective_field != self.router.partition_field:
+            raise QueryRegistrationError(
+                f"query '{registration_name}' partitions on "
+                f"{effective_field!r} but the runtime routes on "
+                f"{self.router.partition_field!r}; a shard would only see a "
+                f"hash-arbitrary subset of its partitions. Deploy with a "
+                f"matching partition_field, or run this query on an inline "
+                f"engine."
+            )
+        override = None if partition_field is _UNSET else (partition_field,)
+        handle = ShardedQuery(self, query, registration_name)
+        if sink is not None:
+            handle.sink.add(sink)
+        payload = (registration_name, query.to_query(), matcher_config, override)
+        self._broadcast("deploy", payload)
+        self._queries[registration_name] = handle
+        return handle
+
+    def unregister_query(self, name: str) -> None:
+        """Remove a deployed query from every shard."""
+        if name not in self._queries:
+            raise UnknownQueryError(
+                f"no query named '{name}' is registered; "
+                f"deployed queries: {self.query_names()}"
+            )
+        self._broadcast("undeploy", name)
+        del self._queries[name]
+
+    def get_query(self, name: str) -> ShardedQuery:
+        try:
+            return self._queries[name]
+        except KeyError:
+            raise UnknownQueryError(
+                f"no query named '{name}' is registered; "
+                f"deployed queries: {self.query_names()}"
+            ) from None
+
+    def query_names(self) -> List[str]:
+        return sorted(self._queries)
+
+    @property
+    def queries(self) -> Dict[str, ShardedQuery]:
+        return dict(self._queries)
+
+    def enable_query(self, name: str, enabled: bool = True) -> None:
+        """Pause or resume a query on every shard."""
+        handle = self.get_query(name)
+        self._broadcast("enable", (name, enabled))
+        handle.enabled = enabled
+
+    def register_function(self, name: str, function: Callable[..., Any], arity: Optional[int] = None) -> None:
+        """Register a UDF on every shard.
+
+        With the process executor the function must be picklable (a
+        module-level function); closures and lambdas only work on the
+        thread executor.
+        """
+        self._ensure_running()
+        self._broadcast("register_function", (name, function, arity))
+
+    @property
+    def views(self) -> Dict[str, Any]:
+        """Always empty: views live inside the shards.
+
+        Shard-local transformer state is managed through
+        :meth:`reset_transformers`, never by direct mutation from outside
+        the worker.
+        """
+        return {}
+
+    # -- data path ---------------------------------------------------------------------
+
+    def push(self, stream_name: str, record: Mapping[str, Any]) -> None:
+        """Route one tuple to its partition's shard."""
+        self._raise_if_failed()
+        self._ensure_running()
+        shard = self._shards[self.router.shard_for(record)]
+        try:
+            shard.enqueue_tuples(stream_name, [record], None)
+        except ShardFailedError:
+            self._raise_if_failed()
+            raise
+        self.tuples_processed += 1
+
+    def push_many(
+        self,
+        stream_name: str,
+        records: Iterable[Mapping[str, Any]],
+        batch_size: Optional[int] = None,
+    ) -> int:
+        """Route many tuples; returns the number accepted for routing.
+
+        Per-shard (and therefore per-partition) order is the input order.
+        ``batch_size`` selects the shard engines' batched delivery path,
+        exactly like :meth:`CEPEngine.push_many`; ``None`` keeps per-tuple
+        fan-out inside each shard.  The call returns once every tuple is
+        *enqueued* (subject to backpressure); use :meth:`drain` — or any
+        read, which drains implicitly — to wait for processing.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ValueError("batch_size must be at least 1 when given")
+        self._raise_if_failed()
+        self._ensure_running()
+        buckets = self.router.split(records)
+        count = 0
+        try:
+            for shard, bucket in zip(self._shards, buckets):
+                if bucket:
+                    shard.enqueue_tuples(stream_name, bucket, batch_size)
+                    count += len(bucket)
+        except ShardFailedError:
+            self._raise_if_failed()
+            raise
+        self.tuples_processed += count
+        return count
+
+    def feed(
+        self,
+        records: Iterable[Mapping[str, Any]],
+        batch_size: Optional[int] = None,
+        stream: Optional[str] = None,
+    ) -> int:
+        """Convenience: :meth:`push_many` into the spec's raw sensor stream."""
+        return self.push_many(stream or self.spec.raw_stream, records, batch_size)
+
+    # -- detections --------------------------------------------------------------------
+
+    def _on_detection(self, shard_id: int, detection: Detection) -> None:
+        """Serialisation point: every shard's detections pass through here.
+
+        Runs on shard worker/listener threads, so it must never raise: a
+        raising sink is isolated by :class:`FanOutSink`, and a raising
+        listener is recorded in :attr:`listener_errors` — either would
+        otherwise kill the emitting shard (or wedge a process shard's
+        credit stream).
+
+        The global dispatch lock covers only the bookkeeping (metrics,
+        log, handle lookup); sinks and listeners run *outside* it.  They
+        are internally thread-safe, and holding the lock across user code
+        would let one slow (or blocking) handler stall every other
+        shard's detections — in the worst case a handler feeding a full
+        ``block``-policy queue would deadlock the whole runtime.
+        """
+        with self._dispatch_lock:
+            self.metrics.shard(shard_id).add_detections()
+            self._log.record(detection)
+            handle = self._queries.get(detection.query_name)
+            listeners = list(self._listeners)
+        if handle is not None and handle.enabled:
+            try:
+                handle.sink.emit(detection)
+            except Exception as error:  # noqa: BLE001 — a sink must not kill a shard
+                self.listener_errors.append((detection, error))
+        for listener in listeners:
+            try:
+                listener(detection)
+            except Exception as error:  # noqa: BLE001 — isolation is the point
+                self.listener_errors.append((detection, error))
+
+    def add_listener(self, listener: Callable[[Detection], None]) -> None:
+        """Observe every detection of every query (called serialised).
+
+        Exceptions raised by a listener are isolated and recorded in
+        :attr:`listener_errors` — they never break a shard's data path.
+        """
+        self._listeners.append(listener)
+
+    def detections(
+        self, name: Optional[str] = None, partition: Any = _UNSET
+    ) -> List[Detection]:
+        """Merged, timestamp-ordered detections (drains pending work first).
+
+        Same contract as :meth:`CEPEngine.detections`: optionally one
+        query's, optionally restricted to one partition.  Restricted to a
+        single partition the sequence is identical to what an inline
+        engine would have produced.
+        """
+        if name is not None and name not in self._queries:
+            raise UnknownQueryError(
+                f"no query named '{name}' is registered; "
+                f"deployed queries: {self.query_names()}"
+            )
+        self._drain_for_read()
+        if partition is _UNSET:
+            return self._log.snapshot(query_name=name)
+        return self._log.snapshot(query_name=name, partition=partition)
+
+    def clear_detections(self) -> None:
+        """Drop collected detections, parent-side and on every shard."""
+        self._drain_for_read()
+        if self._started and not self._stopped:
+            self._broadcast("clear_detections", None)
+        self._log.clear()
+
+    def reset_matchers(self) -> None:
+        """Discard all partial matches on every shard."""
+        self._broadcast("reset_matchers", None)
+
+    def reset_transformers(self) -> None:
+        """Reset shard-local transformer smoothing state ("new scene")."""
+        self._broadcast("reset_transformers", None)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _ensure_running(self) -> None:
+        if not self._started:
+            self.start()
+            return
+        if self._stopped:
+            raise RuntimeStateError("the runtime has been stopped")
+
+    def _drain_for_read(self) -> None:
+        """Drain before a read — unless called *from* a worker context.
+
+        A sink or ``on()`` handler runs on a shard's worker (or listener)
+        thread; draining from there would deadlock on the very queue the
+        handler is servicing.  Such callers read the current state instead,
+        which for their own shard is consistent up to the triggering tuple.
+
+        Reads never raise: after a shard failure (surfaced by the next
+        :meth:`push_many` / :meth:`drain`) the detections collected so far
+        stay readable, exactly like results stay readable after ``stop``.
+        """
+        if threading.get_ident() in self._worker_idents:
+            return
+        if self._started and not self._stopped and not self.failed:
+            try:
+                self.drain()
+            except ShardFailedError:
+                pass  # the failure surfaces on feed/drain; reads stay usable
+
+    def _broadcast(self, op: str, payload: Any) -> List[Any]:
+        """Run a control on every shard; first error wins after all acks."""
+        self._ensure_running()
+        results = []
+        first_error: Optional[BaseException] = None
+        for shard in self._shards:
+            try:
+                results.append(shard.control(op, payload))
+            except ShardFailedError:
+                self._raise_if_failed()
+                raise
+            except Exception as error:  # noqa: BLE001 — collect, finish fan-out, re-raise
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def __repr__(self) -> str:
+        state = (
+            "failed"
+            if self.failed
+            else "stopped"
+            if self._stopped
+            else "started"
+            if self._started
+            else "new"
+        )
+        return (
+            f"ShardedRuntime(shards={self.shard_count}, executor={self.executor!r}, "
+            f"state={state}, queries={self.query_names()}, "
+            f"tuples={self.tuples_processed})"
+        )

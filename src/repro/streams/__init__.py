@@ -15,7 +15,13 @@ built:
 """
 
 from repro.streams.clock import Clock, SimulatedClock, WallClock
-from repro.streams.stream import Stream, StreamRegistry, StreamStats, Subscription
+from repro.streams.stream import (
+    DeliveryFailure,
+    Stream,
+    StreamRegistry,
+    StreamStats,
+    Subscription,
+)
 from repro.streams.source import (
     CallableSource,
     GeneratorSource,
@@ -26,6 +32,7 @@ from repro.streams.source import (
 
 __all__ = [
     "Clock",
+    "DeliveryFailure",
     "SimulatedClock",
     "WallClock",
     "Stream",

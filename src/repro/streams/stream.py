@@ -17,15 +17,38 @@ single call (which is what lets an NFA matcher prune its run table once per
 chunk), everyone else still gets the tuples one by one.  Per-subscriber
 tuple order is identical in both modes; only the interleaving *across*
 subscribers differs.
+
+Delivery errors are *isolated per subscriber*: a callback raising mid-push
+(or mid-batch) no longer silently starves the subscribers registered after
+it — the failure is recorded in :attr:`Stream.delivery_errors` (bounded,
+mirroring ``GestureSession.handler_errors``), delivery continues to the
+remaining subscribers, and the **first** exception is re-raised once the
+fan-out completes, so producers still observe the failure.  Within one
+batch, a subscriber that raised receives none of that chunk's remaining
+tuples (its state is suspect), but every other subscriber gets the full
+chunk.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Sequence
 
 TupleCallback = Callable[[Mapping[str, Any]], None]
 BatchCallback = Callable[[Sequence[Mapping[str, Any]]], None]
+
+#: Cap on remembered delivery failures; long-running streams stay bounded.
+_MAX_RECORDED_FAILURES = 256
+
+
+@dataclass(frozen=True)
+class DeliveryFailure:
+    """One exception raised by a subscriber callback during fan-out."""
+
+    stream: str
+    subscriber: str
+    error: BaseException
 
 
 @dataclass
@@ -103,6 +126,9 @@ class Stream:
         self.name = name
         self.fields: Optional[frozenset] = frozenset(fields) if fields else None
         self.stats = StreamStats()
+        self.delivery_errors: Deque[DeliveryFailure] = deque(
+            maxlen=_MAX_RECORDED_FAILURES
+        )
         self._subscribers: List[Subscription] = []
         self._paused = False
 
@@ -164,11 +190,20 @@ class Stream:
             self.stats.dropped += 1
             return
         self.stats.pushed += 1
+        first_error: Optional[BaseException] = None
         # Copy the subscriber list so callbacks may (un)subscribe during delivery.
         for subscription in list(self._subscribers):
             if subscription.active:
-                subscription.callback(item)
-                self.stats.delivered += 1
+                try:
+                    subscription.callback(item)
+                except Exception as error:  # noqa: BLE001 — isolate, deliver to the rest
+                    self._record_failure(subscription, error)
+                    if first_error is None:
+                        first_error = error
+                else:
+                    self.stats.delivered += 1
+        if first_error is not None:
+            raise first_error
 
     def push_many(self, items: Iterable[Mapping[str, Any]]) -> int:
         """Push every item of ``items`` one at a time; return the number pushed."""
@@ -198,20 +233,37 @@ class Stream:
         if not items:
             return 0
         self.stats.pushed += len(items)
+        first_error: Optional[BaseException] = None
         # Copy the subscriber list so callbacks may (un)subscribe during delivery.
         for subscription in list(self._subscribers):
             if not subscription.active:
                 continue
-            if subscription.batch_callback is not None:
-                subscription.batch_callback(items)
-                self.stats.delivered += len(items)
-            else:
-                for item in items:
-                    if not subscription.active:
-                        break
-                    subscription.callback(item)
-                    self.stats.delivered += 1
+            try:
+                if subscription.batch_callback is not None:
+                    subscription.batch_callback(items)
+                    self.stats.delivered += len(items)
+                else:
+                    for item in items:
+                        if not subscription.active:
+                            break
+                        subscription.callback(item)
+                        self.stats.delivered += 1
+            except Exception as error:  # noqa: BLE001 — isolate, deliver to the rest
+                self._record_failure(subscription, error)
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
         return len(items)
+
+    def _record_failure(self, subscription: Subscription, error: BaseException) -> None:
+        self.delivery_errors.append(
+            DeliveryFailure(
+                stream=self.name,
+                subscriber=subscription.name or repr(subscription.callback),
+                error=error,
+            )
+        )
 
     def _check_schema(self, item: Mapping[str, Any]) -> None:
         missing = self.fields.difference(item.keys())
