@@ -1,0 +1,179 @@
+"""B5 — durability: write-ahead logging overhead, recovery, replay speed.
+
+Runs the B1 hot path (the C5 8-query vocabulary, raw frames through the
+``kinect_t`` view, batched delivery) through the ``GestureSession`` façade
+in four configurations: no durability (baseline) and the three event-log
+fsync policies (``rotate`` / ``batch`` / ``always``).  Before reporting
+overhead the benchmark asserts that every durable configuration detects
+*exactly* what the baseline detects — the write-ahead tap must never
+perturb the data path.
+
+Two more sections exercise the recovery story end to end:
+
+* **recovery** — a durable run snapshots at the midpoint, feeds the rest
+  and is abandoned without ``close()`` (a crash, minus the SIGKILL that
+  ``tests/test_persistence.py`` already covers); ``GestureSession.recover``
+  must reproduce the uninterrupted run's detections, and its wall time and
+  replayed-entry count are recorded.
+* **replay** — ``session.replay()`` re-drives the whole log into a fresh
+  session faster than real time; entries/s and equality are recorded.
+
+The acceptance bar — logging overhead ≤ 10% on the hot path with the
+default ``rotate`` policy — is asserted whenever timing is enabled and
+recorded in ``BENCH_durability.json`` either way.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_table, record_benchmark
+from repro.api import DurabilityConfig, GestureSession, SessionConfig
+
+BATCH_SIZE = 64
+REPEAT = 3
+
+
+def _detection_states(session):
+    return [d.to_state() for d in session.detections()]
+
+
+def _run_workload(queries, frames, durability=None):
+    """Feed the B1 workload through one session; returns (tps, session).
+
+    Throughput is the best single pass of ``REPEAT`` — overhead ratios are
+    computed between two such runs, and min-of-N rejects scheduler noise
+    that a single aggregate timing would fold into the comparison.
+    """
+    session = GestureSession(
+        config=SessionConfig(batch_size=BATCH_SIZE), durability=durability
+    )
+    session.start()
+    for query in queries:
+        session.deploy(query)
+    best = float("inf")
+    for _ in range(REPEAT):
+        start = time.perf_counter()
+        session.feed(frames)
+        best = min(best, time.perf_counter() - start)
+    return len(frames) / best, session
+
+
+def _durable_feed(queries, frames, directory):
+    """The timed kernel for pytest-benchmark: one durable pass."""
+    _, session = _run_workload(
+        queries, frames, durability=DurabilityConfig(directory)
+    )
+    session.close()
+
+
+def test_b5_logging_overhead_recovery_and_replay(
+    benchmark, request, gesture_queries, sensor_frames, tmp_path
+):
+    baseline_tps, baseline = _run_workload(gesture_queries, sensor_frames)
+    expected = _detection_states(baseline)
+    assert expected, "workload produced no detections; the comparison is vacuous"
+    baseline.close()
+
+    rows = [
+        {
+            "configuration": "baseline (no durability)",
+            "tuples_per_second": round(baseline_tps, 1),
+            "overhead_pct": 0.0,
+            "bytes_appended": 0,
+            "fsyncs": 0,
+        }
+    ]
+    overhead_by_policy = {}
+    for policy in ("rotate", "batch", "always"):
+        directory = tmp_path / f"log-{policy}"
+        tps, session = _run_workload(
+            gesture_queries,
+            sensor_frames,
+            durability=DurabilityConfig(directory, fsync=policy),
+        )
+        # Correctness first: the tap must not change what is detected.
+        assert _detection_states(session) == expected, policy
+        durability = session.metrics.snapshot()["durability"]
+        overhead = (1.0 - tps / baseline_tps) * 100.0
+        overhead_by_policy[policy] = overhead
+        rows.append(
+            {
+                "configuration": f"event log / fsync={policy}",
+                "tuples_per_second": round(tps, 1),
+                "overhead_pct": round(overhead, 1),
+                "bytes_appended": durability["bytes_appended"],
+                "fsyncs": durability["fsyncs"],
+            }
+        )
+        session.close()
+    print_table("B5: write-ahead logging overhead on the B1 hot path", rows)
+
+    # -- recovery: snapshot at the midpoint, crash, recover ----------------------------
+    crash_dir = tmp_path / "crash"
+    session = GestureSession(
+        config=SessionConfig(batch_size=BATCH_SIZE),
+        durability=DurabilityConfig(crash_dir),
+    )
+    session.start()
+    for query in gesture_queries:
+        session.deploy(query)
+    midpoint = len(sensor_frames) // 2
+    for _ in range(REPEAT):
+        session.feed(sensor_frames[:midpoint])
+    session.snapshot()
+    for _ in range(REPEAT):
+        session.feed(sensor_frames[midpoint:])
+    crashed_expected = _detection_states(session)
+    # Crash: the session is abandoned — no close(), no log seal.
+
+    start = time.perf_counter()
+    recovered = GestureSession.recover(
+        DurabilityConfig(crash_dir), config=SessionConfig(batch_size=BATCH_SIZE)
+    )
+    recovery_seconds = time.perf_counter() - start
+    assert _detection_states(recovered) == crashed_expected
+    recovery = {
+        "seconds": round(recovery_seconds, 4),
+        "snapshot_offset": recovered.last_recovery.snapshot_offset,
+        "replayed_entries": recovered.last_recovery.replayed_entries,
+        "replayed_tuples": recovered.last_recovery.replayed_tuples,
+    }
+
+    # -- replay: the whole log, faster than real time ----------------------------------
+    controller = recovered.replay()
+    start = time.perf_counter()
+    applied = controller.play()
+    replay_seconds = time.perf_counter() - start
+    assert _detection_states(controller.target) == crashed_expected
+    replay = {
+        "entries": applied,
+        "seconds": round(replay_seconds, 4),
+        "entries_per_second": round(applied / replay_seconds, 1)
+        if replay_seconds > 0
+        else 0.0,
+    }
+    controller.target.close()
+    recovered.close()
+    print_table(
+        "B5: recovery and replay",
+        [{**recovery, "replay_entries_per_s": replay["entries_per_second"]}],
+    )
+
+    record_benchmark(
+        "durability",
+        {
+            "rows": rows,
+            "recovery": recovery,
+            "replay": replay,
+            "baseline_tuples_per_second": round(baseline_tps, 1),
+        },
+    )
+
+    # The acceptance bar: the default policy costs ≤ 10% on the hot path.
+    # Skipped in the untimed smoke pass (single-shot ratios on shared CI
+    # runners are noise, exactly as in B1).
+    if not request.config.getoption("benchmark_disable", False):
+        assert overhead_by_policy["rotate"] <= 10.0, overhead_by_policy
+
+    benchmark(_durable_feed, gesture_queries, sensor_frames, tmp_path / "kernel")

@@ -93,6 +93,9 @@ __all__ = [
     # Lazily re-exported from repro.api (PEP 562):
     "GestureSession",
     "SessionConfig",
+    "DurabilityConfig",
+    "RecoveryResult",
+    "ReplayController",
     "F",
     "Q",
     "QueryBuilder",
@@ -101,7 +104,17 @@ __all__ = [
 
 #: Names re-exported lazily from :mod:`repro.api` so that importing
 #: ``repro`` stays lightweight (no numpy import at package-import time).
-_API_EXPORTS = ("GestureSession", "SessionConfig", "F", "Q", "QueryBuilder", "Expr")
+_API_EXPORTS = (
+    "GestureSession",
+    "SessionConfig",
+    "DurabilityConfig",
+    "RecoveryResult",
+    "ReplayController",
+    "F",
+    "Q",
+    "QueryBuilder",
+    "Expr",
+)
 
 
 def __getattr__(name: str):

@@ -28,6 +28,7 @@ from repro.api.session import (
     HandlerFailure,
     SessionConfig,
 )
+from repro.persistence import DurabilityConfig, RecoveryResult, ReplayController
 
 __all__ = [
     "Expr",
@@ -39,4 +40,7 @@ __all__ = [
     "GestureSession",
     "HandlerFailure",
     "SessionConfig",
+    "DurabilityConfig",
+    "RecoveryResult",
+    "ReplayController",
 ]

@@ -48,6 +48,32 @@ per-shard counters.  The interactive learning workflow and direct
 ``session.engine`` / ``session.view`` access require an inline session; a
 failed shard surfaces its original exception on the next feed or read as
 a :class:`~repro.errors.ShardFailedError`.
+
+Durability
+----------
+``GestureSession(durability=DurabilityConfig("./run1"))`` puts the session
+on a write-ahead event log: every fed tuple and every state-changing
+operation (deploy / undeploy / clear) is appended *before* it takes
+effect, and :meth:`GestureSession.snapshot` (or the automatic
+``snapshot_every_tuples`` policy) persists the whole stack's state —
+matcher run tables, detections, transformer smoothing state, stream
+counters, the simulated clock — anchored to a log offset.  After a crash,
+:meth:`GestureSession.recover` rebuilds the session from the newest
+snapshot plus the log tail, with per-partition detections identical to an
+uninterrupted run; :meth:`GestureSession.replay` re-drives the recorded
+log into fresh sessions with VCR controls (faster-than-realtime, pause,
+seek-to-offset).  Works on inline and sharded sessions alike — a sharded
+snapshot captures every shard's engine keyed by the router topology, and
+recovery refuses a directory recorded under a different topology::
+
+    with GestureSession(durability=DurabilityConfig("./run1")) as session:
+        session.deploy(hands_up)
+        session.feed(frames)
+        session.snapshot()
+        session.feed(more_frames)          # appended to the log
+    # ... crash, new process ...
+    session = GestureSession.recover(DurabilityConfig("./run1"))
+    session.events                         # identical to the live run's
 """
 
 from __future__ import annotations
@@ -72,7 +98,20 @@ from repro.core.learner import GestureLearner
 from repro.detection.detector import GestureDetector, GestureHandler
 from repro.detection.events import DetectionFeedback, GestureEvent
 from repro.detection.workflow import LearningWorkflow, WorkflowConfig
-from repro.errors import QueryBuilderError, SessionClosedError, SessionStateError
+from repro.errors import (
+    QueryBuilderError,
+    RecoveryError,
+    SessionClosedError,
+    SessionStateError,
+)
+from repro.persistence import (
+    DurabilityConfig,
+    DurabilityManager,
+    LogEntry,
+    RecoveryResult,
+    ReplayController,
+)
+from repro.runtime.metrics import MetricsRegistry
 from repro.storage.database import GestureDatabase
 from repro.streams.clock import Clock, SimulatedClock
 from repro.transform.pipeline import KinectTransformer, TransformConfig
@@ -176,6 +215,11 @@ class GestureSession:
     ----------
     config:
         Session configuration; defaults compose the subsystem defaults.
+    durability:
+        A :class:`~repro.persistence.DurabilityConfig` puts the session on
+        a write-ahead event log with snapshot/recover/replay support (see
+        "Durability" in the module docstring).  ``None`` (default) keeps
+        the session fully in-memory.
     clock:
         Time source of a newly created engine (a fresh
         :class:`~repro.streams.clock.SimulatedClock` by default).
@@ -207,6 +251,7 @@ class GestureSession:
         clock: Optional[Clock] = None,
         engine: Optional[CEPEngine] = None,
         database: Optional[GestureDatabase] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         self.config = config or SessionConfig()
         self._clock = clock
@@ -217,6 +262,11 @@ class GestureSession:
         self._view: Optional[View] = None
         self._detector: Optional[GestureDetector] = None
         self._workflow: Optional[LearningWorkflow] = None
+        self._durability_config = durability
+        self._durability: Optional[DurabilityManager] = None
+        self._metrics: Optional[MetricsRegistry] = None
+        #: What the last :meth:`recover` replayed (``None`` on live sessions).
+        self.last_recovery: Optional[RecoveryResult] = None
         self._started = False
         self._closed = False
         self.handler_errors: List[HandlerFailure] = []
@@ -275,6 +325,7 @@ class GestureSession:
         self._detector = GestureDetector(
             engine=self._engine, querygen_config=self.config.workflow.querygen
         )
+        self._init_durability(self._engine)
         self._started = True
         return self
 
@@ -323,10 +374,35 @@ class GestureSession:
         self._detector = GestureDetector(
             engine=runtime, querygen_config=self.config.workflow.querygen
         )
+        self._init_durability(runtime)
         self._started = True
 
+    def _init_durability(self, target: Any) -> None:
+        """Open the event log and install the write-ahead ingest tap."""
+        if self._durability_config is None:
+            return
+        # Sharded sessions record durability counters in the runtime's
+        # registry; inline sessions create one, so ``session.metrics``
+        # covers durability either way.
+        if self._runtime is not None:
+            registry = self._runtime.metrics
+        else:
+            self._metrics = registry = MetricsRegistry()
+        self._durability = DurabilityManager(
+            target,
+            self._durability_config,
+            capture=self._capture_session_state,
+            metrics=registry.durability,
+        )
+        self._durability.attach()
+
     def close(self) -> None:
-        """End the session.  Idempotent; further feeding raises."""
+        """End the session.  Idempotent; further feeding raises.
+
+        With durability enabled, the event log is flushed, fsynced and
+        sealed here — a cleanly closed directory recovers with zero replay
+        beyond the last snapshot's tail.
+        """
         if self._closed:
             return
         self._closed = True
@@ -335,6 +411,8 @@ class GestureSession:
             # Finish queued work, stop the workers, keep results readable.
             self._runtime.stop(drain=True)
             self._runtime.join()
+        if self._durability is not None:
+            self._durability.close()
         if self._database is not None and self._owns_database:
             self._database.close()
 
@@ -386,9 +464,17 @@ class GestureSession:
 
     @property
     def metrics(self):
-        """Per-shard :class:`~repro.runtime.MetricsRegistry` (``None`` inline)."""
+        """The session's :class:`~repro.runtime.MetricsRegistry`.
+
+        Sharded sessions expose the runtime's registry (per-shard counters
+        plus durability); an inline session has one only when durability is
+        enabled (durability counters, zeroed shard section); otherwise
+        ``None``.
+        """
         runtime = self.runtime
-        return None if runtime is None else runtime.metrics
+        if runtime is not None:
+            return runtime.metrics
+        return self._metrics
 
     @property
     def detector(self) -> GestureDetector:
@@ -528,6 +614,10 @@ class GestureSession:
         """
         self._ensure_started()
         deployed = self.detector.deploy(gesture, name=name)
+        if self._durability is not None:
+            self._durability.log_control(
+                "deploy", {"name": deployed.name, "text": deployed.query.to_query()}
+            )
         if sink is not None:
             deployed.sink.add(sink)
         return deployed
@@ -578,6 +668,8 @@ class GestureSession:
     def undeploy(self, name: str) -> None:
         """Remove one deployed gesture."""
         self.detector.undeploy(name)
+        if self._durability is not None:
+            self._durability.log_control("undeploy", {"name": name})
 
     def deployed_gestures(self) -> List[str]:
         """Names of the deployed gestures (readable even after close)."""
@@ -612,14 +704,33 @@ class GestureSession:
         self._ensure_started()
         if batch_size is _UNSET:
             batch_size = self.config.batch_size
-        return self._engine.push_many(
+        count = self._engine.push_many(
             stream or self.config.raw_stream, frames, batch_size=batch_size
         )
+        if self._durability is not None:
+            self._durability.maybe_snapshot()
+        return count
 
     def feed_frame(self, frame: Mapping[str, float], stream: Optional[str] = None) -> None:
         """Push a single sensor frame (interactive / live sources)."""
         self._ensure_started()
         self._engine.push(stream or self.config.raw_stream, frame)
+        if self._durability is not None:
+            self._durability.maybe_snapshot()
+
+    def push_many(
+        self,
+        stream_name: str,
+        records: Iterable[Mapping[str, Any]],
+        batch_size: Optional[int] = None,
+    ) -> int:
+        """Engine-protocol ingest: explicit stream, explicit batch size.
+
+        Unlike :meth:`feed`, the session's default ``batch_size`` is *not*
+        applied — recovery and replay use this to reproduce recorded
+        deliveries exactly.
+        """
+        return self.feed(records, batch_size=batch_size, stream=stream_name)
 
     # -- events and handlers --------------------------------------------------------------
 
@@ -716,6 +827,171 @@ class GestureSession:
             # detector's view list; reset them through the runtime.
             self._runtime.reset_transformers()
         self.handler_errors.clear()
+        if self._durability is not None:
+            self._durability.log_control("clear", {})
+
+    # -- durability: snapshot, recover, replay -------------------------------------------
+
+    @property
+    def durability(self) -> Optional[DurabilityManager]:
+        """The durability manager (``None`` when durability is off)."""
+        return self._durability
+
+    def snapshot(self) -> int:
+        """Persist the whole session state now; returns the log anchor offset.
+
+        The snapshot spans every layer: deployed query texts, matcher run
+        tables (partial matches), collected detections, transformer
+        smoothing state, stream counters and the simulated clock.  On a
+        sharded session the runtime drains its queues first and captures
+        each shard's engine keyed by the router topology.
+        """
+        self._ensure_started()
+        manager = self._require_durability()
+        return manager.snapshot()
+
+    def _require_durability(self) -> DurabilityManager:
+        if self._durability is None:
+            raise SessionStateError(
+                "durability is off; construct the session with "
+                "GestureSession(durability=DurabilityConfig(...))"
+            )
+        return self._durability
+
+    def _capture_session_state(self) -> Dict[str, Any]:
+        """The snapshot payload: the engine (or sharded runtime) state."""
+        assert self._engine is not None
+        return {"kind": "session", "engine": self._engine.capture_state()}
+
+    def _restore_session_state(self, state: Mapping[str, Any]) -> None:
+        """Load a snapshot into this (freshly started) session.
+
+        Captured queries are deployed through the detector *first*, so
+        their detections dispatch into :attr:`events` and :meth:`on`
+        handlers; ``restore_state`` then overwrites each matcher's runs,
+        detections and counters in place.
+        """
+        self._ensure_started()
+        engine_state = state["engine"] if state.get("kind") == "session" else state
+        deployed = set(self.deployed_gestures())
+        for entry in engine_state.get("queries", []):
+            if entry["name"] not in deployed:
+                self.deploy(entry["text"], name=entry["name"])
+        assert self._engine is not None
+        self._engine.restore_state(engine_state)
+
+    def _rebuild_events(self) -> None:
+        """Recompute :attr:`events` from the restored detection history.
+
+        Snapshot-restored detections never went through live dispatch, and
+        replayed-tail detections were appended to whatever the list held —
+        rebuilding from the merged engine history yields the same sequence
+        the uninterrupted run dispatched.
+        """
+        assert self._detector is not None and self._engine is not None
+        history = self._engine.detections()
+        self._detector.events[:] = [
+            GestureEvent.from_detection(detection) for detection in history
+        ]
+
+    def _apply_log_entry(self, entry: LogEntry) -> None:
+        """Replay one recorded log entry (recovery path; logging suspended)."""
+        if entry.op == "tuples":
+            self.push_many(entry.stream, entry.records or [], batch_size=entry.batch_size)
+        elif entry.op == "control":
+            self._apply_logged_control(entry.control, entry.payload)
+        else:
+            raise RecoveryError(f"unknown logged operation {entry.op!r}")
+
+    def _apply_logged_control(self, control: Optional[str], payload: Any) -> None:
+        payload = payload or {}
+        if control == "deploy":
+            if payload["name"] not in set(self.deployed_gestures()):
+                self.deploy(payload["text"], name=payload["name"])
+        elif control == "undeploy":
+            self.undeploy(payload["name"])
+        elif control == "clear":
+            self.clear()
+        else:
+            raise RecoveryError(f"unknown logged control operation {control!r}")
+
+    @classmethod
+    def recover(
+        cls,
+        durability: DurabilityConfig,
+        config: Optional[SessionConfig] = None,
+        clock: Optional[Clock] = None,
+        database: Optional[GestureDatabase] = None,
+    ) -> "GestureSession":
+        """Rebuild a session from its durability directory after a crash.
+
+        Loads the newest snapshot (if any), replays the event-log tail
+        beyond its anchor, and returns a *started* session whose
+        detections, events and partial matches per partition are exactly
+        those of an uninterrupted run.  ``config`` must match the recorded
+        run (a sharded directory refuses a different shard topology).  The
+        recovered session keeps appending to the same directory, so
+        repeated crash/recover cycles compose; what was replayed is
+        reported in :attr:`last_recovery`.
+        """
+        session = cls(
+            config=config, clock=clock, database=database, durability=durability
+        )
+        session.start()
+        manager = session._require_durability()
+        result = manager.recover_into(
+            restore=session._restore_session_state,
+            apply_entry=session._apply_log_entry,
+        )
+        session._rebuild_events()
+        session.last_recovery = result
+        return session
+
+    def replay(
+        self,
+        speed: Optional[float] = None,
+        config: Optional[SessionConfig] = None,
+    ) -> ReplayController:
+        """A :class:`~repro.persistence.ReplayController` over this
+        session's recorded log.
+
+        Replay targets are fresh, durability-off sessions built from
+        ``config`` (this session's configuration by default) — the live
+        session is never touched.  ``speed=None`` replays as fast as
+        possible; ``speed=1.0`` paces tuples at the recorded event-time
+        rate; :meth:`~repro.persistence.ReplayController.seek` jumps to any
+        log offset (backward seeks rebuild from the best snapshot).
+        """
+        directory = self._durability_config
+        if directory is None:
+            raise SessionStateError(
+                "durability is off; construct the session with "
+                "GestureSession(durability=DurabilityConfig(...))"
+            )
+        if self._durability is not None and not self._durability.closed:
+            # Make everything appended so far visible to the reader.
+            self._durability.log.flush(sync=False)
+        target_config = config or self.config
+
+        def factory() -> "GestureSession":
+            target = GestureSession(config=target_config)
+            target.start()
+            return target
+
+        def restore(target: "GestureSession", state: Dict[str, Any]) -> None:
+            target._restore_session_state(state)
+            target._rebuild_events()
+
+        def apply_control(target: "GestureSession", control: str, payload: Any) -> None:
+            target._apply_logged_control(control, payload)
+
+        return ReplayController(
+            directory.directory,
+            factory,
+            restore=restore,
+            apply_control=apply_control,
+            speed=speed,
+        )
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else ("started" if self._started else "new")

@@ -180,6 +180,36 @@ class Detection:
         """Seconds between the first and the last matched event."""
         return self.timestamp - self.start_timestamp
 
+    def to_state(self) -> Dict[str, Any]:
+        """A JSON-serialisable copy (snapshot / event-log format)."""
+        return {
+            "output": self.output,
+            "query_name": self.query_name,
+            "timestamp": self.timestamp,
+            "start_timestamp": self.start_timestamp,
+            "step_timestamps": list(self.step_timestamps),
+            "matched": None
+            if self.matched is None
+            else [dict(record) for record in self.matched],
+            "partition": self.partition,
+        }
+
+    @staticmethod
+    def from_state(state: Mapping[str, Any]) -> "Detection":
+        """Rebuild a detection from a :meth:`to_state` copy."""
+        matched = state.get("matched")
+        return Detection(
+            output=str(state["output"]),
+            query_name=str(state["query_name"]),
+            timestamp=float(state["timestamp"]),
+            start_timestamp=float(state["start_timestamp"]),
+            step_timestamps=tuple(float(t) for t in state["step_timestamps"]),
+            matched=None
+            if matched is None
+            else tuple(dict(record) for record in matched),
+            partition=state.get("partition"),
+        )
+
     def __repr__(self) -> str:
         who = f", player={self.partition!r}" if self.partition is not None else ""
         return (
@@ -348,6 +378,117 @@ class NFAMatcher:
     def reset(self) -> None:
         """Discard all partial matches (used when a query is redeployed)."""
         self._partitions.clear()
+
+    # -- state capture / restore --------------------------------------------------------
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Snapshot the full run state as a JSON-serialisable dictionary.
+
+        Everything the matcher would need to continue *exactly* where it
+        is: the per-partition run tables (step positions, timestamps and
+        matched tuples by value, never by object identity), the run
+        sequence counter (detection ordering under ``select first/last``
+        depends on it), the idle-sweep phase, and the stats counters.
+        Restoring the captured state into a matcher compiled from the same
+        query text makes every subsequent detection byte-identical to an
+        uninterrupted run — the recovery tests assert it on the
+        interpreted, compiled and batched paths.
+
+        Raises
+        ------
+        repro.errors.SerializationError
+            If a partition key is not a JSON value (the default ``player``
+            ids — ints, floats, strings — always are).
+        """
+        partitions = []
+        for key, runs in self._partitions.items():
+            if key is _UNPARTITIONED:
+                encoded_key: Dict[str, Any] = {"unpartitioned": True}
+            else:
+                if key is not None and not isinstance(key, (str, int, float, bool)):
+                    from repro.errors import SerializationError
+
+                    raise SerializationError(
+                        f"partition key {key!r} of query "
+                        f"'{self.query_name}' is not JSON-serialisable; "
+                        f"snapshots require scalar partition values"
+                    )
+                encoded_key = {"value": key}
+            partitions.append(
+                {
+                    "key": encoded_key,
+                    "runs": [
+                        {
+                            "next_step": run.next_step,
+                            "start_timestamp": run.start_timestamp,
+                            "step_timestamps": list(run.step_timestamps),
+                            "matched": [dict(record) for record in run.matched],
+                            "sequence_number": run.sequence_number,
+                        }
+                        for run in runs
+                    ],
+                }
+            )
+        stats = self.stats
+        return {
+            "kind": "nfa-matcher",
+            "query_name": self.query_name,
+            "run_counter": self._run_counter,
+            "tuples_since_sweep": self._tuples_since_sweep,
+            "stats": {
+                "tuples_processed": stats.tuples_processed,
+                "predicate_evaluations": stats.predicate_evaluations,
+                "runs_started": stats.runs_started,
+                "runs_pruned": stats.runs_pruned,
+                "runs_suppressed": stats.runs_suppressed,
+                "detections": stats.detections,
+            },
+            "partitions": partitions,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Replace the run state with a :meth:`capture_state` snapshot.
+
+        The matcher must have been built from the same pattern the
+        snapshot was taken from (recovery redeploys the captured query
+        text before restoring); predicates, constraints and configuration
+        are *not* part of the state.
+        """
+        if state.get("kind") != "nfa-matcher":
+            from repro.errors import SerializationError
+
+            raise SerializationError(
+                f"cannot restore query '{self.query_name}' from a "
+                f"{state.get('kind')!r} state blob"
+            )
+        partitions: Dict[Any, List[_Run]] = {}
+        for entry in state["partitions"]:
+            encoded_key = entry["key"]
+            key = _UNPARTITIONED if encoded_key.get("unpartitioned") else encoded_key["value"]
+            runs: List[_Run] = []
+            for run_state in entry["runs"]:
+                run = _Run(
+                    next_step=int(run_state["next_step"]),
+                    start_timestamp=float(run_state["start_timestamp"]),
+                    step_timestamps=[float(t) for t in run_state["step_timestamps"]],
+                    matched=[dict(record) for record in run_state["matched"]],
+                    sequence_number=int(run_state["sequence_number"]),
+                    index=len(runs),
+                )
+                runs.append(run)
+            if runs:
+                partitions[key] = runs
+        self._partitions = partitions
+        self._run_counter = int(state["run_counter"])
+        self._tuples_since_sweep = int(state["tuples_since_sweep"])
+        stats_state = state.get("stats")
+        if stats_state:
+            self.stats.tuples_processed = int(stats_state["tuples_processed"])
+            self.stats.predicate_evaluations = int(stats_state["predicate_evaluations"])
+            self.stats.runs_started = int(stats_state["runs_started"])
+            self.stats.runs_pruned = int(stats_state["runs_pruned"])
+            self.stats.runs_suppressed = int(stats_state["runs_suppressed"])
+            self.stats.detections = int(stats_state["detections"])
 
     # -- matching -----------------------------------------------------------------------
 

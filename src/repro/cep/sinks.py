@@ -77,6 +77,18 @@ class CollectingSink(Sink):
         with self._lock:
             self._detections.clear()
 
+    def restore(self, detections: List[Detection]) -> None:
+        """Replace the stored detections (snapshot recovery path).
+
+        The capacity bound still applies: restoring more detections than
+        ``capacity`` keeps the newest ones, exactly as if they had been
+        emitted one by one.
+        """
+        with self._lock:
+            self._detections = list(detections)
+            if self.capacity is not None and len(self._detections) > self.capacity:
+                del self._detections[0 : len(self._detections) - self.capacity]
+
     def outputs(self) -> List[str]:
         """Just the output values, in detection order."""
         return [d.output for d in self.detections]

@@ -212,6 +212,38 @@ class ShardFailedError(ShardedRuntimeError):
 
 
 # ---------------------------------------------------------------------------
+# Durability / persistence errors
+# ---------------------------------------------------------------------------
+
+
+class PersistenceError(ReproError):
+    """Base class for errors raised by the durability subsystem
+    (:mod:`repro.persistence`): event log, snapshots, recovery, replay."""
+
+
+class EventLogError(PersistenceError):
+    """The append-only event log could not be written, rotated or read
+    (I/O failure, corrupt segment, manifest/segment disagreement)."""
+
+
+class SnapshotError(PersistenceError):
+    """A state snapshot could not be captured, written or restored —
+    including a component refusing a state blob of the wrong kind or an
+    incompatible topology (shard count / partition field mismatch)."""
+
+
+class RecoveryError(PersistenceError):
+    """Recovery from a durability directory failed (no usable snapshot or
+    log, or the replayed tail is inconsistent with the snapshot)."""
+
+
+class ReplayStateError(PersistenceError):
+    """A replay operation is not legal in the controller's current state
+    (seeking behind the cursor without a snapshot, advancing a finished
+    replay, …)."""
+
+
+# ---------------------------------------------------------------------------
 # Application-layer errors
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,161 @@
+"""Snapshot files: captured state, anchored to an event-log offset.
+
+A snapshot is one JSON file, ``snapshot-<offset>.json``, holding whatever
+``capture_state()`` returned (engine, sharded runtime, or the session
+wrapper around them) plus the log offset the state is consistent with:
+recovery restores the newest snapshot and replays the log strictly after
+its offset.  Files are written atomically (tmp + rename + fsync) so a
+crash mid-snapshot can never leave a half-written file that shadows an
+older good one, and every file is a versioned envelope
+(:func:`repro.storage.serialization.dump_envelope`) sharing the
+library-wide format-evolution scheme.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from repro.errors import SerializationError, SnapshotError
+from repro.storage.serialization import FORMAT_VERSION, dump_envelope, load_envelope
+
+__all__ = ["SnapshotRecord", "SnapshotStore"]
+
+_SNAPSHOT_PREFIX = "snapshot-"
+_SNAPSHOT_SUFFIX = ".json"
+_SNAPSHOT_KIND = "snapshot"
+
+
+@dataclass(frozen=True)
+class SnapshotRecord:
+    """One loaded snapshot: the captured state and its log anchor."""
+
+    log_offset: int
+    state: Dict[str, Any]
+    path: Path
+
+
+def _snapshot_name(log_offset: int) -> str:
+    # Offsets sort lexicographically thanks to the fixed width; -1 (snapshot
+    # before any log entry) maps to 0-width slot "-0000000001" which still
+    # sorts first.
+    return f"{_SNAPSHOT_PREFIX}{log_offset:012d}{_SNAPSHOT_SUFFIX}"
+
+
+class SnapshotStore:
+    """Reads and writes the snapshot files of one durability directory.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshot files live (shared with the event log; the file
+        name prefixes keep them apart).  Created if missing.
+    keep_last:
+        Retain at most this many snapshots; older ones are pruned after
+        each save (``None`` keeps everything).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        keep_last: Optional[int] = 4,
+    ) -> None:
+        if keep_last is not None and keep_last < 1:
+            raise ValueError("keep_last must be positive when given")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep_last = keep_last
+
+    # -- writing -----------------------------------------------------------------------
+
+    def save(self, state: Mapping[str, Any], log_offset: int) -> Path:
+        """Persist ``state`` anchored at ``log_offset``; returns the path.
+
+        Atomic: the file appears fully written or not at all.
+        """
+        text = dump_envelope(
+            _SNAPSHOT_KIND, {"log_offset": int(log_offset), "state": dict(state)}
+        )
+        path = self.directory / _snapshot_name(log_offset)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise SnapshotError(f"cannot write snapshot {path}: {exc}") from exc
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        if self.keep_last is None:
+            return
+        paths = self.paths()
+        for path in paths[: -self.keep_last]:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # a vanished or busy file is not worth failing a save
+
+    # -- reading -----------------------------------------------------------------------
+
+    def paths(self) -> List[Path]:
+        """Snapshot files on disk, oldest (lowest offset) first."""
+        return sorted(
+            path
+            for path in self.directory.glob(
+                f"{_SNAPSHOT_PREFIX}*{_SNAPSHOT_SUFFIX}"
+            )
+            if path.is_file()
+        )
+
+    def load(self, path: Union[str, Path]) -> SnapshotRecord:
+        """Load and validate one snapshot file."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SnapshotError(f"cannot read snapshot {path}: {exc}") from exc
+        try:
+            payload = load_envelope(text, _SNAPSHOT_KIND, version=FORMAT_VERSION)
+        except SerializationError as exc:
+            raise SnapshotError(f"malformed snapshot {path}: {exc}") from exc
+        try:
+            return SnapshotRecord(
+                log_offset=int(payload["log_offset"]),
+                state=dict(payload["state"]),
+                path=path,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed snapshot {path}: {exc}") from exc
+
+    def latest(self) -> Optional[SnapshotRecord]:
+        """The newest snapshot, or ``None`` if none exists."""
+        paths = self.paths()
+        return self.load(paths[-1]) if paths else None
+
+    def best_for(self, offset: int) -> Optional[SnapshotRecord]:
+        """The newest snapshot anchored at or before ``offset`` (for seek)."""
+        best: Optional[Path] = None
+        for path in self.paths():
+            name = path.name[len(_SNAPSHOT_PREFIX) : -len(_SNAPSHOT_SUFFIX)]
+            try:
+                anchored = int(name)
+            except ValueError:
+                continue
+            if anchored <= offset:
+                best = path
+        return self.load(best) if best is not None else None
+
+    def __len__(self) -> int:
+        return len(self.paths())
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotStore(directory={str(self.directory)!r}, "
+            f"snapshots={len(self)})"
+        )

@@ -14,10 +14,11 @@ directly into the benchmark-results JSON (``BENCH_*.json``).
 
 from __future__ import annotations
 
+import json
 import threading
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-__all__ = ["ShardMetrics", "MetricsRegistry"]
+__all__ = ["ShardMetrics", "DurabilityMetrics", "MetricsRegistry"]
 
 
 class ShardMetrics:
@@ -127,6 +128,10 @@ class ShardMetrics:
                 "errors": self._errors,
             }
 
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`snapshot` counters rendered as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent)
+
     def __repr__(self) -> str:
         snap = self.snapshot()
         return (
@@ -135,6 +140,103 @@ class ShardMetrics:
             f"dropped={snap['tuples_dropped']}, "
             f"detections={snap['detections']}, "
             f"queue_hwm={snap['queue_depth_hwm']})"
+        )
+
+
+class DurabilityMetrics:
+    """Counters of the durability subsystem (event log + snapshots).
+
+    Maintained by :class:`repro.persistence.DurabilityManager` and exposed
+    through ``session.metrics`` like the shard counters, so one registry
+    snapshot covers the whole stack.  All methods are thread-safe.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries_appended = 0
+        self._bytes_appended = 0
+        self._fsyncs = 0
+        self._segments_rotated = 0
+        self._snapshots_taken = 0
+        self._snapshot_seconds = 0.0
+        self._entries_replayed = 0
+        self._recoveries = 0
+
+    def add_append(self, byte_count: int, entries: int = 1) -> None:
+        with self._lock:
+            self._entries_appended += entries
+            self._bytes_appended += byte_count
+
+    def add_fsync(self, count: int = 1) -> None:
+        with self._lock:
+            self._fsyncs += count
+
+    def add_rotation(self) -> None:
+        with self._lock:
+            self._segments_rotated += 1
+
+    def add_snapshot(self, duration_seconds: float) -> None:
+        with self._lock:
+            self._snapshots_taken += 1
+            self._snapshot_seconds += duration_seconds
+
+    def add_replayed(self, entries: int) -> None:
+        with self._lock:
+            self._entries_replayed += entries
+
+    def add_recovery(self) -> None:
+        with self._lock:
+            self._recoveries += 1
+
+    @property
+    def entries_appended(self) -> int:
+        with self._lock:
+            return self._entries_appended
+
+    @property
+    def bytes_appended(self) -> int:
+        with self._lock:
+            return self._bytes_appended
+
+    @property
+    def fsyncs(self) -> int:
+        with self._lock:
+            return self._fsyncs
+
+    @property
+    def segments_rotated(self) -> int:
+        with self._lock:
+            return self._segments_rotated
+
+    @property
+    def snapshots_taken(self) -> int:
+        with self._lock:
+            return self._snapshots_taken
+
+    def snapshot(self) -> Dict[str, float]:
+        """A JSON-serialisable copy of every counter."""
+        with self._lock:
+            return {
+                "entries_appended": self._entries_appended,
+                "bytes_appended": self._bytes_appended,
+                "fsyncs": self._fsyncs,
+                "segments_rotated": self._segments_rotated,
+                "snapshots_taken": self._snapshots_taken,
+                "snapshot_seconds": round(self._snapshot_seconds, 6),
+                "entries_replayed": self._entries_replayed,
+                "recoveries": self._recoveries,
+            }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The :meth:`snapshot` counters rendered as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return (
+            f"DurabilityMetrics(entries={snap['entries_appended']}, "
+            f"bytes={snap['bytes_appended']}, fsyncs={snap['fsyncs']}, "
+            f"snapshots={snap['snapshots_taken']})"
         )
 
 
@@ -148,6 +250,9 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._shards: Dict[int, ShardMetrics] = {}
+        #: Event-log / snapshot counters; populated by the durability
+        #: subsystem, zeroes when durability is off.
+        self.durability = DurabilityMetrics()
 
     def shard(self, shard_id: int) -> ShardMetrics:
         with self._lock:
@@ -183,13 +288,18 @@ class MetricsRegistry:
         return totals
 
     def snapshot(self) -> Dict[str, object]:
-        """Full JSON-serialisable view: per-shard plus totals."""
+        """Full JSON-serialisable view: per-shard, totals and durability."""
         return {
             "shards": [
                 self.shard(shard_id).snapshot() for shard_id in self.shard_ids()
             ],
             "totals": self.totals(),
+            "durability": self.durability.snapshot(),
         }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """The full :meth:`snapshot` rendered as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent)
 
     def __repr__(self) -> str:
         totals = self.totals()

@@ -74,6 +74,16 @@ class DetectionLog:
         with self._lock:
             self._entries.clear()
 
+    def entries(self) -> List[Detection]:
+        """Arrival-ordered copy (what snapshots persist; reads merge instead)."""
+        with self._lock:
+            return list(self._entries)
+
+    def restore(self, detections: Iterable[Detection]) -> None:
+        """Replace the log contents (snapshot recovery path)."""
+        with self._lock:
+            self._entries = list(detections)
+
     def clear_query(self, query_name: str) -> None:
         """Drop one query's detections, keeping every other query's."""
         with self._lock:

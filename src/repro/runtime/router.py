@@ -81,6 +81,10 @@ class HashPartitionRouter:
             )
         self.shard_count = shard_count
         self.partition_field = partition_field
+        #: Routing-topology generation.  Snapshots record it so recovery can
+        #: refuse to restore per-shard state into a runtime whose routing
+        #: differs (re-sharding a snapshot is a planned, separate migration).
+        self.epoch = 0
 
     def shard_for_key(self, key: Any) -> int:
         """Shard index owning partition value ``key``."""

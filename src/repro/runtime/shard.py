@@ -175,9 +175,20 @@ def _apply_control(
         name, function, arity = payload
         engine.register_function(name, function, arity)
         return None
+    if op == "capture_state":
+        return engine.capture_state()
+    if op == "restore_state":
+        # Re-registered queries need the shard's detection callback attached,
+        # exactly as a live "deploy" would wire it.
+        return engine.restore_state(payload, sink_factory=lambda: CallbackSink(emit))
     if op == "flush":
         return None
     raise ValueError(f"unknown shard control operation {op!r}")
+
+
+#: Control ops whose result is plain data and may cross a process boundary
+#: (everything else acks with ``None`` on the process executor).
+_PICKLABLE_CONTROL_RESULTS = frozenset({"capture_state"})
 
 
 class _Control:
@@ -395,6 +406,10 @@ class EngineShard(_ShardBase):
                             self.deployed[result.name] = result
                         elif item.op == "undeploy":
                             self.deployed.pop(item.payload, None)
+                        elif item.op == "restore_state" and isinstance(result, list):
+                            for restored in result:
+                                if isinstance(restored, DeployedQuery):
+                                    self.deployed[restored.name] = restored
                         item.resolve(result=result)
                 else:
                     _tag, stream, records, batch_size = item
@@ -476,11 +491,13 @@ def _process_shard_main(shard_id: int, spec: ShardEngineSpec, in_queue, out_queu
             elif kind == "control":
                 _tag, token, op, payload = message
                 try:
-                    _apply_control(engine, op, payload, emit)
+                    result = _apply_control(engine, op, payload, emit)
                 except Exception as error:  # noqa: BLE001 — report to the caller
                     out_queue.put(("nack", token, repr(error), traceback.format_exc()))
                 else:
-                    out_queue.put(("ack", token))
+                    if op not in _PICKLABLE_CONTROL_RESULTS:
+                        result = None
+                    out_queue.put(("ack", token, result))
         except Exception as error:  # noqa: BLE001 — data-path failure kills the shard
             out_queue.put(("failed", repr(error), traceback.format_exc()))
             break
@@ -705,7 +722,9 @@ class ProcessShard(_ShardBase):
                 self.metrics.add_processed(count, busy)
                 self._credits.release(count)
             elif kind == "ack":
-                self._resolve(message[1], None)
+                self._resolve(
+                    message[1], None, result=message[2] if len(message) > 2 else None
+                )
             elif kind == "nack":
                 _tag, token, error_repr, tb = message
                 self._resolve(token, RemoteShardError(error_repr, tb))
@@ -718,11 +737,13 @@ class ProcessShard(_ShardBase):
                 break
         self._listener_done.set()
 
-    def _resolve(self, token: int, error: Optional[BaseException]) -> None:
+    def _resolve(
+        self, token: int, error: Optional[BaseException], result: Any = None
+    ) -> None:
         with self._pending_lock:
             handle = self._pending.pop(token, None)
         if handle is not None:
-            handle.resolve(error=error)
+            handle.resolve(result=result, error=error)
 
     def _release_pending(self, failure: ShardFailure) -> None:
         with self._pending_lock:

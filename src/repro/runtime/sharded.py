@@ -49,14 +49,16 @@ import threading
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Union
 
-from repro.cep.engine import CEPEngine, coerce_query
+from repro.cep.engine import CEPEngine, IngestTap, coerce_query
 from repro.cep.matcher import Detection, MatcherConfig
 from repro.cep.query import Query
 from repro.cep.sinks import FanOutSink, Sink
 from repro.errors import (
     QueryRegistrationError,
     RuntimeStateError,
+    SerializationError,
     ShardFailedError,
+    SnapshotError,
     UnknownQueryError,
 )
 from repro.runtime.metrics import MetricsRegistry
@@ -240,6 +242,7 @@ class ShardedRuntime:
         self._log = DetectionLog()
         self._dispatch_lock = threading.Lock()
         self._listeners: List[Callable[[Detection], None]] = []
+        self._ingest_taps: List[IngestTap] = []
         #: Exceptions raised by ``add_listener`` callbacks, as
         #: ``(detection, error)`` pairs (bounded; oldest dropped).
         self.listener_errors: Deque[tuple] = deque(maxlen=256)
@@ -478,6 +481,8 @@ class ShardedRuntime:
         """Route one tuple to its partition's shard."""
         self._raise_if_failed()
         self._ensure_running()
+        for tap in self._ingest_taps:
+            tap(stream_name, (record,), None)
         shard = self._shards[self.router.shard_for(record)]
         try:
             shard.enqueue_tuples(stream_name, [record], None)
@@ -505,6 +510,10 @@ class ShardedRuntime:
             raise ValueError("batch_size must be at least 1 when given")
         self._raise_if_failed()
         self._ensure_running()
+        if self._ingest_taps:
+            records = records if isinstance(records, list) else list(records)
+            for tap in self._ingest_taps:
+                tap(stream_name, records, batch_size)
         buckets = self.router.split(records)
         count = 0
         try:
@@ -526,6 +535,114 @@ class ShardedRuntime:
     ) -> int:
         """Convenience: :meth:`push_many` into the spec's raw sensor stream."""
         return self.push_many(stream or self.spec.raw_stream, records, batch_size)
+
+    # -- ingest taps -------------------------------------------------------------------
+
+    def add_ingest_tap(self, tap: IngestTap) -> None:
+        """Observe every externally pushed tuple *before* it is routed.
+
+        Parent-side analogue of :meth:`CEPEngine.add_ingest_tap` — the
+        durability subsystem's write-ahead hook.  Taps run on the feeding
+        thread, before any shard queue sees the tuples.
+        """
+        self._ingest_taps.append(tap)
+
+    def remove_ingest_tap(self, tap: IngestTap) -> None:
+        """Detach a previously added ingest tap (missing taps are ignored)."""
+        self._ingest_taps = [t for t in self._ingest_taps if t is not tap]
+
+    # -- state capture / restore -------------------------------------------------------
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Snapshot the whole runtime as a JSON-serialisable dictionary.
+
+        Drains every shard first, so the snapshot is a consistent barrier:
+        it reflects exactly the tuples fed before this call.  The snapshot
+        records the routing topology (shard count, partition field, router
+        epoch); :meth:`restore_state` refuses a topology mismatch, because
+        per-shard run tables are only valid under the routing that built
+        them.
+        """
+        self._raise_if_failed()
+        self._ensure_running()
+        self.drain()
+        shard_states = self._broadcast("capture_state", None)
+        clock_now = self.clock.now() if isinstance(self.clock, SimulatedClock) else None
+        return {
+            "kind": "sharded-runtime",
+            "router": {
+                "shard_count": self.router.shard_count,
+                "partition_field": self.router.partition_field,
+                "epoch": self.router.epoch,
+            },
+            "tuples_processed": self.tuples_processed,
+            "clock": clock_now,
+            "queries": [
+                {
+                    "name": name,
+                    "text": self._queries[name].query.to_query(),
+                    "enabled": self._queries[name].enabled,
+                }
+                for name in sorted(self._queries)
+            ],
+            "detections": [d.to_state() for d in self._log.entries()],
+            "shards": {str(shard_id): state for shard_id, state in enumerate(shard_states)},
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`capture_state` snapshot into this runtime.
+
+        Queries missing parent-side are re-deployed from their captured
+        text (which broadcasts the standard ``deploy`` to every shard);
+        each shard then restores its own engine state in place.  The
+        parent's merged detection log is restored from the snapshot.
+
+        Raises
+        ------
+        repro.errors.SerializationError
+            If ``state`` is not a sharded-runtime snapshot.
+        repro.errors.SnapshotError
+            If the snapshot's routing topology (shard count, partition
+            field or router epoch) differs from this runtime's — per-shard
+            state cannot be re-routed here; re-sharding a snapshot is a
+            separate migration.
+        """
+        if state.get("kind") != "sharded-runtime":
+            raise SerializationError(
+                f"cannot restore a ShardedRuntime from a "
+                f"{state.get('kind')!r} state blob"
+            )
+        router_state = state.get("router", {})
+        mine = {
+            "shard_count": self.router.shard_count,
+            "partition_field": self.router.partition_field,
+            "epoch": self.router.epoch,
+        }
+        if dict(router_state) != mine:
+            raise SnapshotError(
+                f"snapshot routing topology {dict(router_state)!r} does not "
+                f"match this runtime's {mine!r}; restore into a runtime with "
+                f"the same sharding (re-sharding snapshots is not supported)"
+            )
+        self._raise_if_failed()
+        self._ensure_running()
+        for entry in state.get("queries", []):
+            if entry["name"] not in self._queries:
+                self.register_query(entry["text"], name=entry["name"])
+            handle = self._queries[entry["name"]]
+            handle.enabled = bool(entry.get("enabled", True))
+        for shard_id, shard in enumerate(self._shards):
+            shard_state = state.get("shards", {}).get(str(shard_id))
+            if shard_state is not None:
+                shard.control("restore_state", shard_state)
+        self._log.restore(
+            [Detection.from_state(d) for d in state.get("detections", [])]
+        )
+        clock_now = state.get("clock")
+        if clock_now is not None and isinstance(self.clock, SimulatedClock):
+            if clock_now > self.clock.now():
+                self.clock.set(clock_now)
+        self.tuples_processed = int(state.get("tuples_processed", 0))
 
     # -- detections --------------------------------------------------------------------
 

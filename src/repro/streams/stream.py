@@ -75,6 +75,20 @@ class StreamStats:
         self.delivered = 0
         self.dropped = 0
 
+    def snapshot(self) -> Dict[str, int]:
+        """A JSON-serialisable copy of the counters (snapshot format)."""
+        return {
+            "pushed": self.pushed,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+        }
+
+    def restore(self, state: Mapping[str, int]) -> None:
+        """Overwrite the counters from a :meth:`snapshot` copy."""
+        self.pushed = int(state.get("pushed", 0))
+        self.delivered = int(state.get("delivered", 0))
+        self.dropped = int(state.get("dropped", 0))
+
 
 @dataclass
 class Subscription:
@@ -172,6 +186,27 @@ class Stream:
     @property
     def paused(self) -> bool:
         return self._paused
+
+    # -- state capture / restore ---------------------------------------------------
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Snapshot the stream's durable facts (counters, pause flag).
+
+        Subscriptions are *wiring*, not state — recovery rebuilds them by
+        redeploying queries and views — so only the counters and the pause
+        flag are captured.
+        """
+        return {
+            "kind": "stream",
+            "name": self.name,
+            "paused": self._paused,
+            "stats": self.stats.snapshot(),
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Restore counters and pause flag from :meth:`capture_state`."""
+        self._paused = bool(state.get("paused", False))
+        self.stats.restore(state.get("stats", {}))
 
     # -- data path ------------------------------------------------------------------
 

@@ -137,6 +137,36 @@ class KinectTransformer:
         """Current smoothed forearm scale of one player (``None`` if unseen)."""
         return self._scales.get(partition)
 
+    # -- state capture / restore --------------------------------------------------------
+
+    def capture_state(self) -> Dict[str, Any]:
+        """Snapshot the smoothing state as a JSON-serialisable dictionary.
+
+        Partition keys are stored as ``[key, value]`` pairs (JSON objects
+        only allow string keys, player ids are usually ints); the eviction
+        sweep phase rides along in ``frames_transformed`` so a restored
+        transformer sweeps on exactly the frames the original would have.
+        """
+        return {
+            "kind": "kinect-transformer",
+            "scales": [[key, scale] for key, scale in self._scales.items()],
+            "last_seen": [[key, seen] for key, seen in self._last_seen.items()],
+            "frames_transformed": self.frames_transformed,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Replace the smoothing state with a :meth:`capture_state` snapshot."""
+        if state.get("kind") != "kinect-transformer":
+            from repro.errors import SerializationError
+
+            raise SerializationError(
+                f"cannot restore a KinectTransformer from a "
+                f"{state.get('kind')!r} state blob"
+            )
+        self._scales = {key: float(scale) for key, scale in state["scales"]}
+        self._last_seen = {key: float(seen) for key, seen in state["last_seen"]}
+        self.frames_transformed = int(state["frames_transformed"])
+
     def _current_scale(self, frame: Mapping[str, float]) -> float:
         cfg = self.config
         key = frame.get(cfg.partition_field) if cfg.partition_field is not None else None

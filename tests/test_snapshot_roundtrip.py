@@ -1,0 +1,217 @@
+"""Snapshot round-trips: capture → JSON → restore → identical behaviour.
+
+The matrix covers the matcher execution paths (interpreted vs compiled
+predicates, per-tuple vs batched delivery) and both partitioning modes
+(per-player and global run tables).  "Identical" is asserted the strong
+way: after restoring into a fresh engine, feeding the *same subsequent
+tuples* to the original and the restored stack must produce byte-identical
+detection state — partial matches survive the round-trip, not just
+finished results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import DurabilityConfig, F, GestureSession, Q, SessionConfig
+from repro.cep import CEPEngine
+from repro.cep.matcher import MatcherConfig
+from repro.errors import RecoveryError, SessionClosedError, SessionStateError
+from repro.streams import SimulatedClock
+
+UP_DOWN = (
+    Q.stream("kinect_t")
+    .where(F("rhand_y") > 400)
+    .then(F("rhand_y") < 150)
+    .within(5.0)
+    .named("up_down")
+)
+
+
+def frames(count, start=0):
+    """Interleaved multi-player frames; odd frames complete the sequence."""
+    return [
+        {
+            "ts": float(i),
+            "player": i % 3,
+            "rhand_y": 500.0 if i % 2 == 0 else 100.0,
+        }
+        for i in range(start, start + count)
+    ]
+
+
+def feed(engine, records, batch_size):
+    engine.push_many("kinect_t", records, batch_size=batch_size)
+
+
+def detection_states(engine, name=None):
+    return [d.to_state() for d in engine.detections(name)]
+
+
+class TestEngineRoundTrip:
+    @pytest.mark.parametrize("compile_predicates", [True, False])
+    @pytest.mark.parametrize("partition_field", ["player", None])
+    @pytest.mark.parametrize("batch_size", [None, 4])
+    def test_round_trip_preserves_subsequent_detections(
+        self, compile_predicates, partition_field, batch_size
+    ):
+        config = MatcherConfig(
+            compile_predicates=compile_predicates, partition_field=partition_field
+        )
+        original = CEPEngine(clock=SimulatedClock(), matcher_config=config)
+        original.register_query(UP_DOWN, name="up_down", create_missing_streams=True)
+        # Stop on an even frame: partial matches are in flight per player.
+        feed(original, frames(7), batch_size)
+
+        # The snapshot must survive an actual JSON round-trip.
+        state = json.loads(json.dumps(original.capture_state()))
+        restored = CEPEngine(clock=SimulatedClock(), matcher_config=config)
+        restored.restore_state(state)
+
+        assert detection_states(restored) == detection_states(original)
+        feed(original, frames(8, start=7), batch_size)
+        feed(restored, frames(8, start=7), batch_size)
+        assert detection_states(restored) == detection_states(original)
+        # The full captured state converges too (run tables, counters).
+        after_a = original.capture_state()
+        after_b = restored.capture_state()
+        assert after_a["queries"] == after_b["queries"]
+        assert after_a["tuples_processed"] == after_b["tuples_processed"]
+
+    def test_restore_rejects_wrong_kind(self):
+        engine = CEPEngine(clock=SimulatedClock())
+        with pytest.raises(Exception):
+            engine.restore_state({"kind": "something-else"})
+
+
+class TestSessionRoundTrip:
+    def test_inline_recover_equivalence_with_batched_feed(self, tmp_path):
+        live = GestureSession(
+            config=SessionConfig(batch_size=4),
+            durability=DurabilityConfig(tmp_path),
+        )
+        live.start()
+        live.deploy(UP_DOWN)
+        live.feed(frames(7), stream="kinect_t")
+        live.snapshot()
+        live.feed(frames(8, start=7), stream="kinect_t")
+        expected = [d.to_state() for d in live.detections()]
+        expected_events = [event.gesture for event in live.events]
+        # Crash: the session is dropped without close().
+
+        recovered = GestureSession.recover(
+            DurabilityConfig(tmp_path), config=SessionConfig(batch_size=4)
+        )
+        assert [d.to_state() for d in recovered.detections()] == expected
+        assert [event.gesture for event in recovered.events] == expected_events
+
+        # Subsequent detections stay identical on both stacks.
+        live.feed(frames(6, start=15), stream="kinect_t")
+        recovered.feed(frames(6, start=15), stream="kinect_t")
+        assert [d.to_state() for d in recovered.detections()] == [
+            d.to_state() for d in live.detections()
+        ]
+        live.close()
+        recovered.close()
+
+    def test_transformer_state_survives_the_snapshot(self, tmp_path, simulator, swipe):
+        performance = simulator.perform_variation(swipe)
+        live = GestureSession(durability=DurabilityConfig(tmp_path))
+        live.start()
+        live.feed(performance)  # raw kinect frames drive the kinect_t view
+        live.snapshot()
+        captured = live.transformer.capture_state()
+        assert captured is not None
+
+        recovered = GestureSession.recover(DurabilityConfig(tmp_path))
+        assert recovered.transformer.capture_state() == captured
+        live.close()
+        recovered.close()
+
+    def test_snapshot_requires_durability(self):
+        with GestureSession() as session:
+            with pytest.raises(SessionStateError):
+                session.snapshot()
+
+    def test_feed_after_close_raises_and_close_seals_the_log(self, tmp_path):
+        session = GestureSession(durability=DurabilityConfig(tmp_path))
+        session.start()
+        session.deploy(UP_DOWN)
+        session.feed(frames(4), stream="kinect_t")
+        manager = session.durability
+        session.close()
+        session.close()  # idempotent
+        assert manager.closed and manager.log.closed
+        assert (tmp_path / "manifest.json").exists()
+        with pytest.raises(SessionClosedError):
+            session.feed(frames(1), stream="kinect_t")
+
+    def test_inline_metrics_cover_durability(self, tmp_path):
+        with GestureSession(durability=DurabilityConfig(tmp_path)) as session:
+            session.deploy(UP_DOWN)
+            session.feed(frames(4), stream="kinect_t")
+            session.snapshot()
+            snapshot = session.metrics.snapshot()
+            assert snapshot["durability"]["entries_appended"] >= 2
+            assert snapshot["durability"]["snapshots_taken"] == 1
+            json.loads(session.metrics.to_json())  # satellite: serialisable
+
+
+class TestShardedRoundTrip:
+    CONFIG = SessionConfig(shards=4)
+
+    def test_sharded_recover_matches_inline_per_partition(self, tmp_path):
+        sharded = GestureSession(
+            config=self.CONFIG, durability=DurabilityConfig(tmp_path)
+        )
+        sharded.start()
+        sharded.deploy(UP_DOWN)
+        sharded.feed(frames(7), stream="kinect_t")
+        sharded.snapshot()
+        sharded.feed(frames(8, start=7), stream="kinect_t")
+        sharded.drain()
+        # Crash: stop the workers without close() (no log seal).
+        sharded.runtime.stop(drain=False)
+        sharded.runtime.join()
+
+        recovered = GestureSession.recover(DurabilityConfig(tmp_path), config=self.CONFIG)
+        recovered.feed(frames(6, start=15), stream="kinect_t")
+
+        with GestureSession() as inline:
+            inline.deploy(UP_DOWN)
+            inline.feed(frames(21), stream="kinect_t")
+            for partition in (0, 1, 2):
+                assert [
+                    d.to_state() for d in recovered.detections(partition=partition)
+                ] == [d.to_state() for d in inline.detections(partition=partition)]
+        assert recovered.metrics.snapshot()["durability"]["recoveries"] == 1
+        recovered.close()
+
+    def test_topology_mismatch_is_refused(self, tmp_path):
+        sharded = GestureSession(
+            config=self.CONFIG, durability=DurabilityConfig(tmp_path)
+        )
+        sharded.start()
+        sharded.deploy(UP_DOWN)
+        sharded.feed(frames(4), stream="kinect_t")
+        sharded.snapshot()
+        sharded.close()
+        with pytest.raises(RecoveryError, match="topology"):
+            GestureSession.recover(
+                DurabilityConfig(tmp_path), config=SessionConfig(shards=2)
+            )
+
+    def test_sharded_snapshot_survives_json(self, tmp_path):
+        session = GestureSession(
+            config=self.CONFIG, durability=DurabilityConfig(tmp_path)
+        )
+        session.start()
+        session.deploy(UP_DOWN)
+        session.feed(frames(9), stream="kinect_t")
+        state = session._capture_session_state()
+        round_tripped = json.loads(json.dumps(state))
+        assert round_tripped["engine"]["kind"] == "sharded-runtime"
+        assert round_tripped["engine"]["router"]["shard_count"] == 4
+        session.close()
