@@ -27,7 +27,7 @@ def test_c4_optimisation_reduces_detection_effort(benchmark, standard_workload):
     optimised = benchmark(optimise_all)
 
     per_gesture_rows = []
-    for name, (optimised_description, report) in sorted(optimised.items()):
+    for name, (_optimised_description, report) in sorted(optimised.items()):
         per_gesture_rows.append(
             {
                 "gesture": name,

@@ -1,0 +1,215 @@
+"""Command-line vocabulary linter: ``python -m repro.analysis``.
+
+Lints one or more vocabulary sources — JSON manifests mapping gesture
+names to query text, or SQLite gesture databases — and prints the
+analyzer's findings.  Exit status follows lint conventions:
+
+* ``0`` — no findings at or above the failure threshold,
+* ``1`` — findings at or above the threshold (``--strict`` lowers the
+  threshold from error to warning),
+* ``2`` — a source could not be read or parsed at all.
+
+Examples
+--------
+Lint two manifests, failing the build on error-severity findings::
+
+    python -m repro.analysis examples/vocabularies/*.json
+
+Fail on warnings too, and write machine-readable output for CI::
+
+    python -m repro.analysis --strict --json report.json vocab.json
+
+Lint the queries stored in a gesture database::
+
+    python -m repro.analysis gestures.db
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO, Tuple
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.rules import AnalysisContext
+from repro.analysis.vocabulary import VocabularyReport, analyze_vocabulary
+
+__all__ = ["main"]
+
+
+def _load_manifest(path: Path) -> Mapping[str, str]:
+    """Read a JSON vocabulary manifest into a name → query-text mapping.
+
+    Accepts either a flat object (``{"wave": "SELECT ..."}``) or an
+    object with a ``"queries"`` key holding that mapping, so manifests
+    can carry extra metadata.
+    """
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if isinstance(payload, dict) and isinstance(payload.get("queries"), dict):
+        payload = payload["queries"]
+    if not isinstance(payload, dict) or not payload:
+        raise ValueError(
+            f"{path}: expected a non-empty JSON object mapping gesture "
+            f"names to query text (optionally under a 'queries' key)"
+        )
+    bad = [name for name, text in payload.items() if not isinstance(text, str)]
+    if bad:
+        raise ValueError(
+            f"{path}: query text for {', '.join(sorted(bad))} is not a string"
+        )
+    return {str(name): text for name, text in payload.items()}
+
+
+def _analyze_source(path: Path, context: AnalysisContext) -> VocabularyReport:
+    """Analyse one source file (JSON manifest or SQLite database)."""
+    if path.suffix in (".db", ".sqlite", ".sqlite3"):
+        from repro.storage.database import GestureDatabase
+
+        database = GestureDatabase(str(path))
+        try:
+            return analyze_vocabulary(database, context=context)
+        finally:
+            database.close()
+    return analyze_vocabulary(_load_manifest(path), context=context)
+
+
+def _print_report(source: str, report: VocabularyReport, out: TextIO) -> None:
+    counts = report.to_dict()["summary"]
+    print(
+        f"{source}: {len(report.queries)} queries — "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info",
+        file=out,
+    )
+    for diagnostic in report.diagnostics:
+        print(f"  {diagnostic.describe()}", file=out)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Statically analyse gesture-query vocabularies: unsatisfiable "
+            "and dead pattern steps, time-window coverage, policy sanity, "
+            "partition safety, duplicates/subsumption, and predicate "
+            "factoring opportunities."
+        ),
+    )
+    parser.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SOURCE",
+        help=(
+            "vocabulary sources: JSON manifests (gesture name -> query "
+            "text, optionally under a 'queries' key) or SQLite gesture "
+            "databases (*.db, *.sqlite, *.sqlite3)"
+        ),
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warning-severity findings too, not just errors",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write all reports as a JSON document to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--partition-field",
+        default=None,
+        metavar="FIELD",
+        help=(
+            "partition field the deployment will shard on (enables the "
+            "QA030/QA031 partition-safety rules; default: the engine "
+            "default field)"
+        ),
+    )
+    parser.add_argument(
+        "--ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "run_ttl_seconds of the target deployment; downgrades the "
+            "uncovered-'within' finding from QA010 to informational QA011"
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-finding output; print only the summary lines",
+    )
+    return parser
+
+
+def _make_context(args: argparse.Namespace) -> AnalysisContext:
+    kwargs: Dict[str, Any] = {"run_ttl_seconds": args.ttl}
+    if args.partition_field is not None:
+        kwargs["partition_field"] = args.partition_field
+    return AnalysisContext(**kwargs)
+
+
+def main(argv: Optional[Sequence[str]] = None, out: Optional[TextIO] = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    # Resolve the stream at call time so test harnesses that swap
+    # sys.stdout (pytest's capsys) see the output.
+    out = sys.stdout if out is None else out
+    args = _build_parser().parse_args(argv)
+    context = _make_context(args)
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+
+    reports: List[Tuple[str, VocabularyReport]] = []
+    failed_sources: List[str] = []
+    for source in args.sources:
+        path = Path(source)
+        try:
+            report = _analyze_source(path, context)
+        except Exception as exc:  # noqa: BLE001 — CLI boundary: report and continue
+            failed_sources.append(source)
+            print(f"{source}: cannot analyse: {exc}", file=sys.stderr)
+            continue
+        reports.append((source, report))
+        if args.quiet:
+            counts = report.to_dict()["summary"]
+            print(
+                f"{source}: {len(report.queries)} queries — "
+                f"{counts['error']} error(s), {counts['warning']} warning(s), "
+                f"{counts['info']} info",
+                file=out,
+            )
+        else:
+            _print_report(source, report, out)
+
+    if args.json is not None:
+        payload = {
+            "sources": {source: report.to_dict() for source, report in reports},
+            "failed_sources": failed_sources,
+            "strict": args.strict,
+        }
+        if args.json == "-":
+            json.dump(payload, out, indent=2, sort_keys=True)
+            print(file=out)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+
+    if failed_sources:
+        return 2
+    gating = {Severity.ERROR} if threshold is Severity.ERROR else {
+        Severity.ERROR,
+        Severity.WARNING,
+    }
+    for _, report in reports:
+        if any(d.severity in gating for d in report.diagnostics):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

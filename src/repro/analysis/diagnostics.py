@@ -1,0 +1,157 @@
+"""Typed diagnostics with stable codes, and the deploy-time gate.
+
+Every finding of the static analyzer is a :class:`Diagnostic`: a stable
+``QAxxx`` code, a :class:`Severity`, a human-readable message, and the
+query / step it anchors to.  Codes are API — tests, CI gates and
+downstream tooling match on them — so they are never renumbered; new
+rules get new codes.  ``docs/analysis.md`` is the code reference.
+
+:func:`gate_diagnostics` implements the shared ``analyze=`` deployment
+gate: ``"off"`` skips analysis entirely, ``"warn"`` surfaces findings as
+:class:`QueryAnalysisWarning` Python warnings, and ``"strict"``
+additionally rejects error-severity findings with a typed
+:class:`~repro.errors.QueryAnalysisError`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import QueryAnalysisError
+
+__all__ = [
+    "ANALYZE_MODES",
+    "Diagnostic",
+    "QueryAnalysisWarning",
+    "Severity",
+    "gate_diagnostics",
+    "validate_analyze_mode",
+]
+
+#: The deploy-time gating modes accepted by ``analyze=``.
+ANALYZE_MODES: Tuple[str, ...] = ("off", "warn", "strict")
+
+
+class Severity(str, Enum):
+    """How serious a diagnostic is.
+
+    ``ERROR`` findings mean the query (or vocabulary) is broken — it can
+    never fire, or silently loses detections; ``"strict"`` deployments
+    reject them.  ``WARNING`` findings are very likely mistakes but the
+    query still runs.  ``INFO`` findings are observations (factoring
+    opportunities, policy notes) that never gate a deployment.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+#: Rank used to sort diagnostics most-severe-first.
+_SEVERITY_RANK = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    Attributes
+    ----------
+    code:
+        Stable ``QAxxx`` identifier (see ``docs/analysis.md``).
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        Human-readable, self-contained explanation.
+    query:
+        Registration name of the query the finding anchors to, or ``None``
+        for vocabulary-level findings.
+    step:
+        0-based flattened step index within the query's pattern, or
+        ``None`` for query- and vocabulary-level findings.
+    detail:
+        Structured machine-readable payload (interval descriptions,
+        related query names, …); JSON-serialisable by construction.
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    query: Optional[str] = None
+    step: Optional[int] = None
+    detail: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable rendering (the CLI's ``--json`` format)."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "query": self.query,
+            "step": self.step,
+            "detail": dict(self.detail),
+        }
+
+    def describe(self) -> str:
+        """One-line human rendering: ``error QA001 [query:2] message``."""
+        anchor = ""
+        if self.query is not None:
+            anchor = f" [{self.query}]" if self.step is None else f" [{self.query}:{self.step}]"
+        return f"{self.severity.value} {self.code}{anchor} {self.message}"
+
+
+def sort_diagnostics(diagnostics: Sequence[Diagnostic]) -> Tuple[Diagnostic, ...]:
+    """Stable most-severe-first ordering (then by code, query, step)."""
+    return tuple(
+        sorted(
+            diagnostics,
+            key=lambda d: (
+                _SEVERITY_RANK[d.severity],
+                d.code,
+                d.query or "",
+                -1 if d.step is None else d.step,
+            ),
+        )
+    )
+
+
+class QueryAnalysisWarning(UserWarning):
+    """Python warning carrying analyzer findings in ``analyze="warn"`` mode."""
+
+
+def validate_analyze_mode(mode: str) -> str:
+    """Check an ``analyze=`` argument; returns it for chaining."""
+    if mode not in ANALYZE_MODES:
+        raise ValueError(
+            f"unknown analyze mode {mode!r}; expected one of {list(ANALYZE_MODES)}"
+        )
+    return mode
+
+
+def gate_diagnostics(
+    diagnostics: Sequence[Diagnostic],
+    mode: str,
+    subject: str = "query",
+) -> Sequence[Diagnostic]:
+    """Apply the deploy-time gate to analyzer findings.
+
+    ``"warn"`` emits one :class:`QueryAnalysisWarning` per error- or
+    warning-severity finding (info findings stay silent).  ``"strict"``
+    does the same for warnings but raises
+    :class:`~repro.errors.QueryAnalysisError` when any error-severity
+    finding is present.  Returns ``diagnostics`` unchanged so callers can
+    keep them.  ``mode`` must already be validated.
+    """
+    if mode == "off" or not diagnostics:
+        return diagnostics
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if mode == "strict" and errors:
+        raise QueryAnalysisError(subject=subject, diagnostics=sort_diagnostics(errors))
+    for diagnostic in sort_diagnostics(diagnostics):
+        if diagnostic.severity is Severity.INFO:
+            continue
+        warnings.warn(diagnostic.describe(), QueryAnalysisWarning, stacklevel=3)
+    return diagnostics

@@ -1,0 +1,250 @@
+"""Interval algebra for per-field predicate constraints.
+
+The analyzer lowers atomic comparisons over a single tuple field — the
+shape the query generator emits (``abs(rhand_x - 400) < 50``) — into sets
+of disjoint real intervals.  Conjunction becomes intersection, disjunction
+becomes union, negation becomes complement, and satisfiability of the
+dominant generated query shapes becomes *decidable*: an empty intersection
+is a query that can never fire.
+
+Bounds are closed or open; infinities are encoded as ``math.inf`` with the
+corresponding bound always open.  :class:`IntervalSet` is a normalised
+(sorted, disjoint, merged) immutable sequence of :class:`Interval`, so
+structural equality is semantic equality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["Interval", "IntervalSet"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One contiguous range of reals with open/closed endpoints."""
+
+    low: float
+    high: float
+    low_open: bool = False
+    high_open: bool = False
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.low) or math.isnan(self.high):
+            raise ValueError("interval bounds must not be NaN")
+        if math.isinf(self.low) and not self.low_open and self.low < 0:
+            object.__setattr__(self, "low_open", True)
+        if math.isinf(self.high) and not self.high_open and self.high > 0:
+            object.__setattr__(self, "high_open", True)
+
+    def is_empty(self) -> bool:
+        if self.low > self.high:
+            return True
+        if self.low == self.high:
+            return self.low_open or self.high_open
+        return False
+
+    def contains_value(self, value: float) -> bool:
+        if value < self.low or (value == self.low and self.low_open):
+            return False
+        if value > self.high or (value == self.high and self.high_open):
+            return False
+        return True
+
+    def intersect(self, other: "Interval") -> "Interval":
+        if self.low > other.low or (self.low == other.low and self.low_open):
+            low, low_open = self.low, self.low_open
+        else:
+            low, low_open = other.low, other.low_open
+        if self.high < other.high or (self.high == other.high and self.high_open):
+            high, high_open = self.high, self.high_open
+        else:
+            high, high_open = other.high, other.high_open
+        return Interval(low, high, low_open, high_open)
+
+    def _touches(self, other: "Interval") -> bool:
+        """Whether the union of ``self`` and ``other`` is contiguous."""
+        if self.low > other.low or (self.low == other.low and self.low_open and not other.low_open):
+            return other._touches(self)
+        if other.low < self.high:
+            return True
+        if other.low == self.high:
+            return not (self.high_open and other.low_open)
+        return False
+
+    def hull(self, other: "Interval") -> "Interval":
+        """Smallest interval containing both (only sound when touching)."""
+        if other.low < self.low or (other.low == self.low and other.low_open < self.low_open):
+            low, low_open = other.low, other.low_open
+        else:
+            low, low_open = self.low, self.low_open
+        if other.high > self.high or (other.high == self.high and other.high_open < self.high_open):
+            high, high_open = other.high, other.high_open
+        else:
+            high, high_open = self.high, self.high_open
+        return Interval(low, high, low_open, high_open)
+
+    def describe(self) -> str:
+        left = "(" if self.low_open else "["
+        right = ")" if self.high_open else "]"
+        low = "-inf" if math.isinf(self.low) else f"{self.low:g}"
+        high = "inf" if math.isinf(self.high) else f"{self.high:g}"
+        return f"{left}{low}, {high}{right}"
+
+    @staticmethod
+    def full() -> "Interval":
+        return Interval(-math.inf, math.inf, True, True)
+
+    @staticmethod
+    def point(value: float) -> "Interval":
+        return Interval(value, value)
+
+    @staticmethod
+    def at_most(bound: float, open_: bool = False) -> "Interval":
+        return Interval(-math.inf, bound, True, open_)
+
+    @staticmethod
+    def at_least(bound: float, open_: bool = False) -> "Interval":
+        return Interval(bound, math.inf, open_, True)
+
+
+class IntervalSet:
+    """An immutable, normalised union of disjoint :class:`Interval` objects."""
+
+    __slots__ = ("intervals",)
+
+    intervals: Tuple[Interval, ...]
+
+    def __init__(self, intervals: Iterable[Interval] = ()) -> None:
+        object.__setattr__(self, "intervals", _normalise(intervals))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("IntervalSet is immutable")
+
+    # -- predicates --------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    def is_full(self) -> bool:
+        return (
+            len(self.intervals) == 1
+            and math.isinf(self.intervals[0].low)
+            and self.intervals[0].low < 0
+            and math.isinf(self.intervals[0].high)
+            and self.intervals[0].high > 0
+        )
+
+    def contains_value(self, value: float) -> bool:
+        return any(interval.contains_value(value) for interval in self.intervals)
+
+    def covers(self, other: "IntervalSet") -> bool:
+        """Whether every point of ``other`` lies in ``self``."""
+        return other.intersect(self) == other
+
+    # -- algebra -----------------------------------------------------------------
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        pieces: List[Interval] = []
+        for mine in self.intervals:
+            for theirs in other.intervals:
+                piece = mine.intersect(theirs)
+                if not piece.is_empty():
+                    pieces.append(piece)
+        return IntervalSet(pieces)
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        return IntervalSet(self.intervals + other.intervals)
+
+    def affine(self, scale: float, offset: float) -> "IntervalSet":
+        """The image of the set under ``x -> scale * x + offset``.
+
+        Used to map a constraint on a linear term ``a*field + b`` back to
+        the field itself (``scale = 1/a``, ``offset = -b/a``).
+        """
+        if scale == 0:
+            raise ValueError("affine scale must be non-zero")
+        pieces: List[Interval] = []
+        for interval in self.intervals:
+            low = interval.low * scale + offset
+            high = interval.high * scale + offset
+            if scale > 0:
+                pieces.append(Interval(low, high, interval.low_open, interval.high_open))
+            else:
+                pieces.append(Interval(high, low, interval.high_open, interval.low_open))
+        return IntervalSet(pieces)
+
+    def complement(self) -> "IntervalSet":
+        result = IntervalSet.full()
+        for interval in self.intervals:
+            gaps: List[Interval] = []
+            if not (math.isinf(interval.low) and interval.low < 0):
+                gaps.append(Interval(-math.inf, interval.low, True, not interval.low_open))
+            if not (math.isinf(interval.high) and interval.high > 0):
+                gaps.append(Interval(interval.high, math.inf, not interval.high_open, True))
+            result = result.intersect(IntervalSet(gaps))
+        return result
+
+    # -- rendering / identity -----------------------------------------------------
+
+    def describe(self) -> str:
+        if self.is_empty():
+            return "∅"
+        return " ∪ ".join(interval.describe() for interval in self.intervals)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalSet) and self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self.describe()})"
+
+    # -- constructors ---------------------------------------------------------------
+
+    @staticmethod
+    def empty() -> "IntervalSet":
+        return IntervalSet(())
+
+    @staticmethod
+    def full() -> "IntervalSet":
+        return IntervalSet((Interval.full(),))
+
+    @staticmethod
+    def of(interval: Interval) -> "IntervalSet":
+        return IntervalSet((interval,))
+
+    @staticmethod
+    def from_comparison(operator: str, bound: float) -> Optional["IntervalSet"]:
+        """The solution set of ``x <operator> bound`` (``None`` if unknown)."""
+        if operator == "<":
+            return IntervalSet.of(Interval.at_most(bound, open_=True))
+        if operator == "<=":
+            return IntervalSet.of(Interval.at_most(bound))
+        if operator == ">":
+            return IntervalSet.of(Interval.at_least(bound, open_=True))
+        if operator == ">=":
+            return IntervalSet.of(Interval.at_least(bound))
+        if operator == "==":
+            return IntervalSet.of(Interval.point(bound))
+        if operator == "!=":
+            return IntervalSet.of(Interval.point(bound)).complement()
+        return None
+
+
+def _normalise(intervals: Iterable[Interval]) -> Tuple[Interval, ...]:
+    """Drop empties, sort, and merge touching intervals."""
+    kept: List[Interval] = sorted(
+        (interval for interval in intervals if not interval.is_empty()),
+        key=lambda interval: (interval.low, interval.low_open),
+    )
+    merged: List[Interval] = []
+    for interval in kept:
+        if merged and merged[-1]._touches(interval):
+            merged[-1] = merged[-1].hull(interval)
+        else:
+            merged.append(interval)
+    return tuple(merged)

@@ -351,12 +351,13 @@ class QueryBuilder:
         sequence exactly like the paper's left-nested generated queries.
         """
         node: PatternNode
-        if isinstance(step, (QueryBuilder, EventPattern, SequencePattern)):
-            if stream is not None or label:
-                raise QueryBuilderError(
-                    "stream= and label= apply only to predicate steps; a "
-                    "pre-built event, sequence or chain already carries its own"
-                )
+        if isinstance(step, (QueryBuilder, EventPattern, SequencePattern)) and (
+            stream is not None or label
+        ):
+            raise QueryBuilderError(
+                "stream= and label= apply only to predicate steps; a "
+                "pre-built event, sequence or chain already carries its own"
+            )
         if isinstance(step, QueryBuilder):
             node = _unwrap_trivial(step.pattern())
         elif isinstance(step, (EventPattern, SequencePattern)):

@@ -80,7 +80,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.api.dsl import Expr, QueryBuilder
 from repro.cep.engine import CEPEngine, DeployedQuery
@@ -163,6 +174,10 @@ class SessionConfig:
         ``"block"`` (default), ``"drop_oldest"`` or ``"error"``.
     queue_capacity:
         Per-shard queue bound, in tuples.
+    analyze:
+        Default static-analysis gate of :meth:`GestureSession.deploy` and
+        :meth:`GestureSession.deploy_vocabulary`: ``"off"`` (default),
+        ``"warn"`` or ``"strict"``.  See ``docs/analysis.md``.
     """
 
     matcher: MatcherConfig = field(default_factory=MatcherConfig)
@@ -177,10 +192,15 @@ class SessionConfig:
     shard_executor: str = "thread"
     backpressure: str = "block"
     queue_capacity: int = 2048
+    analyze: str = "off"
 
     def __post_init__(self) -> None:
         if not self.raw_stream or not self.view_stream:
             raise ValueError("stream names must be non-empty")
+        if self.analyze not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"analyze must be 'off', 'warn' or 'strict', not {self.analyze!r}"
+            )
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be at least 1 when given")
         if self.shards < 1:
@@ -604,6 +624,7 @@ class GestureSession:
         gesture: Union[GestureDescription, Query, str, Any],
         name: Optional[str] = None,
         sink: Optional[Sink] = None,
+        analyze: Optional[str] = None,
     ) -> DeployedQuery:
         """Deploy a gesture description, query, query text, or builder chain.
 
@@ -611,9 +632,16 @@ class GestureSession:
         dispatched to :meth:`on` handlers and collected in :attr:`events`.
         ``sink`` additionally attaches a :class:`~repro.cep.sinks.Sink` to
         the deployed query.
+
+        ``analyze`` gates the deployment through the static query analyzer:
+        ``"warn"`` surfaces findings as Python warnings, ``"strict"``
+        rejects error-severity findings with
+        :class:`~repro.errors.QueryAnalysisError`.  ``None`` (default)
+        falls back to :attr:`SessionConfig.analyze`.
         """
         self._ensure_started()
-        deployed = self.detector.deploy(gesture, name=name)
+        mode = self.config.analyze if analyze is None else analyze
+        deployed = self.detector.deploy(gesture, name=name, analyze=mode)
         if self._durability is not None:
             self._durability.log_control(
                 "deploy", {"name": deployed.name, "text": deployed.query.to_query()}
@@ -623,7 +651,10 @@ class GestureSession:
         return deployed
 
     def deploy_vocabulary(
-        self, source: Optional[VocabularySource] = None, enabled_only: bool = True
+        self,
+        source: Optional[VocabularySource] = None,
+        enabled_only: bool = True,
+        analyze: Optional[str] = None,
     ) -> List[str]:
         """Deploy a whole gesture vocabulary; returns the deployed names.
 
@@ -641,13 +672,23 @@ class GestureSession:
         — events and :meth:`on` handlers are keyed by that output, so give
         such entries a manifest key equal to their output unless you
         deliberately want a registration alias.
+
+        ``analyze`` (default: :attr:`SessionConfig.analyze`) gates the
+        *whole vocabulary* as one unit — including the cross-query
+        duplicate, subsumption and shared-predicate rules that per-query
+        deployment cannot see.  Entries that are raw sample lists are
+        learned on the fly and skip the pre-deployment analysis.
         """
         self._ensure_started()
+        mode = self.config.analyze if analyze is None else analyze
         if source is None:
             source = self.database
         if isinstance(source, GestureDatabase):
-            return self.detector.deploy_from_database(source, enabled_only=enabled_only)
-        deployed: List[str] = []
+            return self.detector.deploy_from_database(
+                source, enabled_only=enabled_only, analyze=mode
+            )
+
+        prepared: List[Tuple[str, Any]] = []
         for name, entry in source.items():
             if isinstance(entry, Expr):
                 raise QueryBuilderError(
@@ -658,8 +699,33 @@ class GestureSession:
                 # The manifest key supplies the output value unless the
                 # chain set one explicitly.
                 entry = entry.build(entry.output_value or name)
+            prepared.append((name, entry))
+
+        if mode != "off":
+            from repro.analysis import (
+                AnalysisContext,
+                analyze_vocabulary,
+                gate_diagnostics,
+                validate_analyze_mode,
+            )
+
+            validate_analyze_mode(mode)
+            analyzable = {
+                name: entry
+                for name, entry in prepared
+                if isinstance(entry, (GestureDescription, Query, str))
+            }
+            report = analyze_vocabulary(
+                analyzable, context=AnalysisContext.for_engine(self._engine)
+            )
+            gate_diagnostics(report.diagnostics, mode, subject="vocabulary")
+
+        deployed: List[str] = []
+        for name, entry in prepared:
             if isinstance(entry, (GestureDescription, Query, str)):
-                self.deploy(entry, name=name)
+                # Already analysed (and gated) above as part of the
+                # vocabulary; skip per-query re-analysis.
+                self.deploy(entry, name=name, analyze="off")
             else:
                 self.learn(name, entry, deploy=True)
             deployed.append(name)

@@ -31,7 +31,18 @@ identical predicates, keyed by their canonical ``to_query()`` text.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, Dict, FrozenSet, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.errors import ExpressionError, UnknownFunctionError
 
@@ -83,6 +94,18 @@ class Expression(ABC):
     def children(self) -> Tuple["Expression", ...]:
         """Immediate sub-expressions (empty for leaves)."""
         return ()
+
+    def walk(self) -> Iterator["Expression"]:
+        """Yield this node and every descendant, pre-order.
+
+        The traversal is iterative, so degenerate deeply-nested
+        expressions cannot blow the recursion limit.
+        """
+        stack: List[Expression] = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.to_query()!r})"
@@ -231,9 +254,10 @@ class BinaryOp(Expression):
 
     def _render(self, child: Expression) -> str:
         # Parenthesise nested additive expressions under * or / for clarity.
-        if isinstance(child, (BinaryOp, Comparison, BooleanOp)):
-            if self.operator in ("*", "/") or isinstance(child, (Comparison, BooleanOp)):
-                return f"({child.to_query()})"
+        if isinstance(child, (BinaryOp, Comparison, BooleanOp)) and (
+            self.operator in ("*", "/") or isinstance(child, (Comparison, BooleanOp))
+        ):
+            return f"({child.to_query()})"
         return child.to_query()
 
     def fields(self) -> FrozenSet[str]:
@@ -379,7 +403,9 @@ class BooleanOp(Expression):
         if self.operator == "and":
 
             def conjunction(record: EvaluationContext) -> bool:
-                for predicate in compiled:
+                # Explicit loop, not all(...): this closure runs per tuple per
+                # query and a generator frame per call is measurable.
+                for predicate in compiled:  # noqa: SIM110
                     if not predicate(record):
                         return False
                 return True
@@ -387,7 +413,7 @@ class BooleanOp(Expression):
             return conjunction
 
         def disjunction(record: EvaluationContext) -> bool:
-            for predicate in compiled:
+            for predicate in compiled:  # noqa: SIM110 — hot path, see conjunction
                 if predicate(record):
                     return True
             return False

@@ -730,7 +730,8 @@ class NFAMatcher:
 
     def _satisfies_constraints(self, run: _Run, timestamp: float) -> bool:
         """Check the ``within`` constraints that end at the step being entered."""
-        for constraint in self._constraints_ending[run.next_step]:
+        # Explicit loop, not all(...): runs once per candidate tuple per run.
+        for constraint in self._constraints_ending[run.next_step]:  # noqa: SIM110
             if timestamp - run.step_timestamps[constraint.first] > constraint.seconds:
                 return False
         return True
@@ -758,9 +759,12 @@ class NFAMatcher:
                     expired.append(run)
                     break
             else:
-                if not constraints and ttl is not None:
-                    if timestamp - run.start_timestamp > ttl:
-                        expired.append(run)
+                if (
+                    not constraints
+                    and ttl is not None
+                    and timestamp - run.start_timestamp > ttl
+                ):
+                    expired.append(run)
         # Emptied partitions are dropped by _process_tuple's cleanup (pruning
         # is always followed by processing a tuple of the same partition);
         # popping here would orphan the list _process_tuple still appends to.

@@ -80,10 +80,10 @@ class Window:
         shared = set(self.center) & set(other.center)
         if not shared:
             return False
-        for name in shared:
-            if self.lower(name) >= other.upper(name) or other.lower(name) >= self.upper(name):
-                return False
-        return True
+        return all(
+            self.lower(name) < other.upper(name) and other.lower(name) < self.upper(name)
+            for name in shared
+        )
 
     def intersection_volume_ratio(self, other: "Window") -> float:
         """Overlap volume divided by this window's volume (shared dims only)."""

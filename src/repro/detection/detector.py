@@ -87,12 +87,15 @@ class GestureDetector:
         self,
         gesture: Union[GestureDescription, Query, str, Any],
         name: Optional[str] = None,
+        analyze: str = "off",
     ) -> DeployedQuery:
         """Deploy a gesture description, a query object, query text, or a
         fluent builder chain (anything with a ``build() -> Query`` method).
 
         Returns the engine's deployed-query handle.  The gesture becomes
         active immediately; previously deployed gestures keep running.
+        ``analyze`` gates the deployment through the static query analyzer
+        (see :meth:`repro.cep.engine.CEPEngine.register_query`).
         """
         if isinstance(gesture, GestureDescription):
             query: Union[Query, str] = self.generator.generate(gesture)
@@ -107,14 +110,40 @@ class GestureDetector:
             name=registration,
             sink=sink,
             create_missing_streams=True,
+            analyze=analyze,
         )
         self._deployed[deployed.name] = deployed
         return deployed
 
     def deploy_from_database(
-        self, database: GestureDatabase, enabled_only: bool = True
+        self, database: GestureDatabase, enabled_only: bool = True, analyze: str = "off"
     ) -> List[str]:
-        """Deploy every gesture stored in ``database``; return their names."""
+        """Deploy every gesture stored in ``database``; return their names.
+
+        With ``analyze`` other than ``"off"`` the whole vocabulary is
+        analysed first — including the cross-query duplicate, subsumption
+        and factoring rules — and gated as one unit, then the individual
+        deployments skip re-analysis.
+        """
+        if analyze != "off":
+            from repro.analysis import (
+                AnalysisContext,
+                analyze_vocabulary,
+                gate_diagnostics,
+                validate_analyze_mode,
+            )
+
+            validate_analyze_mode(analyze)
+            # Analyse exactly the queries the loop below will deploy: same
+            # enabled filter, same generator configuration.
+            queries = {
+                record.name: self.generator.generate(record.description)
+                for record in database.all_gestures(enabled_only=enabled_only)
+            }
+            report = analyze_vocabulary(
+                queries, context=AnalysisContext.for_engine(self.engine)
+            )
+            gate_diagnostics(report.diagnostics, analyze, subject="vocabulary")
         deployed: List[str] = []
         for record in database.all_gestures(enabled_only=enabled_only):
             self.deploy(record.description)

@@ -9,6 +9,8 @@ workflow controller.
 
 from __future__ import annotations
 
+from typing import Any, Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
@@ -78,6 +80,41 @@ class UnknownQueryError(QueryRegistrationError):
 class QueryBuilderError(CEPError):
     """A fluent query-builder chain is incomplete or inconsistent
     (no event patterns, missing output name, unknown policy …)."""
+
+
+class QueryAnalysisError(QueryRegistrationError):
+    """A strict-mode deployment was rejected by the static query analyzer.
+
+    Raised by ``analyze="strict"`` deployments when the analyzer reports
+    error-severity findings.  Subclasses :class:`QueryRegistrationError`
+    so existing deployment error handlers keep working.
+
+    Attributes
+    ----------
+    diagnostics:
+        The error-severity :class:`repro.analysis.Diagnostic` findings
+        that caused the rejection, most severe first.
+    codes:
+        The distinct diagnostic codes involved, sorted.
+    """
+
+    def __init__(
+        self,
+        subject: str = "query",
+        diagnostics: "Sequence[Any]" = (),
+        message: str = "",
+    ) -> None:
+        self.diagnostics = tuple(diagnostics)
+        self.codes = sorted({d.code for d in self.diagnostics})
+        if not message:
+            lines = [
+                f"static analysis rejected {subject}: "
+                f"{len(self.diagnostics)} error-severity finding(s) "
+                f"[{', '.join(self.codes)}]"
+            ]
+            lines.extend(f"  {d.describe()}" for d in self.diagnostics)
+            message = "\n".join(lines)
+        super().__init__(message)
 
 
 class UnknownFunctionError(ExpressionError):

@@ -312,7 +312,9 @@ class EventLog:
     def _open_segment(self) -> None:
         path = self.directory / _segment_name(self._segment_index)
         try:
-            self._file = open(path, "xb")
+            # Long-lived segment handle; closed by rotate()/close(), so a
+            # context manager cannot own it.
+            self._file = open(path, "xb")  # noqa: SIM115
         except OSError as exc:
             raise EventLogError(f"cannot create log segment {path}: {exc}") from exc
         header = dump_envelope(

@@ -13,6 +13,7 @@ library-wide format-evolution scheme.
 
 from __future__ import annotations
 
+import contextlib
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -96,10 +97,9 @@ class SnapshotStore:
             return
         paths = self.paths()
         for path in paths[: -self.keep_last]:
-            try:
+            # A vanished or busy file is not worth failing a save.
+            with contextlib.suppress(OSError):
                 path.unlink()
-            except OSError:
-                pass  # a vanished or busy file is not worth failing a save
 
     # -- reading -----------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ land on one shard, preserving their relative order too.
 
 from __future__ import annotations
 
+import contextlib
 import zlib
 from typing import Any, Iterable, List, Mapping, Sequence
 
@@ -118,10 +119,8 @@ class HashPartitionRouter:
                 shard = cache[key]
             except (KeyError, TypeError):
                 shard = self.shard_for_key(key)
-                try:
+                with contextlib.suppress(TypeError):
                     cache[key] = shard
-                except TypeError:
-                    pass
             buckets[shard].append(record)
         return buckets
 

@@ -38,6 +38,7 @@ does **not** kill the shard.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import threading
 import time
@@ -615,14 +616,12 @@ class ProcessShard(_ShardBase):
             return
         self._stopped = True
         if drain and not self.failed:
-            try:
+            # Best-effort drain on shutdown.
+            with contextlib.suppress(Exception):
                 self.control("flush", timeout=timeout)
-            except Exception:  # noqa: BLE001 — best-effort drain on shutdown
-                pass
-        try:
+        # The child may already be gone.
+        with contextlib.suppress(Exception):
             self._in_queue.put(("stop",))
-        except Exception:  # noqa: BLE001 — the child may already be gone
-            pass
 
     def join(self, timeout: Optional[float] = None) -> None:
         if not self._started:

@@ -45,6 +45,7 @@ Example
 
 from __future__ import annotations
 
+import contextlib
 import threading
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Mapping, Optional, Union
@@ -380,6 +381,7 @@ class ShardedRuntime:
         matcher_config: Optional[MatcherConfig] = None,
         create_missing_streams: bool = True,
         partition_field: Optional[str] = _UNSET,
+        analyze: str = "off",
     ) -> ShardedQuery:
         """Deploy a query on **every** shard; returns the fan-out handle.
 
@@ -413,6 +415,26 @@ class ShardedRuntime:
                 f"hash-arbitrary subset of its partitions. Deploy with a "
                 f"matching partition_field, or run this query on an inline "
                 f"engine."
+            )
+        if analyze != "off":
+            # Gate coordinator-side, before the deploy broadcast: a rejected
+            # query must never reach any shard.
+            from repro.analysis import (
+                AnalysisContext,
+                analyze_query,
+                gate_diagnostics,
+                validate_analyze_mode,
+            )
+
+            validate_analyze_mode(analyze)
+            context = AnalysisContext(
+                partition_field=effective_field,
+                run_ttl_seconds=base_config.run_ttl_seconds,
+            )
+            gate_diagnostics(
+                analyze_query(query, context=context, name=registration_name),
+                analyze,
+                subject=f"query '{registration_name}'",
             )
         override = None if partition_field is _UNSET else (partition_field,)
         handle = ShardedQuery(self, query, registration_name)
@@ -639,9 +661,12 @@ class ShardedRuntime:
             [Detection.from_state(d) for d in state.get("detections", [])]
         )
         clock_now = state.get("clock")
-        if clock_now is not None and isinstance(self.clock, SimulatedClock):
-            if clock_now > self.clock.now():
-                self.clock.set(clock_now)
+        if (
+            clock_now is not None
+            and isinstance(self.clock, SimulatedClock)
+            and clock_now > self.clock.now()
+        ):
+            self.clock.set(clock_now)
         self.tuples_processed = int(state.get("tuples_processed", 0))
 
     # -- detections --------------------------------------------------------------------
@@ -745,10 +770,9 @@ class ShardedRuntime:
         if threading.get_ident() in self._worker_idents:
             return
         if self._started and not self._stopped and not self.failed:
-            try:
+            # The failure surfaces on feed/drain; reads stay usable.
+            with contextlib.suppress(ShardFailedError):
                 self.drain()
-            except ShardFailedError:
-                pass  # the failure surfaces on feed/drain; reads stay usable
 
     def _broadcast(self, op: str, payload: Any) -> List[Any]:
         """Run a control on every shard; first error wins after all acks."""

@@ -20,6 +20,7 @@ evolution happens in exactly one way everywhere.
 
 from __future__ import annotations
 
+import contextlib
 import json
 from typing import Any, Callable, Dict, Mapping, Optional
 
@@ -64,10 +65,9 @@ def dump_envelope(
         )
     document = {"version": version, "kind": kind, **payload}
     if _orjson is not None and not sort_keys:
-        try:
+        # The stdlib coerces more key types; on TypeError retry below.
+        with contextlib.suppress(TypeError):
             return _orjson.dumps(document).decode("utf-8")
-        except TypeError:
-            pass  # the stdlib coerces more key types; retry below
     try:
         return json.dumps(document, sort_keys=sort_keys)
     except (TypeError, ValueError) as exc:

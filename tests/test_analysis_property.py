@@ -1,0 +1,157 @@
+"""Property test: generator-produced vocabularies are always analysis-clean.
+
+The analyzer's soundness contract is that it never reports an
+error-severity diagnostic for a query the paper's ``QueryGenerator``
+can emit from a valid learned gesture description: every learned
+abs-window has positive width (so every step is satisfiable) and the
+generator always attaches a ``within`` clause derived from the observed
+gesture duration (so every wait state is time-bounded).
+
+Hypothesis drives ≥200 random vocabularies through the full
+learn-side pipeline (``GestureDescription`` → ``QueryGenerator`` →
+``analyze_vocabulary``) and asserts zero errors.  A companion
+known-bad corpus pins down that the analyzer still *does* flag each
+class of genuinely broken query — so a vacuous analyzer cannot pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Severity, analyze_query, analyze_vocabulary
+from repro.core import GestureDescription, PoseWindow, QueryGenConfig, QueryGenerator, Window
+
+FIELDS = ("rhand_x", "rhand_y", "rhand_z", "lhand_x", "lhand_y", "head_y")
+
+
+def windows(fields):
+    """Strategy: a Window over the given fields with positive widths."""
+    centers = st.floats(min_value=-2000.0, max_value=2000.0, allow_nan=False)
+    widths = st.floats(min_value=0.01, max_value=500.0, allow_nan=False)
+    return st.tuples(
+        st.tuples(*[centers for _ in fields]), st.tuples(*[widths for _ in fields])
+    ).map(
+        lambda cw: Window(
+            center=dict(zip(fields, cw[0])), width=dict(zip(fields, cw[1]))
+        )
+    )
+
+
+@st.composite
+def descriptions(draw, name):
+    fields = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(FIELDS), min_size=1, max_size=3, unique=True
+            )
+        )
+    )
+    pose_count = draw(st.integers(min_value=1, max_value=4))
+    poses = [
+        PoseWindow(index, draw(windows(fields)), support=draw(st.integers(1, 50)))
+        for index in range(pose_count)
+    ]
+    max_duration = draw(st.floats(min_value=0.1, max_value=12.0, allow_nan=False))
+    return GestureDescription(
+        name=name,
+        poses=poses,
+        joints=sorted({field.rsplit("_", 1)[0] for field in fields}),
+        sample_count=draw(st.integers(1, 100)),
+        mean_duration_s=max_duration / 2.0,
+        max_duration_s=max_duration,
+    )
+
+
+@st.composite
+def generator_configs(draw):
+    return QueryGenConfig(
+        nested=draw(st.booleans()),
+        coordinate_precision=draw(st.integers(min_value=0, max_value=2)),
+        within_slack=draw(st.floats(min_value=1.0, max_value=3.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def vocabularies(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    names = [f"gesture_{index}" for index in range(count)]
+    return [draw(descriptions(name)) for name in names], draw(generator_configs())
+
+
+@settings(max_examples=200, deadline=None)
+@given(vocabularies())
+def test_generated_vocabularies_have_no_errors(vocab):
+    """≥200 random learned vocabularies: zero error-severity findings."""
+    described, config = vocab
+    generator = QueryGenerator(config)
+    queries = {d.name: generator.generate(d) for d in described}
+    report = analyze_vocabulary(queries)
+    errors = report.errors()
+    assert errors == [], [d.describe() for d in errors]
+
+
+@settings(max_examples=50, deadline=None)
+@given(descriptions("single"))
+def test_generated_single_query_has_no_errors(description):
+    """Per-query path agrees with the vocabulary path on generated queries."""
+    query = QueryGenerator().generate(description)
+    assert [d for d in analyze_query(query) if d.severity is Severity.ERROR] == []
+
+
+# ---------------------------------------------------------------------------
+# Known-bad corpus: the analyzer must flag each class of broken query.
+# Guards against the property above passing vacuously.
+# ---------------------------------------------------------------------------
+
+KNOWN_BAD = [
+    pytest.param(
+        'SELECT "never" MATCHING (kinect_t(abs(rhand_x - 400) < -5));',
+        "QA001",
+        id="negative-abs-width",
+    ),
+    pytest.param(
+        'SELECT "never" MATCHING (kinect_t(abs(rhand_x - 100) < 10 and '
+        "abs(rhand_x - 500) < 10));",
+        "QA001",
+        id="disjoint-abs-windows",
+    ),
+    pytest.param(
+        'SELECT "never" MATCHING (kinect_t(rhand_x < 0 and rhand_x > 1));',
+        "QA001",
+        id="contradictory-comparisons",
+    ),
+    pytest.param(
+        'SELECT "g" MATCHING (kinect_t(rhand_x > 0) -> '
+        "kinect_t(abs(rhand_y - 1) < 0) within 1 seconds);",
+        "QA002",
+        id="dead-step",
+    ),
+    pytest.param(
+        'SELECT "g" MATCHING (kinect_t(rhand_x > 1) -> kinect_t(rhand_x > 2));',
+        "QA010",
+        id="unbounded-wait",
+    ),
+    pytest.param(
+        'SELECT "g" MATCHING (kinect_t(abs(rhand_x - 1) >= 0));',
+        "QA003",
+        id="tautology",
+    ),
+]
+
+
+@pytest.mark.parametrize(("query", "expected_code"), KNOWN_BAD)
+def test_known_bad_corpus_is_flagged(query, expected_code):
+    found = analyze_query(query)
+    assert expected_code in {d.code for d in found}, [d.describe() for d in found]
+
+
+def test_known_bad_vocabulary_level_codes():
+    """Duplicates and subsumption are cross-query, so check them here."""
+    good = 'SELECT "a" MATCHING (kinect_t(abs(rhand_x - 400) < 50));'
+    narrow = 'SELECT "c" MATCHING (kinect_t(abs(rhand_x - 400) < 5));'
+    report = analyze_vocabulary({"a": good, "b": good, "c": narrow})
+    reported = {d.code for d in report.diagnostics}
+    assert "QA040" in reported  # a and b are byte-identical
+    assert "QA042" in reported  # c is subsumed by a/b

@@ -252,7 +252,7 @@ def _random_predicate(rng: random.Random) -> Expr:
 def _random_builder_query(rng: random.Random, depth: int = 0) -> QueryBuilder:
     builder = Q.stream(rng.choice(["kinect_t", "sensor"]))
     steps = rng.randint(1, 3)
-    for index in range(steps):
+    for _index in range(steps):
         if depth < 1 and rng.random() < 0.3:
             nested = _random_builder_query(rng, depth + 1).within(
                 rng.choice([0.5, 1.0, 2.0])

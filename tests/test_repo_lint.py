@@ -1,0 +1,147 @@
+"""The repo-specific lint (``tools/repo_lint.py``) and its rules.
+
+Asserts both directions: the repository itself is clean, and the rules
+actually fire on synthetic violations (so the clean result is not
+vacuous).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+from repo_lint import (  # noqa: E402 — path set up above
+    HASH_FORBIDDEN_PATHS,
+    lint_file,
+    lint_repository,
+    main,
+)
+
+
+def write_module(root: Path, relative: str, source: str) -> Path:
+    path = root / relative
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestRepositoryIsClean:
+    def test_lint_repository_clean(self):
+        violations = lint_repository()
+        assert violations == [], [v.describe() for v in violations]
+
+    def test_cli_exit_zero(self, capsys):
+        assert main([]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_list_catalogue(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "RL001" in out and "RL002" in out
+
+    def test_script_runs_standalone(self):
+        result = subprocess.run(
+            [sys.executable, str(TOOLS / "repo_lint.py")],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestRL001BuiltinHash:
+    def test_hash_call_on_routing_path_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/runtime/bad_router.py",
+            "def route(key, shards):\n    return hash(key) % shards\n",
+        )
+        violations = lint_file(path, root=tmp_path)
+        assert [v.code for v in violations] == ["RL001"]
+        assert violations[0].line == 2
+        assert "stable_partition_hash" in violations[0].message
+
+    @pytest.mark.parametrize("prefix", HASH_FORBIDDEN_PATHS)
+    def test_every_forbidden_tree_is_covered(self, tmp_path, prefix):
+        path = write_module(
+            tmp_path, f"{prefix}/bad.py", "value = hash('x')\n"
+        )
+        assert [v.code for v in lint_file(path, root=tmp_path)] == ["RL001"]
+
+    def test_hash_call_elsewhere_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path, "src/repro/core/ok.py", "value = hash('x')\n"
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+    def test_dunder_hash_definition_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/runtime/ok.py",
+            "class Key:\n    def __hash__(self):\n        return 7\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+    def test_attribute_hash_call_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/runtime/ok2.py",
+            "import zlib\nvalue = zlib.crc32(b'x')\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+
+class TestRL002SilentExcept:
+    def test_bare_except_pass_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/util.py",
+            "try:\n    work()\nexcept:\n    pass\n",
+        )
+        assert [v.code for v in lint_file(path, root=tmp_path)] == ["RL002"]
+
+    def test_broad_except_exception_pass_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/util.py",
+            "try:\n    work()\nexcept Exception:\n    pass\n",
+        )
+        assert [v.code for v in lint_file(path, root=tmp_path)] == ["RL002"]
+
+    def test_tuple_with_base_exception_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/util.py",
+            "try:\n    work()\nexcept (ValueError, BaseException):\n    pass\n",
+        )
+        assert [v.code for v in lint_file(path, root=tmp_path)] == ["RL002"]
+
+    def test_specific_exception_pass_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/util.py",
+            "try:\n    work()\nexcept OSError:\n    pass\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+    def test_broad_except_with_handling_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/util.py",
+            "try:\n    work()\nexcept Exception as exc:\n    log(exc)\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+    def test_outside_src_repro_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "benchmarks/bench.py",
+            "try:\n    work()\nexcept Exception:\n    pass\n",
+        )
+        assert lint_file(path, root=tmp_path) == []

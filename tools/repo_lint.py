@@ -1,0 +1,155 @@
+#!/usr/bin/env python
+"""Repository-specific lint rules that generic linters do not cover.
+
+Two rules, both born from real failure modes of this codebase:
+
+``RL001`` — no builtin ``hash()`` on routing/persistence code paths
+    CPython salts ``hash()`` per process (PYTHONHASHSEED), so a shard
+    router or a persisted artifact keyed on it changes meaning across
+    restarts and across processes — precisely the places that must be
+    deterministic.  Those paths use the CRC-32 based
+    ``stable_partition_hash`` instead.  Scoped to ``src/repro/runtime``,
+    ``src/repro/persistence`` and ``src/repro/storage``; ``__hash__``
+    *method definitions* (in-process identity) are fine, *calling* the
+    builtin is not.
+
+``RL002`` — no silently-swallowed broad exceptions in ``src/repro``
+    An ``except Exception:`` (or bare ``except:``) whose body is only
+    ``pass`` hides real defects with no trace.  Intentional best-effort
+    suppression must be spelled ``contextlib.suppress(...)`` — greppable,
+    explicit about the exception types, and reviewed as such.
+
+Run as a script (CI) or through ``tests/test_repo_lint.py``::
+
+    python tools/repo_lint.py            # lint the repository, exit 0/1
+    python tools/repo_lint.py --list     # print the rule catalogue
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, NamedTuple, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories where builtin ``hash()`` is forbidden (RL001).
+HASH_FORBIDDEN_PATHS = (
+    "src/repro/runtime",
+    "src/repro/persistence",
+    "src/repro/storage",
+)
+
+#: Directory tree where silent broad excepts are forbidden (RL002).
+SWALLOW_FORBIDDEN_PATH = "src/repro"
+
+
+class Violation(NamedTuple):
+    """One finding: file, line, rule code and explanation."""
+
+    path: str
+    line: int
+    code: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+def _is_builtin_hash_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "hash"
+    )
+
+
+def _is_broad_silent_except(node: ast.AST) -> bool:
+    if not isinstance(node, ast.ExceptHandler):
+        return False
+    if not (len(node.body) == 1 and isinstance(node.body[0], ast.Pass)):
+        return False
+    if node.type is None:  # bare except:
+        return True
+    names = []
+    if isinstance(node.type, ast.Name):
+        names = [node.type.id]
+    elif isinstance(node.type, ast.Tuple):
+        names = [e.id for e in node.type.elts if isinstance(e, ast.Name)]
+    return any(name in ("Exception", "BaseException") for name in names)
+
+
+def _lint_hash_calls(path: Path, tree: ast.AST, relative: str) -> Iterable[Violation]:
+    for node in ast.walk(tree):
+        if _is_builtin_hash_call(node):
+            yield Violation(
+                relative,
+                node.lineno,
+                "RL001",
+                "builtin hash() is process-salted and must not be used on "
+                "routing/persistence paths; use "
+                "repro.runtime.router.stable_partition_hash (or another "
+                "explicit, stable hash)",
+            )
+
+
+def _lint_silent_excepts(path: Path, tree: ast.AST, relative: str) -> Iterable[Violation]:
+    for node in ast.walk(tree):
+        if _is_broad_silent_except(node):
+            yield Violation(
+                relative,
+                node.lineno,
+                "RL002",
+                "'except Exception: pass' silently swallows defects; use "
+                "contextlib.suppress(<specific errors>) or handle/log the "
+                "exception",
+            )
+
+
+def lint_file(path: Path, root: Optional[Path] = None) -> List[Violation]:
+    """Lint one Python file; returns its violations."""
+    root = root or REPO_ROOT
+    relative = str(path.relative_to(root)) if path.is_relative_to(root) else str(path)
+    tree = ast.parse(path.read_text(encoding="utf-8"), str(path))
+    violations: List[Violation] = []
+    posix = Path(relative).as_posix()
+    if any(posix.startswith(prefix) for prefix in HASH_FORBIDDEN_PATHS):
+        violations.extend(_lint_hash_calls(path, tree, relative))
+    if posix.startswith(SWALLOW_FORBIDDEN_PATH):
+        violations.extend(_lint_silent_excepts(path, tree, relative))
+    return violations
+
+
+def lint_repository(root: Optional[Path] = None) -> List[Violation]:
+    """Lint every Python file under ``src/repro``; returns all violations."""
+    root = root or REPO_ROOT
+    violations: List[Violation] = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        violations.extend(lint_file(path, root=root))
+    return violations
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--list", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        print("RL001  no builtin hash() under", ", ".join(HASH_FORBIDDEN_PATHS))
+        print("RL002  no silent broad 'except: pass' under", SWALLOW_FORBIDDEN_PATH)
+        return 0
+    violations = lint_repository()
+    for violation in violations:
+        print(violation.describe())
+    if violations:
+        print(f"{len(violations)} repo-lint violation(s)", file=sys.stderr)
+        return 1
+    print("repo lint clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
