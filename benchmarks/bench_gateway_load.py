@@ -1,0 +1,294 @@
+"""B6 — gateway load: 1000 websocket clients, byte-identical detections.
+
+The experiment behind the number: the paper's engine serves interactive
+gesture sessions; ROADMAP scale means thousands of concurrent sensor
+streams entering over the network.  B6 stands up one
+:class:`~repro.gateway.GatewayServer` on loopback and drives it with
+``CLIENT_COUNT`` real websocket clients (real handshakes, real frames,
+real acks) spread over ``TENANT_COUNT`` tenants — every client playing
+one `player` partition of its tenant's session.  Three assertions:
+
+* **Fidelity** — after the load drains, each tenant's per-player
+  detection sequences (``Detection.to_state()`` serialised with sorted
+  keys) are *byte-identical* to a direct in-process
+  ``GestureSession.feed`` of the same tuples.  The network path may
+  reorder players relative to each other, never a player against itself
+  (the PR-2 partitioning contract, now holding across a socket).
+* **Liveness** — ``GET /healthz`` and ``GET /metrics`` answer 200
+  *during* the load, polled concurrently with the clients.
+* **Accounting** — the gateway's edge counters add up: every offered
+  tuple was accepted (block policy, no drops) and fed.
+
+Throughput (tuples/s through the full websocket → admission → session
+path) and ack round-trip latency percentiles go to
+``BENCH_gateway_load.json``.
+"""
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import print_table, record_benchmark
+from repro.api import GestureSession, SessionConfig
+from repro.gateway import GatewayClient, GatewayConfig, GatewayServer, TenantConfig
+
+CLIENT_COUNT = 1000
+TENANT_COUNT = 20
+PLAYERS_PER_TENANT = CLIENT_COUNT // TENANT_COUNT
+#: tuples frames each client sends, and tuples per frame.
+ROUNDS = 3
+FRAMES_PER_ROUND = 4
+#: Cap on concurrent connection handshakes (TCP accept bursts).
+CONNECT_CONCURRENCY = 100
+
+HIGH = 'SELECT "high" MATCHING kinect_t(rhand_y > 450);'
+UPDOWN = (
+    'SELECT "updown" MATCHING ( kinect_t(rhand_y > 400) -> '
+    "kinect_t(rhand_y < 100) within 5 seconds );"
+)
+VOCABULARY = {"high": HIGH, "updown": UPDOWN}
+
+
+def tenant_name(index):
+    return f"tenant{index:02d}"
+
+
+def player_frames(player):
+    """One client's workload: alternating highs and lows, rising clock."""
+    frames = []
+    for step in range(ROUNDS * FRAMES_PER_ROUND):
+        value = 500.0 if step % 2 == 0 else 50.0
+        frames.append(
+            {"ts": (step + 1) * 0.033, "player": player, "rhand_y": value}
+        )
+    return frames
+
+
+def canonical(detection_states):
+    """Per-player detection sequences as byte-comparable JSON strings."""
+    grouped = {}
+    for state in detection_states:
+        grouped.setdefault(state["partition"], []).append(
+            json.dumps(state, sort_keys=True)
+        )
+    return grouped
+
+
+def reference_detections():
+    """The ground truth: every tenant's tuples through the direct API."""
+    with GestureSession(SessionConfig()) as session:
+        session.deploy_vocabulary(VOCABULARY)
+        for player in range(1, PLAYERS_PER_TENANT + 1):
+            session.feed(player_frames(player), stream="kinect_t")
+        return canonical([d.to_state() for d in session.detections()])
+
+
+async def run_client(server, tenant, player, limiter, barrier, latencies):
+    """One simulated client: attach, stream its rounds, ack-timed.
+
+    The connect ramp is semaphore-limited (TCP accept bursts); the barrier
+    then holds every connected client until all 1000 are attached, so the
+    load phase genuinely runs with 1000 concurrent websocket connections.
+    """
+    async with limiter:
+        client = await GatewayClient.connect("127.0.0.1", server.port)
+        await client.hello(tenant)
+    try:
+        await barrier.wait()
+        frames = player_frames(player)
+        for round_index in range(ROUNDS):
+            chunk = frames[
+                round_index * FRAMES_PER_ROUND : (round_index + 1) * FRAMES_PER_ROUND
+            ]
+            started = time.perf_counter()
+            ack = await client.send_tuples(
+                chunk, stream="kinect_t", seq=round_index
+            )
+            latencies.append(time.perf_counter() - started)
+            assert ack["accepted"] == len(chunk), ack
+            assert ack["dropped"] == 0, ack
+    finally:
+        await client.close()
+
+
+async def poll_http(server, stop, counters):
+    """Hammer /healthz and /metrics while the load runs."""
+    while not stop.is_set():
+        for target in ("/healthz", "/metrics"):
+            reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+            writer.write(f"GET {target} HTTP/1.1\r\nHost: bench\r\n\r\n".encode())
+            await writer.drain()
+            raw = await reader.read(-1)
+            writer.close()
+            status = int(raw.split(b" ", 2)[1])
+            counters[target][status] = counters[target].get(status, 0) + 1
+        await asyncio.sleep(0.02)
+
+
+async def run_load():
+    config = GatewayConfig(
+        port=0,
+        default_tenant=TenantConfig(
+            policy="block",
+            pending_capacity=FRAMES_PER_ROUND * PLAYERS_PER_TENANT * 2,
+            max_connections=PLAYERS_PER_TENANT + 1,
+        ),
+    )
+    server = GatewayServer(config)
+    await server.start()
+    try:
+        # One admin connection per tenant deploys the vocabulary up front.
+        admins = {}
+        for index in range(TENANT_COUNT):
+            admin = await GatewayClient.connect("127.0.0.1", server.port)
+            await admin.hello(tenant_name(index))
+            deployed = await admin.deploy_vocabulary(VOCABULARY)
+            assert sorted(deployed) == ["high", "updown"]
+            admins[tenant_name(index)] = admin
+
+        # Bring up every client (bounded connect concurrency), then fire
+        # the load with all CLIENT_COUNT connections attached at once.
+        barrier = asyncio.Barrier(CLIENT_COUNT + 1)
+        limiter = asyncio.Semaphore(CONNECT_CONCURRENCY)
+        latencies = []
+        tasks = [
+            asyncio.ensure_future(
+                run_client(
+                    server,
+                    tenant_name(index // PLAYERS_PER_TENANT),
+                    1 + index % PLAYERS_PER_TENANT,
+                    limiter,
+                    barrier,
+                    latencies,
+                )
+            )
+            for index in range(CLIENT_COUNT)
+        ]
+        stop_polling = asyncio.Event()
+        http_counters = {"/healthz": {}, "/metrics": {}}
+        poller = asyncio.ensure_future(poll_http(server, stop_polling, http_counters))
+
+        await barrier.wait()  # every client is connected and attached
+        clients_connected = server.metrics.connections_active
+        load_started = time.perf_counter()
+        await asyncio.gather(*tasks)
+        load_seconds = time.perf_counter() - load_started
+        stop_polling.set()
+        await poller
+
+        # Drain every tenant and pull its detections over the wire.
+        gateway_detections = {}
+        for tenant, admin in admins.items():
+            await admin.drain()
+            gateway_detections[tenant] = await admin.detections()
+            await admin.bye()
+
+        edge = server.metrics.snapshot()
+        return {
+            "latencies": latencies,
+            "load_seconds": load_seconds,
+            "clients_connected": clients_connected,
+            "http_counters": http_counters,
+            "gateway_detections": gateway_detections,
+            "edge": edge,
+            "loop_lag_ewma": edge["loop_lag_ewma_seconds"],
+            "loop_lag_max": edge["loop_lag_max_seconds"],
+        }
+    finally:
+        await server.close()
+
+
+def test_b6_gateway_load(benchmark):
+    expected = reference_detections()
+    assert expected  # the workload detects; the comparison is non-vacuous
+
+    result = asyncio.run(run_load())
+
+    # Fidelity: per-tenant, per-player byte-identical to the direct feed.
+    # Every tenant ran the identical workload, so each must equal the one
+    # reference (players are the partition key; byte equality per player).
+    for tenant, states in result["gateway_detections"].items():
+        assert canonical(states) == expected, f"{tenant} diverged from direct feed"
+
+    # Liveness: both endpoints answered 200, and only 200, during load.
+    for target, by_status in result["http_counters"].items():
+        assert set(by_status) == {200}, f"{target} answered {by_status}"
+        assert by_status[200] > 0, f"{target} was never reached during load"
+
+    # Accounting: block policy, ample capacity — nothing dropped, all fed.
+    total_tuples = CLIENT_COUNT * ROUNDS * FRAMES_PER_ROUND
+    assert result["edge"]["tuples_in"] == total_tuples
+    assert result["edge"]["tuples_accepted"] == total_tuples
+    assert result["edge"]["tuples_dropped"] == 0
+    # All 1000 clients (plus the per-tenant admins) were attached at once
+    # when the load phase started — this was a concurrency test, not a ramp.
+    assert result["clients_connected"] >= CLIENT_COUNT
+
+    latencies_ms = np.asarray(result["latencies"]) * 1000.0
+    throughput = total_tuples / result["load_seconds"]
+    row = {
+        "clients": CLIENT_COUNT,
+        "tenants": TENANT_COUNT,
+        "tuples": total_tuples,
+        "tuples_per_s": round(throughput, 1),
+        "ack_p50_ms": round(float(np.percentile(latencies_ms, 50)), 2),
+        "ack_p95_ms": round(float(np.percentile(latencies_ms, 95)), 2),
+        "ack_p99_ms": round(float(np.percentile(latencies_ms, 99)), 2),
+        "loop_lag_max_ms": round(result["loop_lag_max"] * 1000.0, 2),
+    }
+    print_table("B6: gateway load (1000 websocket clients)", [row])
+
+    record_benchmark(
+        "gateway_load",
+        {
+            "config": {
+                "clients": CLIENT_COUNT,
+                "tenants": TENANT_COUNT,
+                "players_per_tenant": PLAYERS_PER_TENANT,
+                "rounds": ROUNDS,
+                "frames_per_round": FRAMES_PER_ROUND,
+                "queries": sorted(VOCABULARY),
+                "policy": "block",
+            },
+            "row": row,
+            "clients_connected_at_load_start": result["clients_connected"],
+            "latency_ms": {
+                "p50": row["ack_p50_ms"],
+                "p95": row["ack_p95_ms"],
+                "p99": row["ack_p99_ms"],
+                "max": round(float(latencies_ms.max()), 2),
+            },
+            "loop_lag_seconds": {
+                "ewma": result["loop_lag_ewma"],
+                "max": result["loop_lag_max"],
+            },
+            "http_during_load": {
+                target: dict(by_status)
+                for target, by_status in result["http_counters"].items()
+            },
+            "detections_per_tenant": {
+                tenant: len(states)
+                for tenant, states in sorted(result["gateway_detections"].items())
+            },
+            "byte_identical_to_direct_feed": True,
+        },
+    )
+
+    # The pytest-benchmark kernel: one full client lifecycle against a
+    # fresh single-tenant server — the per-connection overhead number.
+    async def one_client_roundtrip():
+        server = GatewayServer(GatewayConfig(port=0))
+        await server.start()
+        try:
+            client = await GatewayClient.connect("127.0.0.1", server.port)
+            await client.hello("kernel")
+            await client.deploy(HIGH)
+            await client.send_tuples(player_frames(1), stream="kinect_t")
+            await client.drain()
+            await client.bye()
+        finally:
+            await server.close()
+
+    benchmark(lambda: asyncio.run(one_client_roundtrip()))

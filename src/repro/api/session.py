@@ -171,7 +171,8 @@ class SessionConfig:
         meaningful with ``shards > 1``.
     backpressure:
         Per-shard queue policy when feeding outruns the workers:
-        ``"block"`` (default), ``"drop_oldest"`` or ``"error"``.
+        ``"block"`` (default), ``"drop_oldest"``, ``"drop_newest"`` or
+        ``"error"``.
     queue_capacity:
         Per-shard queue bound, in tuples.
     analyze:

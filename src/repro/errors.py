@@ -281,6 +281,64 @@ class ReplayStateError(PersistenceError):
 
 
 # ---------------------------------------------------------------------------
+# Gateway errors
+# ---------------------------------------------------------------------------
+
+
+class GatewayError(ReproError):
+    """Base class for errors raised by the network-facing ingestion gateway
+    (:mod:`repro.gateway`)."""
+
+
+class WebSocketError(GatewayError):
+    """A websocket frame or handshake violated RFC 6455 (bad opcode,
+    unmasked client frame, fragmented control frame, truncated stream)."""
+
+
+class HandshakeError(WebSocketError):
+    """The HTTP request could not be upgraded to a websocket connection
+    (missing ``Sec-WebSocket-Key``, wrong method, unsupported version)."""
+
+
+class MessageTooBigError(WebSocketError):
+    """An incoming frame or reassembled message exceeded the configured
+    size limit; the connection is closed with status 1009."""
+
+
+class ConnectionClosedError(WebSocketError):
+    """The peer closed (or dropped) the connection; ``code`` carries the
+    close status when one was received (``None`` on an abrupt drop)."""
+
+    def __init__(self, message: str = "connection closed", code: "Any" = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class GatewayProtocolError(GatewayError):
+    """A client message violated the gateway's application protocol.
+
+    ``code`` is the stable, typed error code sent back to the client in
+    the error frame (see ``repro.gateway.protocol.ErrorCode``); ``fatal``
+    says whether the server closes the connection after sending it.
+    """
+
+    def __init__(self, code: str, message: str, fatal: bool = False, **extra: "Any") -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.detail = message
+        self.fatal = fatal
+        #: Extra fields copied onto the error frame (e.g. the analyzer's
+        #: diagnostic ``codes`` on an ``analysis_rejected`` rejection).
+        self.extra = extra
+
+
+class AdmissionError(GatewayError):
+    """Edge admission control rejected the work under the tenant's
+    ``error`` backpressure policy (or a hard limit such as the per-tenant
+    connection cap was hit)."""
+
+
+# ---------------------------------------------------------------------------
 # Application-layer errors
 # ---------------------------------------------------------------------------
 

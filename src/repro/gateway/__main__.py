@@ -1,0 +1,7 @@
+"""Entry point: ``python -m repro.gateway``."""
+
+import sys
+
+from repro.gateway.cli import main
+
+sys.exit(main())

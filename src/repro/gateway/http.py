@@ -1,0 +1,154 @@
+"""A small HTTP/1.1 request reader and response writer.
+
+Just enough HTTP for the gateway's three entry points — ``GET /healthz``,
+``GET /metrics`` and the websocket upgrade — on stdlib asyncio streams.
+No chunked transfer encoding, no pipelining (the gateway answers one
+plain-HTTP request per connection and closes), bounded header and body
+sizes so a hostile peer cannot balloon memory.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import GatewayError
+
+__all__ = ["HttpRequest", "read_request", "render_response", "REASONS"]
+
+REASONS = {
+    200: "OK",
+    101: "Switching Protocols",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request line + headers (+ body, when one was sent)."""
+
+    method: str
+    target: str
+    version: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        return urlsplit(self.target).path
+
+    @property
+    def query(self) -> Dict[str, str]:
+        """Query parameters, last value winning."""
+        return {
+            key: values[-1]
+            for key, values in parse_qs(urlsplit(self.target).query).items()
+        }
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    def wants_upgrade(self) -> bool:
+        """Is this a websocket upgrade request?"""
+        connection = {
+            token.strip().lower()
+            for token in self.header("connection").split(",")
+        }
+        return (
+            "upgrade" in connection
+            and self.header("upgrade").lower() == "websocket"
+        )
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = 16384,
+    max_body_bytes: int = 1 << 20,
+) -> Optional[HttpRequest]:
+    """Read one request; ``None`` on a clean EOF before any bytes.
+
+    Raises :class:`~repro.errors.GatewayError` on a malformed request or
+    one exceeding the size bounds — the caller answers 400/431/413 and
+    closes.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise GatewayError("truncated HTTP request") from error
+    except asyncio.LimitOverrunError as error:
+        raise GatewayError("HTTP request head too large") from error
+    if len(head) > max_header_bytes:
+        raise GatewayError("HTTP request head too large")
+    try:
+        text = head.decode("iso-8859-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, version = request_line.split(" ", 2)
+    except ValueError as error:
+        raise GatewayError(f"malformed HTTP request line: {error}") from error
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise GatewayError(f"malformed HTTP header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as error:
+            raise GatewayError("malformed Content-Length") from error
+        if length < 0 or length > max_body_bytes:
+            raise GatewayError("request body too large")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as error:
+            raise GatewayError("truncated HTTP request body") from error
+    return HttpRequest(
+        method=method.upper(), target=target, version=version,
+        headers=headers, body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    content_type: str = "text/plain; charset=utf-8",
+    extra_headers: Optional[Mapping[str, str]] = None,
+    close: bool = True,
+) -> bytes:
+    """Serialise one HTTP/1.1 response."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    headers: Dict[str, str] = {}
+    if status != 101:
+        headers["Content-Type"] = content_type
+        headers["Content-Length"] = str(len(body))
+        if close:
+            headers["Connection"] = "close"
+    if extra_headers:
+        headers.update(extra_headers)
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("iso-8859-1")
+    return head + body
+
+
+def upgrade_response_headers(accept: str) -> Tuple[int, Dict[str, str]]:
+    """The 101 response headers completing a websocket handshake."""
+    return 101, {
+        "Upgrade": "websocket",
+        "Connection": "Upgrade",
+        "Sec-WebSocket-Accept": accept,
+    }

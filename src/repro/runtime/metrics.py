@@ -16,9 +16,87 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-__all__ = ["ShardMetrics", "DurabilityMetrics", "MetricsRegistry"]
+__all__ = [
+    "ShardMetrics",
+    "DurabilityMetrics",
+    "MetricsRegistry",
+    "escape_label_value",
+    "prometheus_sample",
+]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition (version 0.0.4)
+# ---------------------------------------------------------------------------
+
+def escape_label_value(value: object) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote and line feed are the only characters the
+    format escapes — in that order, so a pre-existing ``\\`` never doubles
+    an escape introduced here.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_value(value: Union[int, float]) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def prometheus_sample(
+    name: str,
+    value: Union[int, float],
+    labels: Optional[Mapping[str, object]] = None,
+) -> str:
+    """One exposition line: ``name{label="value",...} value``.
+
+    Label *names* must already be legal (``[a-zA-Z_][a-zA-Z0-9_]*``);
+    label values are escaped here.  Labels render sorted by name so the
+    output is stable across runs.
+    """
+    if labels:
+        rendered = ",".join(
+            f'{key}="{escape_label_value(labels[key])}"' for key in sorted(labels)
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+#: Shard counter families: snapshot key -> (metric suffix, type, help).
+_SHARD_FAMILIES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("tuples_enqueued", "repro_shard_tuples_enqueued_total", "counter", "Tuples accepted into the shard queue."),
+    ("tuples_processed", "repro_shard_tuples_processed_total", "counter", "Tuples fully processed by the shard worker."),
+    ("tuples_dropped", "repro_shard_tuples_dropped_total", "counter", "Tuples dropped by the queue's backpressure policy."),
+    ("batches_processed", "repro_shard_batches_processed_total", "counter", "Work items the shard worker completed."),
+    ("detections", "repro_shard_detections_total", "counter", "Detections emitted by the shard."),
+    ("errors", "repro_shard_errors_total", "counter", "Errors recorded against the shard."),
+    ("queue_depth_hwm", "repro_shard_queue_depth_hwm", "gauge", "High-water mark of the shard queue depth, in tuples."),
+    ("busy_seconds", "repro_shard_busy_seconds_total", "counter", "Seconds the shard worker spent processing."),
+)
+
+#: Durability counter families: snapshot key -> (metric name, type, help).
+_DURABILITY_FAMILIES: Tuple[Tuple[str, str, str, str], ...] = (
+    ("entries_appended", "repro_durability_entries_appended_total", "counter", "Entries appended to the event log."),
+    ("bytes_appended", "repro_durability_bytes_appended_total", "counter", "Bytes appended to the event log."),
+    ("fsyncs", "repro_durability_fsyncs_total", "counter", "fsync calls issued by the event log."),
+    ("segments_rotated", "repro_durability_segments_rotated_total", "counter", "Event-log segment rotations."),
+    ("snapshots_taken", "repro_durability_snapshots_total", "counter", "State snapshots persisted."),
+    ("snapshot_seconds", "repro_durability_snapshot_seconds_total", "counter", "Seconds spent capturing snapshots."),
+    ("entries_replayed", "repro_durability_entries_replayed_total", "counter", "Log entries replayed during recovery."),
+    ("recoveries", "repro_durability_recoveries_total", "counter", "Completed recoveries."),
+)
 
 
 class ShardMetrics:
@@ -300,6 +378,38 @@ class MetricsRegistry:
     def to_json(self, indent: Optional[int] = None) -> str:
         """The full :meth:`snapshot` rendered as a JSON document."""
         return json.dumps(self.snapshot(), indent=indent)
+
+    def to_prometheus(self, labels: Optional[Mapping[str, object]] = None) -> str:
+        """The registry in the Prometheus text exposition format (0.0.4).
+
+        Per-shard counters carry a ``shard`` label; durability counters are
+        registry-wide.  ``labels`` (e.g. ``{"tenant": name}``) are merged
+        into **every** sample, which is how a multi-tenant exporter renders
+        many registries into one scrape body without name collisions.  Ends
+        with a newline, so bodies concatenate cleanly.
+        """
+        base = dict(labels or {})
+        lines: List[str] = []
+        shard_snapshots = [
+            self.shard(shard_id).snapshot() for shard_id in self.shard_ids()
+        ]
+        for key, metric, kind, help_text in _SHARD_FAMILIES:
+            if not shard_snapshots:
+                break
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} {kind}")
+            for snap in shard_snapshots:
+                lines.append(
+                    prometheus_sample(
+                        metric, snap[key], {**base, "shard": snap["shard_id"]}
+                    )
+                )
+        durability = self.durability.snapshot()
+        for key, metric, kind, help_text in _DURABILITY_FAMILIES:
+            lines.append(f"# HELP {metric} {help_text}")
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(prometheus_sample(metric, durability[key], base))
+        return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:
         totals = self.totals()

@@ -13,6 +13,11 @@ is an explicit policy instead of an accident:
     the shard's metrics — the live-sensor choice, where a stale frame is
     worthless and the freshest data must win.  Control messages are never
     dropped.
+``"drop_newest"``
+    The *offered* tuples are discarded (and counted) when they do not
+    fit — the queued backlog is left untouched.  The admission-control
+    choice: work already accepted keeps its service guarantee, late
+    arrivals pay the cost.  Control messages are never dropped.
 ``"error"``
     :class:`~repro.errors.BackpressureError` is raised to the producer —
     for callers that implement their own flow control.
@@ -40,9 +45,10 @@ class BackpressurePolicy:
 
     BLOCK = "block"
     DROP_OLDEST = "drop_oldest"
+    DROP_NEWEST = "drop_newest"
     ERROR = "error"
 
-    ALL = (BLOCK, DROP_OLDEST, ERROR)
+    ALL = (BLOCK, DROP_OLDEST, DROP_NEWEST, ERROR)
 
     @classmethod
     def validate(cls, policy: str) -> str:
@@ -90,8 +96,8 @@ class ShardQueue:
 
         A chunk heavier than the whole capacity is admitted once the queue
         is empty (otherwise a ``block`` producer would deadlock against
-        itself); chunk your feeds to at most the capacity to keep the bound
-        tight.
+        itself, and a ``drop_newest`` producer could never make progress);
+        chunk your feeds to at most the capacity to keep the bound tight.
         """
         with self._lock:
             if self._closed:
@@ -103,7 +109,16 @@ class ShardQueue:
                         f"shard queue is full ({self._weight}/{self.capacity} "
                         f"tuples queued, {weight} more offered)"
                     )
-                if self.policy == BackpressurePolicy.DROP_OLDEST:
+                if self.policy == BackpressurePolicy.DROP_NEWEST:
+                    if self._weight > 0:
+                        # Reject the offered chunk whole; the backlog keeps
+                        # its service guarantee.
+                        if self.metrics is not None:
+                            self.metrics.add_dropped(weight)
+                        return weight
+                    # Oversized chunk against an empty queue: admit it (the
+                    # producer could otherwise never make progress).
+                elif self.policy == BackpressurePolicy.DROP_OLDEST:
                     dropped = self._evict_oldest_locked(
                         self._weight + weight - self.capacity
                     )

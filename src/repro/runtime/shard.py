@@ -553,7 +553,9 @@ class ProcessShard(_ShardBase):
     :class:`EngineShard`.
 
     Restrictions compared to the thread executor: ``drop_oldest`` is not
-    supported (the queued data lives in the child), control payloads must
+    supported (the queued data lives in the child; ``drop_newest`` works —
+    an offered chunk that finds no credits is dropped parent-side before
+    it ever crosses the pipe), control payloads must
     be picklable, there is no live matcher introspection (progress
     feedback reads zero), and — as with any ``spawn``/``forkserver``
     multiprocessing program — the application's ``__main__`` module must
@@ -659,6 +661,11 @@ class ProcessShard(_ShardBase):
             )
             if not ok:
                 self.raise_if_failed()
+                if self._backpressure == BackpressurePolicy.DROP_NEWEST:
+                    # No credits: the offered chunk is rejected whole,
+                    # parent-side, before it crosses the pipe.
+                    self.metrics.add_dropped(len(chunk))
+                    continue
                 raise BackpressureError(
                     f"shard {self.shard_id} queue is full "
                     f"({self._credits.in_flight}/{self.queue_capacity} tuples in flight)"

@@ -182,7 +182,8 @@ class ShardedRuntime:
         ``"thread"`` (default) or ``"process"`` — see the module docstring.
     backpressure:
         Queue policy when a producer outruns a shard: ``"block"`` (default),
-        ``"drop_oldest"`` (thread executor only) or ``"error"``.
+        ``"drop_oldest"`` (thread executor only), ``"drop_newest"`` or
+        ``"error"``.
     queue_capacity:
         Per-shard queue bound, in tuples.
     partition_field:

@@ -1,0 +1,559 @@
+"""End-to-end tests of the gateway server over real loopback sockets.
+
+Every test starts a :class:`GatewayServer` on an ephemeral port, talks
+to it with the real :class:`GatewayClient` (or raw sockets, for the
+hostile cases) and shuts it down.  The robustness suite's invariant:
+nothing a client does — malformed frames, oversized payloads, vanishing
+mid-batch, protocol misuse — may wedge the server; a fresh connection
+must always work afterwards.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+
+import pytest
+
+from repro.api.session import GestureSession, SessionConfig
+from repro.errors import ConnectionClosedError, GatewayProtocolError
+from repro.gateway import GatewayClient, GatewayConfig, GatewayServer, TenantConfig
+from repro.gateway.cli import build_config, main as cli_main, tenant_config_from_dict
+
+HIGH = 'SELECT "high" MATCHING kinect_t(rhand_y > 450);'
+UPDOWN = (
+    'SELECT "updown" MATCHING ( kinect_t(rhand_y > 400) -> '
+    "kinect_t(rhand_y < 100) within 5 seconds );"
+)
+UNSAT = 'SELECT "never" MATCHING (kinect_t(abs(rhand_x - 400) < -5));'
+
+
+def make_frames(players=3, rounds=20):
+    frames = []
+    ts = 0.0
+    for round_index in range(rounds):
+        for player in range(1, players + 1):
+            phase = (round_index + player) % 4
+            value = 500.0 if phase < 2 else 50.0
+            ts += 0.01
+            frames.append({"ts": ts, "player": player, "rhand_y": value})
+    return frames
+
+
+@contextlib.asynccontextmanager
+async def serve(**kwargs):
+    kwargs.setdefault("port", 0)
+    server = GatewayServer(GatewayConfig(**kwargs))
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.close()
+
+
+def run(coroutine):
+    return asyncio.run(asyncio.wait_for(coroutine, timeout=60))
+
+
+async def connect(server, tenant=None, **hello_kwargs):
+    client = await GatewayClient.connect("127.0.0.1", server.port)
+    if tenant is not None:
+        await client.hello(tenant, **hello_kwargs)
+    return client
+
+
+async def http_get(server, target, headers=""):
+    reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+    writer.write(f"GET {target} HTTP/1.1\r\nHost: x\r\n{headers}\r\n".encode())
+    await writer.drain()
+    raw = await reader.read(-1)
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, body.decode("utf-8")
+
+
+class TestHappyPath:
+    def test_full_session_matches_direct_feed(self):
+        frames = make_frames()
+
+        # The reference: the same tuples straight into the in-process API.
+        with GestureSession(SessionConfig()) as direct:
+            direct.deploy(HIGH)
+            direct.deploy(UPDOWN)
+            direct.feed(frames, stream="kinect_t")
+            expected = [d.to_state() for d in direct.detections()]
+        assert expected  # the workload actually detects something
+
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server, "t1")
+                assert await client.deploy(HIGH) == ["high"]
+                assert await client.deploy(UPDOWN) == ["updown"]
+                ack = await client.send_tuples(frames, stream="kinect_t", seq=7)
+                assert ack["accepted"] == len(frames)
+                assert ack["dropped"] == 0
+                assert ack["seq"] == 7
+                drained = await client.drain()
+                assert drained["type"] == "drained"
+                detections = await client.detections()
+                await client.bye()
+                return detections
+
+        assert run(scenario()) == expected
+
+    def test_subscriber_receives_events_in_order(self):
+        frames = [
+            {"ts": i * 0.1, "player": 1, "rhand_y": 500.0 if i % 2 else 10.0}
+            for i in range(10)
+        ]
+
+        async def scenario():
+            async with serve() as server:
+                feeder = await connect(server, "t1")
+                watcher = await connect(server, "t1", subscribe=True)
+                await feeder.deploy(HIGH)
+                await feeder.send_tuples(frames, stream="kinect_t")
+                await feeder.drain()
+                events = [await watcher.next_event() for _ in range(5)]
+                assert [e["type"] for e in events] == ["event"] * 5
+                assert [e["gesture"] for e in events] == ["high"] * 5
+                timestamps = [e["timestamp"] for e in events]
+                assert timestamps == sorted(timestamps)
+                # The non-subscribed feeder got no pushes.
+                assert feeder.events.empty()
+
+        run(scenario())
+
+    def test_deploy_vocabulary_by_manifest_and_by_name(self, tmp_path):
+        manifest_path = tmp_path / "vocab.json"
+        manifest_path.write_text(json.dumps({"queries": {"high": HIGH}}))
+
+        async def scenario():
+            async with serve(vocabularies={"basic": str(manifest_path)}) as server:
+                client = await connect(server, "t1")
+                assert await client.deploy_vocabulary(manifest={"updown": UPDOWN}) == [
+                    "updown"
+                ]
+                assert await client.deploy_vocabulary(vocabulary="basic") == ["high"]
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.deploy_vocabulary(vocabulary="nope")
+                assert info.value.code == "unknown_vocabulary"
+
+        run(scenario())
+
+    def test_tenants_are_isolated_over_the_wire(self):
+        frames = make_frames(players=2, rounds=10)
+
+        async def scenario():
+            async with serve() as server:
+                alice = await connect(server, "alice")
+                bob = await connect(server, "bob")
+                await alice.deploy(HIGH)
+                await bob.deploy(UPDOWN)
+                await alice.send_tuples(frames, stream="kinect_t")
+                await bob.send_tuples(frames, stream="kinect_t")
+                alice_detections = await alice.detections()
+                bob_detections = await bob.detections()
+                assert {d["query_name"] for d in alice_detections} == {"high"}
+                assert {d["query_name"] for d in bob_detections} == {"updown"}
+                snapshot = server.tenants["alice"].snapshot()
+                assert snapshot["tuples_fed"] == len(frames)
+
+        run(scenario())
+
+
+class TestProtocolRobustness:
+    def test_deploy_before_hello_is_refused_but_recoverable(self):
+        async def scenario():
+            async with serve() as server:
+                client = await GatewayClient.connect("127.0.0.1", server.port)
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.deploy(HIGH)
+                assert info.value.code == "hello_required"
+                assert not info.value.fatal
+                # The connection survives and can attach normally.
+                await client.hello("t1")
+                assert await client.deploy(HIGH) == ["high"]
+
+        run(scenario())
+
+    def test_bad_json_and_unknown_type_cost_nothing(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server, "t1")
+                await client.ws.send_text("this is not json")
+                await client.ws.send_text('{"type": "launch_missiles"}')
+                await client.ws.send_text('[1,2,3]')
+                await asyncio.sleep(0.05)
+                codes = [e["code"] for e in client.errors]
+                assert codes == ["bad_message", "unsupported_type", "bad_message"]
+                # Still alive:
+                assert (await client.ping())["type"] == "pong"
+
+        run(scenario())
+
+    def test_double_hello_is_refused(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server, "t1")
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.hello("t2")
+                assert info.value.code == "already_attached"
+                assert (await client.ping())["type"] == "pong"
+
+        run(scenario())
+
+    def test_auth_and_unknown_tenant(self):
+        tenants = {"secure": TenantConfig(token="s3cret")}
+
+        async def scenario():
+            async with serve(tenants=tenants, allow_dynamic_tenants=False) as server:
+                # Wrong token: fatal, closed.
+                client = await GatewayClient.connect("127.0.0.1", server.port)
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.hello("secure", token="wrong")
+                assert info.value.code == "auth_failed"
+                await client.close()
+                # Unknown tenant: fatal unknown_tenant.
+                client = await GatewayClient.connect("127.0.0.1", server.port)
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.hello("ghost")
+                assert info.value.code == "unknown_tenant"
+                await client.close()
+                # Right token: welcome.
+                client = await GatewayClient.connect("127.0.0.1", server.port)
+                welcome = await client.hello("secure", token="s3cret")
+                assert welcome["tenant"] == "secure"
+                assert server.metrics.snapshot()["connections_rejected"] == 2
+
+        run(scenario())
+
+    def test_connection_cap_is_enforced(self):
+        tenants = {"small": TenantConfig(max_connections=1)}
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                first = await connect(server, "small")
+                second = await GatewayClient.connect("127.0.0.1", server.port)
+                with pytest.raises(GatewayProtocolError) as info:
+                    await second.hello("small")
+                assert info.value.code == "too_many_connections"
+                await first.bye()
+                # The slot is free again.
+                third = await connect(server, "small")
+                assert (await third.ping())["type"] == "pong"
+
+        run(scenario())
+
+    def test_strict_analyzer_rejection_is_a_typed_error(self):
+        tenants = {"strict": TenantConfig(session=SessionConfig(analyze="strict"))}
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                client = await connect(server, "strict")
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.deploy(UNSAT)
+                assert info.value.code == "analysis_rejected"
+                assert "QA" in "".join(info.value.extra["codes"])
+                # All-or-nothing for vocabularies too.
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.deploy_vocabulary({"good": HIGH, "never": UNSAT})
+                assert info.value.code == "analysis_rejected"
+                # The session is untouched and usable.
+                assert await client.deploy(HIGH) == ["high"]
+
+        run(scenario())
+
+    def test_deploy_failure_is_nonfatal(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server, "t1")
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.deploy("SELECT THIS IS NOT THE DIALECT")
+                assert info.value.code == "deploy_failed"
+                assert (await client.ping())["type"] == "pong"
+
+        run(scenario())
+
+    def test_oversized_message_closes_only_that_connection(self):
+        async def scenario():
+            async with serve(max_message_bytes=4096) as server:
+                client = await connect(server, "t1")
+                big = [{"ts": float(i), "player": 1, "rhand_y": 0.0} for i in range(2000)]
+                with pytest.raises(ConnectionClosedError):
+                    await client.send_tuples(big, stream="kinect_t")
+                # The server is fine; a fresh connection works.
+                fresh = await connect(server, "t1")
+                assert (await fresh.ping())["type"] == "pong"
+
+        run(scenario())
+
+    def test_garbage_after_handshake_never_wedges_the_server(self):
+        async def scenario():
+            async with serve() as server:
+                client = await GatewayClient.connect("127.0.0.1", server.port)
+                # Bypass the codec: raw garbage straight into the socket.
+                client.ws._writer.write(b"\xff\x00\xde\xad\xbe\xef" * 10)
+                await client.ws._writer.drain()
+                await asyncio.sleep(0.05)
+                fresh = await connect(server, "t1")
+                assert (await fresh.ping())["type"] == "pong"
+
+        run(scenario())
+
+    def test_mid_batch_disconnect_preserves_the_tenant(self):
+        frames = make_frames(players=1, rounds=30)
+
+        async def scenario():
+            async with serve() as server:
+                dropper = await connect(server, "t1")
+                await dropper.deploy(HIGH)
+                # Fire-and-forget tuples, then vanish without a close frame.
+                await dropper.send_tuples(frames, stream="kinect_t", ack=False)
+                dropper.ws._writer.close()
+                # The tenant survives with everything admitted before the
+                # drop; a new connection drains and reads it.
+                survivor = await connect(server, "t1")
+                await survivor.drain()
+                detections = await survivor.detections()
+                assert detections  # admitted tuples were processed
+                assert server.tenants["t1"].failure is None
+
+        run(scenario())
+
+    def test_rate_limit_error_policy_rejects_with_typed_error(self):
+        tenants = {
+            "limited": TenantConfig(
+                policy="error", rate_limit_tuples_per_second=1.0, rate_burst=1.0
+            )
+        }
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                client = await connect(server, "limited")
+                frames = [{"ts": float(i), "player": 1, "rhand_y": 0.0} for i in range(50)]
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.send_tuples(frames, stream="kinect_t")
+                assert info.value.code == "rate_limited"
+                assert info.value.fatal
+
+        run(scenario())
+
+    def test_rate_limit_drop_policy_drops_and_reports(self):
+        tenants = {
+            "lossy": TenantConfig(
+                policy="drop_newest", rate_limit_tuples_per_second=1.0, rate_burst=1.0
+            )
+        }
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                client = await connect(server, "lossy")
+                frames = [{"ts": float(i), "player": 1, "rhand_y": 0.0} for i in range(50)]
+                ack = await client.send_tuples(frames, stream="kinect_t")
+                assert ack["accepted"] == 0
+                assert ack["dropped"] == 50
+                assert server.metrics.tuples_dropped == 50
+                assert server.tenants["lossy"].rate_dropped == 50
+
+        run(scenario())
+
+    def test_backpressure_error_policy_over_the_wire(self):
+        tenants = {"tight": TenantConfig(policy="error", pending_capacity=8)}
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                client = await connect(server, "tight")
+                tenant = server.tenants["tight"]
+                gate = threading.Event()
+                # Hold the tenant worker hostage on the executor so the
+                # pending queue genuinely fills.
+                blocker = tenant.control("call", lambda session: gate.wait(10))
+                await asyncio.sleep(0.05)
+                frames = [{"ts": float(i), "player": 1, "rhand_y": 0.0} for i in range(6)]
+                assert (await client.send_tuples(frames, stream="kinect_t"))[
+                    "accepted"
+                ] == 6
+                with pytest.raises(GatewayProtocolError) as info:
+                    await client.send_tuples(frames, stream="kinect_t")
+                assert info.value.code == "backpressure"
+                gate.set()
+                await blocker
+
+        run(scenario())
+
+
+class TestHttpEndpoints:
+    def test_healthz_and_metrics_formats(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server, "t1")
+                await client.deploy(HIGH)
+                await client.send_tuples(
+                    [{"ts": 1.0, "player": 1, "rhand_y": 500.0}], stream="kinect_t"
+                )
+                await client.drain()
+
+                status, body = await http_get(server, "/healthz")
+                assert status == 200
+                health = json.loads(body)
+                assert health["status"] == "ok"
+                assert health["tenants"] == 1
+
+                status, body = await http_get(server, "/metrics")
+                assert status == 200
+                assert "# TYPE repro_gateway_tuples_in_total counter" in body
+                assert "repro_gateway_tuples_in_total 1" in body
+                assert 'tenant="t1"' in body
+
+                status, body = await http_get(server, "/metrics?format=json")
+                document = json.loads(body)
+                assert document["gateway"]["tuples_accepted"] == 1
+                assert document["tenants"]["t1"]["tuples_fed"] == 1
+
+                status, _ = await http_get(server, "/nope")
+                assert status == 404
+                status, body = await http_get(server, "/healthz")
+                assert status == 200
+
+        run(scenario())
+
+    def test_sharded_tenant_metrics_include_shard_series(self):
+        tenants = {"sharded": TenantConfig(session=SessionConfig(shards=2))}
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                client = await connect(server, "sharded")
+                await client.deploy(HIGH)
+                await client.send_tuples(
+                    make_frames(players=2, rounds=5), stream="kinect_t"
+                )
+                await client.drain()
+                _, body = await http_get(server, "/metrics")
+                assert 'repro_shard_tuples_processed_total{shard="0",tenant="sharded"}' in body
+                assert 'repro_shard_tuples_processed_total{shard="1",tenant="sharded"}' in body
+
+        run(scenario())
+
+    def test_malformed_http_gets_400(self):
+        async def scenario():
+            async with serve() as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                writer.write(b"COMPLETE NONSENSE\r\n\r\n")
+                await writer.drain()
+                raw = await reader.read(-1)
+                writer.close()
+                assert b"400" in raw.split(b"\r\n", 1)[0]
+
+        run(scenario())
+
+    def test_bad_websocket_upgrade_is_refused(self):
+        async def scenario():
+            async with serve() as server:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                writer.write(
+                    b"GET /ws HTTP/1.1\r\nHost: x\r\nConnection: Upgrade\r\n"
+                    b"Upgrade: websocket\r\nSec-WebSocket-Key: abc\r\n"
+                    b"Sec-WebSocket-Version: 8\r\n\r\n"
+                )
+                await writer.drain()
+                raw = await reader.read(-1)
+                writer.close()
+                assert b"426" in raw.split(b"\r\n", 1)[0]
+                assert b"Sec-WebSocket-Version: 13" in raw
+
+        run(scenario())
+
+
+class TestCli:
+    def test_tenant_config_from_dict_roundtrip(self):
+        config = tenant_config_from_dict(
+            {
+                "token": "t",
+                "policy": "drop_newest",
+                "pending_capacity": 128,
+                "max_connections": 3,
+                "rate_limit_tuples_per_second": 100,
+                "session": {"shards": 2, "backpressure": "drop_newest", "analyze": "warn"},
+            }
+        )
+        assert config.token == "t"
+        assert config.policy == "drop_newest"
+        assert config.session.shards == 2
+        assert config.session.analyze == "warn"
+
+    def test_tenant_config_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown tenant config"):
+            tenant_config_from_dict({"tokens": "typo"})
+        with pytest.raises(ValueError, match="unknown session config"):
+            tenant_config_from_dict({"session": {"sharts": 2}})
+
+    def test_build_config_merges_file_and_flags(self, tmp_path):
+        config_path = tmp_path / "gateway.json"
+        config_path.write_text(
+            json.dumps(
+                {
+                    "port": 9000,
+                    "tenants": {"a": {"policy": "error"}},
+                    "vocabularies": {"v": "vocab.json"},
+                }
+            )
+        )
+        import argparse
+
+        from repro.gateway.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            [
+                "--config", str(config_path),
+                "--policy", "drop_oldest",
+                "--shards", "2",
+                "--vocabulary", "w=other.json",
+                "--no-dynamic-tenants",
+            ]
+        )
+        config = build_config(args)
+        assert config.port == 9000
+        assert config.tenants["a"].policy == "error"
+        assert config.default_tenant.policy == "drop_oldest"
+        assert config.default_tenant.session.shards == 2
+        assert config.vocabularies == {"v": "vocab.json", "w": "other.json"}
+        assert not config.allow_dynamic_tenants
+
+    def test_cli_rejects_bad_config(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert cli_main(["--config", str(bad)]) == 2
+
+
+class TestShutdown:
+    def test_close_drains_tenants_and_refuses_new_work(self):
+        frames = make_frames(players=1, rounds=10)
+
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server, "t1")
+                await client.deploy(HIGH)
+                # The awaited ack means the frames were admitted; close()
+                # must then process them before stopping the worker.
+                await client.send_tuples(frames, stream="kinect_t")
+                await server.close()
+                tenant = server.tenants["t1"]
+                # Everything admitted before shutdown was processed.
+                assert tenant.tuples_fed == len(frames)
+                assert tenant.session.closed
+
+        run(scenario())
+
+    def test_loop_lag_monitor_reports(self):
+        async def scenario():
+            async with serve(loop_lag_interval=0.01) as server:
+                await asyncio.sleep(0.1)
+                snapshot = server.metrics.snapshot()
+                assert snapshot["loop_lag_ewma_seconds"] >= 0.0
+                assert snapshot["loop_lag_max_seconds"] >= 0.0
+
+        run(scenario())

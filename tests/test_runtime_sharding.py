@@ -164,6 +164,48 @@ class TestShardQueue:
         items = [queue.get()[0], queue.get()[0]]
         assert items == ["ctrl", "new"]
 
+    def test_drop_newest_rejects_the_offered_chunk_whole(self):
+        metrics = MetricsRegistry().shard(0)
+        queue = ShardQueue(
+            capacity=4, policy=BackpressurePolicy.DROP_NEWEST, metrics=metrics
+        )
+        queue.put("old", weight=3)
+        assert queue.put("new", weight=3) == 3  # rejected, counted
+        assert metrics.tuples_dropped == 3
+        assert queue.depth == 3  # the backlog kept its service guarantee
+        assert queue.get()[0] == "old"
+
+    def test_drop_newest_admits_oversized_chunk_against_empty_queue(self):
+        queue = ShardQueue(capacity=2, policy=BackpressurePolicy.DROP_NEWEST)
+        assert queue.put("big", weight=5) == 0  # progress guarantee
+        assert queue.get()[0] == "big"
+
+    def test_drop_newest_never_drops_controls(self):
+        queue = ShardQueue(capacity=2, policy=BackpressurePolicy.DROP_NEWEST)
+        queue.put("data", weight=2)
+        assert queue.put("ctrl", weight=0) == 0
+        items = [queue.get()[0], queue.get()[0]]
+        assert items == ["data", "ctrl"]
+
+    @pytest.mark.parametrize(
+        "policy, expect_backlog, expect_offered",
+        [
+            (BackpressurePolicy.DROP_OLDEST, "evicted", "kept"),
+            (BackpressurePolicy.DROP_NEWEST, "kept", "rejected"),
+        ],
+    )
+    def test_drop_policies_are_mirror_images(self, policy, expect_backlog, expect_offered):
+        queue = ShardQueue(capacity=2, policy=policy)
+        queue.put("backlog", weight=2)
+        queue.put("offered", weight=2)
+        survivors = []
+        while queue.depth:
+            survivors.append(queue.get()[0])
+        if policy == BackpressurePolicy.DROP_OLDEST:
+            assert survivors == ["offered"]
+        else:
+            assert survivors == ["backlog"]
+
     def test_block_policy_waits_for_the_consumer(self):
         queue = ShardQueue(capacity=2, policy=BackpressurePolicy.BLOCK)
         queue.put("first", weight=2)
@@ -452,6 +494,26 @@ class TestProcessExecutor:
                 backpressure=BackpressurePolicy.DROP_OLDEST,
             ).start()
 
+    def test_process_executor_accepts_drop_newest(self, spec):
+        # drop_newest works parent-side (a failed credit acquire rejects
+        # the chunk before it crosses the pipe), unlike drop_oldest which
+        # would need to reach into the child's queue.
+        frames = make_frames(players=2, rounds=10)
+        with ShardedRuntime(
+            shard_count=2,
+            spec=spec,
+            executor="process",
+            backpressure=BackpressurePolicy.DROP_NEWEST,
+        ) as runtime:
+            runtime.register_query(HIGH)
+            runtime.push_many("kinect_t", frames)
+            runtime.drain()
+            totals = runtime.metrics.totals()
+            assert (
+                totals["tuples_processed"] + totals["tuples_dropped"]
+                == len(frames)
+            )
+
 
 # ---------------------------------------------------------------------------
 # GestureSession integration
@@ -482,6 +544,23 @@ class TestShardedSession:
         batched, batched_events = self._run_session(4, frames, batch_size=32)
         assert batched == inline
         assert len(batched_events) == len(inline_events)
+
+    def test_drop_newest_session_is_lossless_under_capacity(self):
+        # With the queue bound far above the workload the policy never
+        # triggers, so results must equal the inline session's exactly —
+        # drop_newest costs nothing until saturation.
+        frames = make_frames()
+        inline, _ = self._run_session(1, frames)
+        with GestureSession(
+            session_config(4, backpressure="drop_newest", queue_capacity=100_000)
+        ) as session:
+            session.deploy(UPDOWN)
+            session.deploy(HIGH)
+            session.feed(frames, stream="kinect_t")
+            assert per_partition(session.detections()) == inline
+            totals = session.metrics.totals()
+            assert totals["tuples_dropped"] == 0
+            assert totals["tuples_processed"] == len(frames)
 
     def test_events_and_handlers_carry_partitions(self):
         frames = make_frames(players=3)

@@ -1,0 +1,119 @@
+"""Multi-session isolation: concurrent sessions share no mutable state.
+
+The gateway's tenancy model rests on a property the in-process API must
+guarantee: two :class:`GestureSession` instances in one process are
+fully independent — separate engines, matchers, detectors, predicate
+caches, function registries, databases and metrics registries.  A
+vocabulary deployed in one must never detect in the other, and feeding
+them concurrently from separate threads must not cross-contaminate
+events.  These tests pin that property down so a future module-level
+cache cannot silently break it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.api.session import GestureSession, SessionConfig
+
+HIGH = 'SELECT "high" MATCHING kinect_t(rhand_y > 450);'
+LOW = 'SELECT "low" MATCHING kinect_t(rhand_y < 100);'
+#: Same registration name, *different* predicate, in each session — the
+#: sharpest probe for shared matcher or compile-cache state.
+SAME_NAME_A = 'SELECT "probe" MATCHING kinect_t(rhand_y > 450);'
+SAME_NAME_B = 'SELECT "probe" MATCHING kinect_t(rhand_y < 100);'
+
+
+def frames(value, count=20, player=1):
+    return [
+        {"ts": (i + 1) * 0.01, "player": player, "rhand_y": float(value)}
+        for i in range(count)
+    ]
+
+
+class TestSessionIsolation:
+    def test_no_shared_infrastructure_objects(self):
+        with GestureSession() as a, GestureSession() as b:
+            a.deploy(HIGH)
+            b.deploy(HIGH)
+            assert a.engine is not b.engine
+            assert a.detector is not b.detector
+            assert a.database is not b.database
+            assert a.engine.compile_cache is not b.engine.compile_cache
+            assert a.engine.functions is not b.engine.functions
+
+    def test_metrics_registries_are_distinct_for_sharded_sessions(self):
+        config = SessionConfig(shards=2)
+        with GestureSession(config) as a, GestureSession(config) as b:
+            a.deploy(HIGH)
+            b.deploy(HIGH)
+            assert a.metrics is not None
+            assert a.metrics is not b.metrics
+            a.feed(frames(500, count=10), stream="kinect_t")
+            a.drain()
+            assert a.metrics.totals()["tuples_processed"] == 10
+            assert b.metrics.totals()["tuples_processed"] == 0
+
+    def test_deployments_do_not_leak_across_sessions(self):
+        with GestureSession() as a, GestureSession() as b:
+            a.deploy(HIGH)
+            b.deploy(LOW)
+            workload = frames(500) + frames(50)
+            a.feed(workload, stream="kinect_t")
+            b.feed(workload, stream="kinect_t")
+            assert {e.gesture for e in a.events} == {"high"}
+            assert {e.gesture for e in b.events} == {"low"}
+            assert a.deployed_gestures() == ["high"]
+            assert b.deployed_gestures() == ["low"]
+
+    def test_same_query_name_different_predicates(self):
+        # If any matcher, NFA or compiled-predicate state were keyed by
+        # query name process-wide, one of these two would detect wrongly.
+        with GestureSession() as a, GestureSession() as b:
+            a.deploy(SAME_NAME_A)
+            b.deploy(SAME_NAME_B)
+            workload = frames(500, count=5) + frames(50, count=7)
+            a.feed(workload, stream="kinect_t")
+            b.feed(workload, stream="kinect_t")
+            assert len(a.detections("probe")) == 5
+            assert len(b.detections("probe")) == 7
+
+    def test_concurrent_threaded_feeds_do_not_cross_contaminate(self):
+        config = SessionConfig(shards=2, queue_capacity=256)
+        with GestureSession(config) as a, GestureSession(config) as b:
+            a.deploy(HIGH)
+            b.deploy(LOW)
+            a_events, b_events = [], []
+            a.on_any(a_events.append)
+            b.on_any(b_events.append)
+            workload_a = frames(500, count=200, player=1) + frames(
+                500, count=200, player=2
+            )
+            workload_b = frames(50, count=300, player=1)
+
+            threads = [
+                threading.Thread(target=a.feed, args=(workload_a,), kwargs={"stream": "kinect_t"}),
+                threading.Thread(target=b.feed, args=(workload_b,), kwargs={"stream": "kinect_t"}),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            a.drain()
+            b.drain()
+            assert len(a_events) == 400 and {e.gesture for e in a_events} == {"high"}
+            assert len(b_events) == 300 and {e.gesture for e in b_events} == {"low"}
+            assert a.metrics.totals()["tuples_processed"] == 400
+            assert b.metrics.totals()["tuples_processed"] == 300
+
+    def test_closing_one_session_leaves_the_other_alive(self):
+        a = GestureSession().start()
+        b = GestureSession().start()
+        try:
+            a.deploy(HIGH)
+            b.deploy(HIGH)
+            a.close()
+            b.feed(frames(500, count=3), stream="kinect_t")
+            assert len(b.events) == 3
+        finally:
+            b.close()
