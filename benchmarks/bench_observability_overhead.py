@@ -1,0 +1,132 @@
+"""B7 — the telemetry layer's cost on the B1 workload.
+
+Observability that distorts what it observes is worse than none: the
+default configuration (histograms on, tracing off) must stay within 5%
+of the bare stack (``telemetry=False``) on the C5/B1 workload, and a
+sampled run (``trace_sample_rate=0.01``) is measured alongside so the
+price of tracing is recorded, not guessed.  Before any timing
+comparison, the per-query detection sequences of all three legs are
+asserted identical — telemetry must never change semantics.
+
+Timings interleave repetitions and keep the best of each leg, damping
+shared-runner noise the same way B3 does.  Each run also exercises the
+exports (histogram summaries, per-query stats, the trace document) so
+the recorded numbers include a realistic scrape.
+"""
+
+import time
+
+from benchmarks.conftest import print_table, record_benchmark
+from repro.api import GestureSession
+from repro.api.session import SessionConfig
+
+BATCH_SIZE = 64
+REPEATS = 5
+
+LEGS = (
+    ("telemetry off", SessionConfig(telemetry=False, batch_size=BATCH_SIZE)),
+    ("default (histograms)", SessionConfig(batch_size=BATCH_SIZE)),
+    (
+        "sampled (rate 0.01)",
+        SessionConfig(batch_size=BATCH_SIZE, trace_sample_rate=0.01),
+    ),
+)
+
+
+def _per_query_detections(detections):
+    grouped = {}
+    for detection in detections:
+        grouped.setdefault(detection.query_name, []).append(
+            (
+                detection.output,
+                detection.timestamp,
+                detection.start_timestamp,
+                detection.step_timestamps,
+            )
+        )
+    return grouped
+
+
+def _run_leg(config, queries, frames):
+    with GestureSession(config) as session:
+        for query in queries:
+            session.deploy(query)
+        start = time.perf_counter()
+        session.feed(frames, batch_size=BATCH_SIZE)
+        elapsed = time.perf_counter() - start
+        exports = {}
+        if session.metrics is not None:
+            exports["histograms"] = session.metrics.histogram_summaries()
+            exports["query_stats"] = session.query_stats()
+            exports["trace_spans"] = len(session.export_trace()["traceEvents"])
+        return len(frames) / elapsed, _per_query_detections(session.detections()), exports
+
+
+def test_b7_telemetry_overhead_within_five_percent(
+    benchmark, request, gesture_queries, sensor_frames
+):
+    best = {name: 0.0 for name, _ in LEGS}
+    detections = {}
+    exports = {}
+    # Interleave repetitions so machine-load drift hits every leg alike.
+    for _ in range(REPEATS):
+        for name, config in LEGS:
+            tps, per_query, leg_exports = _run_leg(config, gesture_queries, sensor_frames)
+            best[name] = max(best[name], tps)
+            detections[name] = per_query
+            exports[name] = leg_exports
+
+    # Correctness first: telemetry must not change a single detection.
+    baseline = detections["telemetry off"]
+    assert baseline, "workload produced no detections; comparison is vacuous"
+    for name, _ in LEGS[1:]:
+        assert detections[name] == baseline, f"{name!r} changed the detections"
+
+    # The instrumented legs actually measured something.
+    default_histograms = exports["default (histograms)"]["histograms"]
+    assert default_histograms["batch_processing"]["count"] >= 1
+    assert default_histograms["ingest_to_detection"]["count"] >= 1
+    assert exports["default (histograms)"]["query_stats"]
+    assert exports["sampled (rate 0.01)"]["trace_spans"] >= 0
+
+    off_best = best["telemetry off"]
+    ratios = {name: best[name] / off_best for name, _ in LEGS}
+    print_table(
+        f"B7: telemetry overhead on B1 (batch={BATCH_SIZE}, best of {REPEATS})",
+        [
+            {
+                "configuration": name,
+                "tuples/s": f"{best[name]:,.0f}",
+                "ratio": f"{ratios[name]:.3f}",
+            }
+            for name, _ in LEGS
+        ],
+    )
+
+    record_benchmark(
+        "observability",
+        {
+            "config": {
+                "batch_size": BATCH_SIZE,
+                "repeats": REPEATS,
+                "queries": len(gesture_queries),
+                "frames": len(sensor_frames),
+            },
+            "tuples_per_s": {name: round(best[name], 1) for name, _ in LEGS},
+            "ratio_vs_off": {name: round(ratios[name], 3) for name, _ in LEGS},
+            "default_histograms": default_histograms,
+            "default_query_stats": exports["default (histograms)"]["query_stats"],
+            "sampled_trace_spans": exports["sampled (rate 0.01)"]["trace_spans"],
+        },
+    )
+
+    # The 5% bound is the tentpole's acceptance criterion; skip it in the
+    # untimed smoke pass where single-shot ratios are unreliable.
+    if not request.config.getoption("benchmark_disable", False):
+        ratio = ratios["default (histograms)"]
+        assert ratio >= 0.95, (
+            f"default telemetry throughput is {ratio:.1%} of the bare stack; "
+            f"histograms must stay within 5%"
+        )
+
+    benchmark(_run_leg, LEGS[1][1], gesture_queries, sensor_frames)

@@ -78,6 +78,7 @@ recovery refuses a directory recorded under a different topology::
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -115,6 +116,9 @@ from repro.errors import (
     SessionClosedError,
     SessionStateError,
 )
+from repro.observability.clock import perf_clock
+from repro.observability.telemetry import Telemetry, TelemetryConfig
+from repro.observability.tracing import TraceContext, use_context
 from repro.persistence import (
     DurabilityConfig,
     DurabilityManager,
@@ -179,6 +183,21 @@ class SessionConfig:
         Default static-analysis gate of :meth:`GestureSession.deploy` and
         :meth:`GestureSession.deploy_vocabulary`: ``"off"`` (default),
         ``"warn"`` or ``"strict"``.  See ``docs/analysis.md``.
+    telemetry:
+        ``True`` (default) maintains latency histograms and per-query
+        matcher counters (queue wait, batch processing, ingest→detection;
+        exposed on :attr:`GestureSession.metrics` and ``/metrics``).
+        ``False`` disables the whole observability layer, restoring the
+        exact pre-telemetry hot path.  See ``docs/observability.md``.
+    trace_sample_rate:
+        Fraction of feeds that start a trace (0.0, the default, records no
+        spans and costs nothing on the hot path; 1.0 traces every feed).
+        Sampled spans are exported by :meth:`GestureSession.export_trace`.
+    trace_buffer_size:
+        Span ring-buffer bound; oldest spans are evicted beyond it.
+    slow_batch_seconds:
+        When set, a batch taking longer than this logs a structured
+        warning on the ``repro.observability.slowlog`` logger.
     """
 
     matcher: MatcherConfig = field(default_factory=MatcherConfig)
@@ -194,6 +213,21 @@ class SessionConfig:
     backpressure: str = "block"
     queue_capacity: int = 2048
     analyze: str = "off"
+    telemetry: bool = True
+    trace_sample_rate: float = 0.0
+    trace_buffer_size: int = 4096
+    slow_batch_seconds: Optional[float] = None
+
+    def telemetry_config(self) -> Optional[TelemetryConfig]:
+        """The flat telemetry knobs as one config (``None`` when off)."""
+        if not self.telemetry:
+            return None
+        return TelemetryConfig(
+            enabled=True,
+            trace_sample_rate=self.trace_sample_rate,
+            trace_buffer_size=self.trace_buffer_size,
+            slow_batch_seconds=self.slow_batch_seconds,
+        )
 
     def __post_init__(self) -> None:
         if not self.raw_stream or not self.view_stream:
@@ -214,6 +248,9 @@ class SessionConfig:
         from repro.runtime.queues import BackpressurePolicy
 
         BackpressurePolicy.validate(self.backpressure)
+        # TelemetryConfig validates rates/bounds/threshold in its own
+        # __post_init__; building it here surfaces bad knobs eagerly too.
+        self.telemetry_config()
 
 
 @dataclass(frozen=True)
@@ -286,6 +323,7 @@ class GestureSession:
         self._durability_config = durability
         self._durability: Optional[DurabilityManager] = None
         self._metrics: Optional[MetricsRegistry] = None
+        self._telemetry: Optional[Telemetry] = None
         #: What the last :meth:`recover` replayed (``None`` on live sessions).
         self.last_recovery: Optional[RecoveryResult] = None
         self._started = False
@@ -347,6 +385,16 @@ class GestureSession:
             engine=self._engine, querygen_config=self.config.workflow.querygen
         )
         self._init_durability(self._engine)
+        telemetry_config = self.config.telemetry_config()
+        if telemetry_config is not None:
+            # Inline sessions get a registry of their own (shard 0 holds
+            # the feed histograms), so ``session.metrics`` — and a gateway
+            # ``/metrics`` scrape — works with or without sharding.
+            self._telemetry = Telemetry(telemetry_config)
+            self._engine.telemetry = self._telemetry
+            if self._metrics is None:
+                self._metrics = MetricsRegistry()
+            self._metrics.set_query_stats_provider(self._engine.query_stats)
         self._started = True
         return self
 
@@ -371,18 +419,23 @@ class GestureSession:
                 "own timestamps; use an inline (shards=1) session for "
                 "clock-stamped feeding"
             )
+        telemetry_config = self.config.telemetry_config()
         spec = ShardEngineSpec(
             matcher=self.config.matcher,
             transform=self.config.transform,
             raw_stream=self.config.raw_stream,
             view_stream=self.config.view_stream,
+            telemetry=telemetry_config,
         )
+        if telemetry_config is not None:
+            self._telemetry = Telemetry(telemetry_config)
         runtime = ShardedRuntime(
             shard_count=self.config.shards,
             spec=spec,
             executor=self.config.shard_executor,
             backpressure=self.config.backpressure,
             queue_capacity=self.config.queue_capacity,
+            telemetry=self._telemetry,
         )
         runtime.start()
         self._runtime = runtime
@@ -487,15 +540,20 @@ class GestureSession:
     def metrics(self):
         """The session's :class:`~repro.runtime.MetricsRegistry`.
 
-        Sharded sessions expose the runtime's registry (per-shard counters
-        plus durability); an inline session has one only when durability is
-        enabled (durability counters, zeroed shard section); otherwise
-        ``None``.
+        Sharded sessions expose the runtime's registry (per-shard counters,
+        latency histograms, durability); an inline session has one whenever
+        telemetry (the default) or durability is enabled — its shard 0
+        carries the feed-path histograms.  ``None`` only with both off.
         """
         runtime = self.runtime
         if runtime is not None:
             return runtime.metrics
         return self._metrics
+
+    @property
+    def telemetry(self) -> Optional[Telemetry]:
+        """The live telemetry bundle (tracer + slow-batch log), or ``None``."""
+        return self._telemetry
 
     @property
     def detector(self) -> GestureDetector:
@@ -760,22 +818,70 @@ class GestureSession:
         frames: Iterable[Mapping[str, float]],
         batch_size: Any = _UNSET,
         stream: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
     ) -> int:
         """Push sensor frames through the stack; returns the number fed.
 
         ``batch_size`` selects the engine's batched delivery path (chunks
         amortise fan-out and run-table pruning); it defaults to the
         session configuration's ``batch_size``.  ``stream`` overrides the
-        target stream (the raw sensor stream by default).
+        target stream (the raw sensor stream by default).  ``trace``
+        continues a caller-originated trace context (the gateway passes
+        its request span here); when omitted and sampling is on, the
+        session makes its own head decision.
         """
         self._ensure_started()
         if batch_size is _UNSET:
             batch_size = self.config.batch_size
-        count = self._engine.push_many(
-            stream or self.config.raw_stream, frames, batch_size=batch_size
-        )
+        stream_name = stream or self.config.raw_stream
+        if self._runtime is None and self._telemetry is not None:
+            count = self._feed_inline_measured(stream_name, frames, batch_size, trace)
+        elif self._runtime is not None:
+            # The sharded runtime instruments its own ingest path (trace
+            # origination, queue-wait and batch histograms per shard).
+            count = self._runtime.push_many(
+                stream_name, frames, batch_size=batch_size, trace=trace
+            )
+        else:
+            count = self._engine.push_many(stream_name, frames, batch_size=batch_size)
         if self._durability is not None:
             self._durability.maybe_snapshot()
+        return count
+
+    def _feed_inline_measured(
+        self,
+        stream_name: str,
+        frames: Iterable[Mapping[str, float]],
+        batch_size: Optional[int],
+        trace: Optional[TraceContext] = None,
+    ) -> int:
+        """Inline feed with telemetry: one histogram sample per feed call.
+
+        Feeding is synchronous here, so the feed duration *is* both the
+        batch-processing time and the ingest→detection ceiling; there is no
+        queue to wait in.  With sampling on, the feed span carries the
+        matcher spans the engine nests under the ambient context.
+        """
+        telemetry = self._telemetry
+        if trace is None and telemetry.tracing_active:
+            trace = telemetry.tracer.sample("ingest")
+        span = telemetry.tracer.span("session.feed", "ingest", trace, stream=stream_name)
+        started = perf_clock()
+        if span is not None:
+            with use_context(span.context):
+                count = self._engine.push_many(stream_name, frames, batch_size=batch_size)
+        else:
+            count = self._engine.push_many(stream_name, frames, batch_size=batch_size)
+        busy = perf_clock() - started
+        if span is not None:
+            span.close(tuples=count)
+        if self._metrics is not None:
+            shard_metrics = self._metrics.shard(0)
+            shard_metrics.record_batch_seconds(busy)
+            shard_metrics.add_processed(count, busy)
+            shard_metrics.add_enqueued(count)
+            self._metrics.histogram("ingest_to_detection").record(busy)
+        telemetry.maybe_log_slow_batch(busy, stream_name, count, context=trace)
         return count
 
     def feed_frame(self, frame: Mapping[str, float], stream: Optional[str] = None) -> None:
@@ -884,6 +990,39 @@ class GestureSession:
         self._ensure_started()
         if self._runtime is not None:
             self._runtime.drain()
+
+    # -- telemetry ---------------------------------------------------------------------
+
+    def query_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-query matcher counters (runs started / advanced / pruned /
+        completed / evicted, predicate evaluations, gate rejections, …).
+
+        On a sharded session the counters are summed across shards; they
+        stay readable after :meth:`close` (last collected values).
+        """
+        if self._runtime is not None:
+            return self._runtime.query_stats()
+        if self._engine is None:
+            return {}
+        return self._engine.query_stats()
+
+    def export_trace(self, path: Optional[Union[str, Path]] = None) -> Dict[str, Any]:
+        """The sampled spans as a Chrome trace-event document.
+
+        Loadable in Perfetto / ``chrome://tracing``, or summarised with
+        ``python -m repro.observability summarize <file>``.  ``path``
+        additionally writes the JSON document there.  Empty (but valid)
+        unless ``SessionConfig.trace_sample_rate`` > 0.
+        """
+        if self._telemetry is None:
+            document: Dict[str, Any] = {"traceEvents": [], "displayTimeUnit": "ms"}
+        elif self._runtime is not None:
+            document = self._runtime.export_trace()
+        else:
+            document = self._telemetry.tracer.export()
+        if path is not None:
+            Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
+        return document
 
     def clear(self) -> None:
         """Reset for a fresh scene: events, detections, runs, transform state."""

@@ -241,22 +241,54 @@ class _Run:
 
 @dataclass
 class MatcherStats:
-    """Counters exposed for the optimisation / throughput benchmarks."""
+    """Counters exposed for the optimisation / throughput benchmarks.
+
+    ``runs_evicted`` counts idle-partition sweep reclamations only; those
+    runs are *also* counted in ``runs_pruned`` (the historical aggregate),
+    so ``runs_pruned`` keeps its old meaning of "runs discarded for any
+    expiry reason".  ``gate_rejections`` counts tuples that arrived on the
+    pattern's first stream but failed the first-step predicate — they
+    never touched run state, which is exactly what the vectorized-kernel
+    work needs to size its gating win.
+    """
 
     tuples_processed: int = 0
     predicate_evaluations: int = 0
+    gate_rejections: int = 0
     runs_started: int = 0
+    runs_advanced: int = 0
+    runs_completed: int = 0
     runs_pruned: int = 0
+    runs_evicted: int = 0
     runs_suppressed: int = 0
     detections: int = 0
 
     def reset(self) -> None:
         self.tuples_processed = 0
         self.predicate_evaluations = 0
+        self.gate_rejections = 0
         self.runs_started = 0
+        self.runs_advanced = 0
+        self.runs_completed = 0
         self.runs_pruned = 0
+        self.runs_evicted = 0
         self.runs_suppressed = 0
         self.detections = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-number copy, keyed like the ``/metrics`` query families."""
+        return {
+            "tuples_processed": self.tuples_processed,
+            "predicate_evaluations": self.predicate_evaluations,
+            "gate_rejections": self.gate_rejections,
+            "runs_started": self.runs_started,
+            "runs_advanced": self.runs_advanced,
+            "runs_completed": self.runs_completed,
+            "runs_pruned": self.runs_pruned,
+            "runs_evicted": self.runs_evicted,
+            "runs_suppressed": self.runs_suppressed,
+            "detections": self.detections,
+        }
 
 
 class NFAMatcher:
@@ -438,8 +470,12 @@ class NFAMatcher:
             "stats": {
                 "tuples_processed": stats.tuples_processed,
                 "predicate_evaluations": stats.predicate_evaluations,
+                "gate_rejections": stats.gate_rejections,
                 "runs_started": stats.runs_started,
+                "runs_advanced": stats.runs_advanced,
+                "runs_completed": stats.runs_completed,
                 "runs_pruned": stats.runs_pruned,
+                "runs_evicted": stats.runs_evicted,
                 "runs_suppressed": stats.runs_suppressed,
                 "detections": stats.detections,
             },
@@ -489,6 +525,12 @@ class NFAMatcher:
             self.stats.runs_pruned = int(stats_state["runs_pruned"])
             self.stats.runs_suppressed = int(stats_state["runs_suppressed"])
             self.stats.detections = int(stats_state["detections"])
+            # Counters added after PR 5's snapshot format: default to zero
+            # so snapshots written by older builds still restore.
+            self.stats.gate_rejections = int(stats_state.get("gate_rejections", 0))
+            self.stats.runs_advanced = int(stats_state.get("runs_advanced", 0))
+            self.stats.runs_completed = int(stats_state.get("runs_completed", 0))
+            self.stats.runs_evicted = int(stats_state.get("runs_evicted", 0))
 
     # -- matching -----------------------------------------------------------------------
 
@@ -647,6 +689,7 @@ class NFAMatcher:
                     continue
                 run.next_step = index + 1
                 run.step_timestamps.append(timestamp)
+                stats.runs_advanced += 1
                 if store_tuples:
                     run.matched.append(dict(record))
                 if run.next_step >= self._length:
@@ -656,7 +699,9 @@ class NFAMatcher:
         # Possibly start a new run from this tuple.
         if stream == self._first_stream:
             stats.predicate_evaluations += self._step_costs[0]
-            if self._first_predicate(record):
+            if not self._first_predicate(record):
+                stats.gate_rejections += 1
+            else:
                 if self._length == 1:
                     # A single-step match never occupies a run slot, so the
                     # run cap must not suppress it.
@@ -675,6 +720,7 @@ class NFAMatcher:
                         runs.append(run)
 
         if completed:
+            stats.runs_completed += len(completed)
             detections.extend(self._report(key, completed, timestamp))
         # Drop emptied partitions so the table only tracks live players.
         if runs is not None and not runs:
@@ -715,7 +761,9 @@ class NFAMatcher:
             if now - max(run.step_timestamps[-1] for run in runs) > idle
         ]
         for key in stale:
-            self.stats.runs_pruned += len(self._partitions.pop(key))
+            reclaimed = len(self._partitions.pop(key))
+            self.stats.runs_pruned += reclaimed
+            self.stats.runs_evicted += reclaimed
 
     def _evict_expired(self, runs: List[_Run], timestamp: float) -> bool:
         """At the run cap, prune expired runs; return whether a slot freed up.

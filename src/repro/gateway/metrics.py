@@ -21,7 +21,8 @@ import asyncio
 import threading
 from typing import Dict, Optional
 
-from repro.runtime.metrics import prometheus_sample
+from repro.observability.histogram import LatencyHistogram
+from repro.runtime.metrics import histogram_exposition, prometheus_sample
 
 __all__ = ["GatewayMetrics", "LoopLagMonitor"]
 
@@ -44,6 +45,9 @@ class GatewayMetrics:
         self._errors_sent = 0
         self._loop_lag_ewma = 0.0
         self._loop_lag_max = 0.0
+        #: Wall time of one ``tuples`` frame from receipt to ack —
+        #: admission wait included, so backpressure stalls are visible.
+        self.request_latency = LatencyHistogram()
 
     # -- writers -----------------------------------------------------------------------
 
@@ -80,6 +84,10 @@ class GatewayMetrics:
     def add_error_sent(self) -> None:
         with self._lock:
             self._errors_sent += 1
+
+    def record_request_seconds(self, seconds: float) -> None:
+        with self._lock:
+            self.request_latency.record(seconds)
 
     def record_loop_lag(self, lag_seconds: float) -> None:
         with self._lock:
@@ -122,6 +130,7 @@ class GatewayMetrics:
                 "errors_sent": self._errors_sent,
                 "loop_lag_ewma_seconds": round(self._loop_lag_ewma, 6),
                 "loop_lag_max_seconds": round(self._loop_lag_max, 6),
+                "request_latency": self.request_latency.summary(),
             }
 
     #: snapshot key -> (metric name, type, help) for the exposition format.
@@ -149,6 +158,15 @@ class GatewayMetrics:
             lines.append(f"# HELP {metric} {help_text}")
             lines.append(f"# TYPE {metric} {kind}")
             lines.append(prometheus_sample(metric, snap[key]))
+        with self._lock:
+            request_latency = LatencyHistogram.merged([self.request_latency])
+        lines.extend(
+            histogram_exposition(
+                "repro_gateway_request_seconds",
+                "Wall time of one tuples frame from receipt to ack.",
+                request_latency,
+            )
+        )
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:

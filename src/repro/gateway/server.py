@@ -46,6 +46,8 @@ from repro.gateway import http, protocol, websocket
 from repro.gateway.metrics import GatewayMetrics, LoopLagMonitor
 from repro.gateway.protocol import ErrorCode
 from repro.gateway.tenants import Tenant, TenantConfig
+from repro.observability.clock import perf_clock
+from repro.observability.tracing import TraceContext
 from repro.runtime.metrics import prometheus_sample
 
 __all__ = ["GatewayConfig", "GatewayServer"]
@@ -456,34 +458,75 @@ class GatewayServer:
         message: Dict[str, Any],
         request_id: Any,
     ) -> None:
+        started = perf_clock()
         records = protocol.require_records(message)
         offered = len(records)
+        span = self._request_span(tenant, message, offered)
         try:
-            accepted, dropped = await tenant.ingest(
-                records, message.get("stream"), message.get("batch")
-            )
-        except AdmissionError as error:
-            self.metrics.add_tuples(offered, 0, offered)
-            raise GatewayProtocolError(
-                ErrorCode.RATE_LIMITED, str(error), fatal=True
-            ) from error
-        except BackpressureError as error:
-            self.metrics.add_tuples(offered, 0, offered)
-            raise GatewayProtocolError(
-                ErrorCode.BACKPRESSURE, str(error), fatal=True
-            ) from error
-        self.metrics.add_tuples(offered, accepted, dropped)
-        if message.get("ack", True):
-            ack: Dict[str, Any] = {
-                "type": "ack",
-                "id": request_id,
-                "accepted": accepted,
-                "dropped": dropped,
-                "pending": tenant.queue.depth,
-            }
-            if message.get("seq") is not None:
-                ack["seq"] = message["seq"]
-            await connection.send(ack)
+            try:
+                accepted, dropped = await tenant.ingest(
+                    records,
+                    message.get("stream"),
+                    message.get("batch"),
+                    trace=span.context if span is not None else None,
+                )
+            except AdmissionError as error:
+                self.metrics.add_tuples(offered, 0, offered)
+                raise GatewayProtocolError(
+                    ErrorCode.RATE_LIMITED, str(error), fatal=True
+                ) from error
+            except BackpressureError as error:
+                self.metrics.add_tuples(offered, 0, offered)
+                raise GatewayProtocolError(
+                    ErrorCode.BACKPRESSURE, str(error), fatal=True
+                ) from error
+            self.metrics.add_tuples(offered, accepted, dropped)
+            if message.get("ack", True):
+                ack: Dict[str, Any] = {
+                    "type": "ack",
+                    "id": request_id,
+                    "accepted": accepted,
+                    "dropped": dropped,
+                    "pending": tenant.queue.depth,
+                }
+                if message.get("seq") is not None:
+                    ack["seq"] = message["seq"]
+                await connection.send(ack)
+        finally:
+            # Receipt to ack, admission wait included — a block-policy
+            # stall shows up here, exactly where the client feels it.
+            self.metrics.record_request_seconds(perf_clock() - started)
+            if span is not None:
+                span.close()
+
+    def _request_span(
+        self, tenant: Tenant, message: Dict[str, Any], offered: int
+    ) -> Optional[Any]:
+        """Open the ``gateway.request`` root span for one tuples frame.
+
+        Uses the tenant session's tracer (the decision and the buffer
+        belong to the tenant).  A client-supplied ``trace`` object on the
+        frame is adopted — the caller keeps the head decision — otherwise
+        the tracer head-samples.  Returns ``None`` (no cost) whenever
+        tracing is off.
+        """
+        session = tenant.session
+        telemetry = session.telemetry if session is not None else None
+        if telemetry is None or not telemetry.tracing_active:
+            return None
+        tracer = telemetry.tracer
+        supplied = message.get("trace")
+        trace: Optional[TraceContext]
+        if isinstance(supplied, Mapping):
+            try:
+                trace = tracer.adopt(supplied)
+            except ValueError:
+                trace = tracer.sample("gateway")
+        else:
+            trace = tracer.sample("gateway")
+        return tracer.span(
+            "gateway.request", "gateway", trace, tenant=tenant.name, tuples=offered
+        )
 
     async def _handle_deploy(
         self,

@@ -46,6 +46,7 @@ from typing import Any, Callable, Deque, Dict, List, Mapping, Optional, Sequence
 from repro.api.session import GestureSession, SessionConfig
 from repro.detection.events import GestureEvent
 from repro.errors import AdmissionError, BackpressureError, GatewayError
+from repro.observability.tracing import TraceContext
 from repro.runtime.queues import BackpressurePolicy
 
 __all__ = ["TenantConfig", "Tenant", "TokenBucket", "AsyncIngestQueue"]
@@ -147,6 +148,7 @@ class _Item:
     op: Optional[str] = None
     payload: Any = None
     future: Optional[asyncio.Future] = None
+    trace: Optional[TraceContext] = None
 
 
 class AsyncIngestQueue:
@@ -178,6 +180,7 @@ class AsyncIngestQueue:
         stream: Optional[str],
         records: List[Mapping[str, Any]],
         batch_size: Optional[int],
+        trace: Optional[TraceContext] = None,
     ) -> int:
         """Admit a tuples chunk per policy; returns the tuples dropped.
 
@@ -217,6 +220,7 @@ class AsyncIngestQueue:
                 stream=stream,
                 records=records,
                 batch_size=batch_size,
+                trace=trace,
             )
         )
         self._weight += weight
@@ -389,20 +393,23 @@ class Tenant:
         records: List[Mapping[str, Any]],
         stream: Optional[str],
         batch_size: Optional[int],
+        trace: Optional[TraceContext] = None,
     ) -> Tuple[int, int]:
         """Admit one tuples frame; returns ``(accepted, dropped)``.
 
         ``dropped`` counts this frame's tuples under ``drop_newest`` /
         rate limiting, or *older* queued tuples under ``drop_oldest``
         (the frame itself is then accepted — accepted means queued, not
-        survived).
+        survived).  ``trace`` rides the queued item to the feed, so a
+        sampled request's spans connect the gateway frame to the shard
+        worker that eventually processes it.
         """
         self.raise_if_failed()
         count = len(records)
         rate_dropped = await self.admit_rate(count)
         if rate_dropped:
             return 0, rate_dropped
-        dropped = await self.queue.put_tuples(stream, records, batch_size)
+        dropped = await self.queue.put_tuples(stream, records, batch_size, trace)
         self.tuples_dropped += dropped
         if self.queue.policy == BackpressurePolicy.DROP_NEWEST and dropped:
             return 0, dropped
@@ -451,6 +458,7 @@ class Tenant:
                         item.stream,
                         item.records,
                         item.batch_size,
+                        item.trace,
                     )
                 elif item.op == "stop":
                     if item.future is not None and not item.future.cancelled():
@@ -477,8 +485,9 @@ class Tenant:
         stream: Optional[str],
         records: List[Mapping[str, Any]],
         batch_size: Optional[int],
+        trace: Optional[TraceContext] = None,
     ) -> None:
-        session.feed(records, batch_size=batch_size, stream=stream)
+        session.feed(records, batch_size=batch_size, stream=stream, trace=trace)
         self.tuples_fed += len(records)
 
     def _control_sync(self, session: GestureSession, op: Optional[str], payload: Any) -> Any:

@@ -1,0 +1,50 @@
+"""Telemetry for the whole pipeline: histograms, traces, structured logs.
+
+The package is stdlib-only and sits *below* the runtime in the import
+graph: :mod:`repro.runtime.metrics`, the shard executors, the gateway and
+the persistence layer all import from here, never the other way around.
+Three building blocks:
+
+* :class:`LatencyHistogram` — mergeable log-linear latency histograms
+  with fixed bucket boundaries, so per-thread and per-process shard
+  histograms combine losslessly (see :mod:`repro.observability.histogram`);
+* :class:`Tracer` / :class:`TraceContext` — span-based tracing with a
+  serialisable context that crosses the ``ProcessShard`` pickle boundary,
+  head sampling (default off), a bounded ring buffer, and Chrome
+  trace-event export (see :mod:`repro.observability.tracing`);
+* :class:`JsonFormatter` — a stdlib ``logging`` formatter emitting one
+  JSON object per line with trace-id correlation (see
+  :mod:`repro.observability.jsonlog`).
+
+``python -m repro.observability summarize trace.json`` renders a
+per-stage latency table and critical-path breakdown for an exported
+trace file.  ``docs/observability.md`` documents the semantics.
+"""
+
+from repro.observability.clock import monotonic_time, perf_clock, wall_clock
+from repro.observability.histogram import LatencyHistogram
+from repro.observability.jsonlog import JsonFormatter, configure_json_logging
+from repro.observability.telemetry import Telemetry, TelemetryConfig
+from repro.observability.tracing import (
+    SpanHandle,
+    TraceContext,
+    Tracer,
+    current_context,
+    use_context,
+)
+
+__all__ = [
+    "JsonFormatter",
+    "LatencyHistogram",
+    "SpanHandle",
+    "Telemetry",
+    "TelemetryConfig",
+    "TraceContext",
+    "Tracer",
+    "configure_json_logging",
+    "current_context",
+    "monotonic_time",
+    "perf_clock",
+    "use_context",
+    "wall_clock",
+]

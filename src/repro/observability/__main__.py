@@ -1,0 +1,152 @@
+"""``python -m repro.observability`` — trace-file analysis CLI.
+
+``summarize trace.json`` reads a Chrome trace-event document exported by
+:meth:`Tracer.export` (or ``GestureSession.export_trace``) and renders:
+
+* a per-stage latency table — span count, p50 / p95 / max duration and
+  total time per category (gateway / queue / shard / matcher / ...);
+* a critical-path breakdown — for each complete trace, where its
+  end-to-end wall time went, averaged across traces.
+
+The command exits 0 on success, 2 on a missing/empty/invalid file, so it
+slots into CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["main", "summarize_trace"]
+
+
+def _percentile(sorted_values: List[float], quantile: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(quantile * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _format_us(microseconds: float) -> str:
+    if microseconds >= 1e6:
+        return f"{microseconds / 1e6:.3f}s"
+    if microseconds >= 1e3:
+        return f"{microseconds / 1e3:.3f}ms"
+    return f"{microseconds:.1f}us"
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    ruler = "  ".join("-" * width for width in widths)
+    return "\n".join([line(headers), ruler, *[line(row) for row in rows]])
+
+
+def summarize_trace(document: Mapping[str, Any]) -> str:
+    """The per-stage table + critical-path breakdown, as one string."""
+    events = [
+        event
+        for event in document.get("traceEvents", [])
+        if isinstance(event, Mapping) and event.get("ph") == "X"
+    ]
+    if not events:
+        raise ValueError("trace document contains no complete ('ph': 'X') span events")
+
+    by_stage: Dict[str, List[float]] = defaultdict(list)
+    by_trace: Dict[str, List[Mapping[str, Any]]] = defaultdict(list)
+    for event in events:
+        duration = float(event.get("dur", 0.0))
+        by_stage[str(event.get("cat", "?"))].append(duration)
+        trace_id = event.get("args", {}).get("trace_id")
+        if trace_id:
+            by_trace[str(trace_id)].append(event)
+
+    stage_rows = []
+    for stage in sorted(by_stage, key=lambda s: -sum(by_stage[s])):
+        durations = sorted(by_stage[stage])
+        stage_rows.append(
+            [
+                stage,
+                str(len(durations)),
+                _format_us(_percentile(durations, 0.50)),
+                _format_us(_percentile(durations, 0.95)),
+                _format_us(durations[-1]),
+                _format_us(sum(durations)),
+            ]
+        )
+    sections = [
+        "Per-stage latency (span durations by category)",
+        _render_table(["stage", "spans", "p50", "p95", "max", "total"], stage_rows),
+    ]
+
+    if by_trace:
+        # Critical path: per trace, end-to-end = span extent; attribute
+        # time to stages by their share of summed span time (overlapping
+        # spans double-count within a stage but the ranking holds).
+        stage_share: Dict[str, float] = defaultdict(float)
+        spans_per_trace = []
+        e2e_total = 0.0
+        for trace_events in by_trace.values():
+            start = min(float(event.get("ts", 0.0)) for event in trace_events)
+            end = max(
+                float(event.get("ts", 0.0)) + float(event.get("dur", 0.0))
+                for event in trace_events
+            )
+            e2e_total += end - start
+            spans_per_trace.append(len(trace_events))
+            for event in trace_events:
+                stage_share[str(event.get("cat", "?"))] += float(event.get("dur", 0.0))
+        trace_count = len(by_trace)
+        path_rows = [
+            [
+                stage,
+                _format_us(total / trace_count),
+                f"{100.0 * total / max(1e-9, sum(stage_share.values())):.1f}%",
+            ]
+            for stage, total in sorted(stage_share.items(), key=lambda kv: -kv[1])
+        ]
+        sections += [
+            "",
+            f"Critical path across {trace_count} trace(s) "
+            f"(mean end-to-end {_format_us(e2e_total / trace_count)}, "
+            f"mean spans/trace {sum(spans_per_trace) / trace_count:.1f})",
+            _render_table(["stage", "mean time/trace", "share"], path_rows),
+        ]
+    return "\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability",
+        description="Analyse Chrome trace-event files exported by the pipeline.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    summarize = commands.add_parser(
+        "summarize", help="per-stage latency table + critical-path breakdown"
+    )
+    summarize.add_argument("trace_file", help="Chrome trace-event JSON file")
+    options = parser.parse_args(argv)
+
+    try:
+        with open(options.trace_file, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(summarize_trace(document))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

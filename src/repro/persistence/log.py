@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro.errors import EventLogError
+from repro.observability.clock import perf_clock
 from repro.storage.serialization import FORMAT_VERSION, dump_envelope, load_envelope
 
 __all__ = [
@@ -328,13 +329,14 @@ class EventLog:
         self._segment_bytes = len(data)
 
     def _fsync(self) -> None:
+        started = perf_clock()
         try:
             os.fsync(self._file.fileno())
         except (OSError, ValueError) as exc:
             raise EventLogError(f"cannot fsync event log: {exc}") from exc
         self._appends_since_fsync = 0
         if self.metrics is not None:
-            self.metrics.add_fsync()
+            self.metrics.add_fsync(duration_seconds=perf_clock() - started)
 
     def _write_manifest(self) -> None:
         segments = []

@@ -24,13 +24,13 @@ its own), which keeps this module free of engine imports.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Union
 
 from repro.errors import RecoveryError
+from repro.observability.clock import perf_clock
 from repro.persistence.log import FSYNC_POLICIES, EventLog, LogEntry, read_log
 from repro.persistence.snapshots import SnapshotStore
 from repro.runtime.metrics import DurabilityMetrics
@@ -175,12 +175,12 @@ class DurabilityManager:
         queues themselves).  The snapshot is anchored at the log's current
         last offset: recovery replays strictly after it.
         """
-        started = time.perf_counter()
+        started = perf_clock()
         state = self._capture()
         offset = self.log.last_offset
         self.snapshots.save(state, offset)
         self.log.append_snapshot_marker({"log_offset": offset})
-        self.metrics.add_snapshot(time.perf_counter() - started)
+        self.metrics.add_snapshot(perf_clock() - started)
         self._tuples_since_snapshot = 0
         return offset
 

@@ -15,16 +15,23 @@ directly into the benchmark-results JSON (``BENCH_*.json``).
 from __future__ import annotations
 
 import json
+import logging
+import math
 import threading
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.observability.histogram import LatencyHistogram
 
 __all__ = [
     "ShardMetrics",
     "DurabilityMetrics",
     "MetricsRegistry",
     "escape_label_value",
+    "histogram_exposition",
     "prometheus_sample",
 ]
+
+_logger = logging.getLogger(__name__)
 
 
 # ---------------------------------------------------------------------------
@@ -47,11 +54,21 @@ def escape_label_value(value: object) -> str:
 
 
 def _format_value(value: Union[int, float]) -> str:
-    """Render a sample value (integers without a trailing ``.0``)."""
+    """Render a sample value (integers without a trailing ``.0``).
+
+    Non-finite floats use the exposition format's spellings — ``+Inf``,
+    ``-Inf``, ``NaN`` — which differ from Python's ``str()`` output
+    (``inf`` / ``nan`` would not parse on the scraper side).
+    """
     if isinstance(value, bool):  # bool is an int subclass; be explicit
         return "1" if value else "0"
-    if isinstance(value, float) and value.is_integer():
-        return str(int(value))
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if value.is_integer():
+            return str(int(value))
     return str(value)
 
 
@@ -86,6 +103,59 @@ _SHARD_FAMILIES: Tuple[Tuple[str, str, str, str], ...] = (
     ("busy_seconds", "repro_shard_busy_seconds_total", "counter", "Seconds the shard worker spent processing."),
 )
 
+#: Latency-histogram families: histogram key -> (metric name, help).
+#: ``queue_wait`` and ``batch_processing`` are recorded per shard and
+#: merged at render time; the rest are registry- or subsystem-level.
+_HISTOGRAM_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    ("queue_wait", "repro_queue_wait_seconds", "Seconds tuples waited in shard queues before a worker dequeued them."),
+    ("batch_processing", "repro_batch_processing_seconds", "Seconds a shard worker spent processing one batch."),
+    ("ingest_to_detection", "repro_ingest_to_detection_seconds", "End-to-end seconds from runtime ingest to detection emit."),
+    ("fsync", "repro_fsync_seconds", "Seconds spent in event-log fsync calls."),
+)
+
+#: Per-query matcher counter families: stats key -> (metric name, help).
+#: Rendered with a ``query`` label from the registry's query-stats
+#: provider (the engine / sharded runtime installs one).
+_QUERY_FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    ("tuples_processed", "repro_query_tuples_processed_total", "Tuples examined by the query's matcher."),
+    ("predicate_evaluations", "repro_query_predicate_evaluations_total", "Predicate evaluations the matcher performed."),
+    ("gate_rejections", "repro_query_gate_rejections_total", "Tuples rejected by first-step gating without touching run state."),
+    ("runs_started", "repro_query_runs_started_total", "NFA runs created."),
+    ("runs_advanced", "repro_query_runs_advanced_total", "NFA run step advancements."),
+    ("runs_completed", "repro_query_runs_completed_total", "NFA runs that reached their final step."),
+    ("runs_pruned", "repro_query_runs_pruned_total", "NFA runs discarded by TTL / within-window pruning."),
+    ("runs_evicted", "repro_query_runs_evicted_total", "NFA runs reclaimed by idle-partition sweeps."),
+    ("runs_suppressed", "repro_query_runs_suppressed_total", "Run creations suppressed by the dedup policy."),
+    ("detections", "repro_query_detections_total", "Detections the query emitted."),
+)
+
+
+def histogram_exposition(
+    metric: str,
+    help_text: str,
+    histogram: LatencyHistogram,
+    labels: Optional[Mapping[str, object]] = None,
+) -> List[str]:
+    """One histogram family as exposition lines.
+
+    Renders cumulative ``_bucket`` samples ending at ``le="+Inf"``, then
+    ``_sum`` and ``_count`` — the three series a Prometheus histogram
+    consists of.
+    """
+    base = dict(labels or {})
+    lines = [
+        f"# HELP {metric} {help_text}",
+        f"# TYPE {metric} histogram",
+    ]
+    for le, cumulative in histogram.bucket_pairs():
+        lines.append(
+            prometheus_sample(f"{metric}_bucket", cumulative, {**base, "le": le})
+        )
+    lines.append(prometheus_sample(f"{metric}_sum", histogram.sum, base))
+    lines.append(prometheus_sample(f"{metric}_count", histogram.count, base))
+    return lines
+
+
 #: Durability counter families: snapshot key -> (metric name, type, help).
 _DURABILITY_FAMILIES: Tuple[Tuple[str, str, str, str], ...] = (
     ("entries_appended", "repro_durability_entries_appended_total", "counter", "Entries appended to the event log."),
@@ -113,6 +183,11 @@ class ShardMetrics:
         self._queue_depth_hwm = 0
         self._busy_seconds = 0.0
         self._errors = 0
+        # Latency histograms.  Single-writer by construction (the shard's
+        # worker thread for a thread shard; the parent replaces whole
+        # states collected from a process shard), so not lock-protected.
+        self.queue_wait = LatencyHistogram()
+        self.batch_processing = LatencyHistogram()
 
     # -- producer side ---------------------------------------------------------------
 
@@ -144,6 +219,33 @@ class ShardMetrics:
     def add_error(self) -> None:
         with self._lock:
             self._errors += 1
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """One enqueue→dequeue latency sample (worker thread only)."""
+        self.queue_wait.record(seconds)
+
+    def record_batch_seconds(self, seconds: float) -> None:
+        """One batch-processing duration sample (worker thread only)."""
+        self.batch_processing.record(seconds)
+
+    def histogram_states(self) -> Dict[str, Dict[str, object]]:
+        """JSON-/pickle-safe states of this shard's histograms."""
+        return {
+            "queue_wait": self.queue_wait.to_state(),
+            "batch_processing": self.batch_processing.to_state(),
+        }
+
+    def replace_histogram_states(self, states: Mapping[str, Mapping[str, object]]) -> None:
+        """Adopt cumulative histogram states collected from a process shard.
+
+        Child-side histograms are cumulative over the shard's lifetime, so
+        the parent *replaces* its copies instead of merging (merging would
+        double-count every earlier collection).
+        """
+        if "queue_wait" in states:
+            self.queue_wait = LatencyHistogram.from_state(states["queue_wait"])
+        if "batch_processing" in states:
+            self.batch_processing = LatencyHistogram.from_state(states["batch_processing"])
 
     # -- readers ---------------------------------------------------------------------
 
@@ -239,15 +341,19 @@ class DurabilityMetrics:
         self._snapshot_seconds = 0.0
         self._entries_replayed = 0
         self._recoveries = 0
+        #: fsync duration distribution; the event log is single-writer.
+        self.fsync_latency = LatencyHistogram()
 
     def add_append(self, byte_count: int, entries: int = 1) -> None:
         with self._lock:
             self._entries_appended += entries
             self._bytes_appended += byte_count
 
-    def add_fsync(self, count: int = 1) -> None:
+    def add_fsync(self, count: int = 1, duration_seconds: Optional[float] = None) -> None:
         with self._lock:
             self._fsyncs += count
+        if duration_seconds is not None:
+            self.fsync_latency.record(duration_seconds)
 
     def add_rotation(self) -> None:
         with self._lock:
@@ -331,6 +437,15 @@ class MetricsRegistry:
         #: Event-log / snapshot counters; populated by the durability
         #: subsystem, zeroes when durability is off.
         self.durability = DurabilityMetrics()
+        #: Registry-level latency histograms (``ingest_to_detection``).
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        #: Called before exposition so lazily-collected sources (process
+        #: shards, matcher stats) can push fresh numbers in.
+        self._refresh_hooks: List[Callable[[], None]] = []
+        #: ``() -> {query_name: {stats_key: int}}`` for per-query series.
+        self._query_stats_provider: Optional[
+            Callable[[], Mapping[str, Mapping[str, int]]]
+        ] = None
 
     def shard(self, shard_id: int) -> ShardMetrics:
         with self._lock:
@@ -343,27 +458,81 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._shards)
 
+    def histogram(self, key: str) -> LatencyHistogram:
+        """The registry-level histogram for ``key`` (created on first use)."""
+        with self._lock:
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = LatencyHistogram()
+            return histogram
+
+    def add_refresh_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` before every exposition / collection pass."""
+        self._refresh_hooks.append(hook)
+
+    def set_query_stats_provider(
+        self, provider: Optional[Callable[[], Mapping[str, Mapping[str, int]]]]
+    ) -> None:
+        """Install the source of per-query matcher counters for ``/metrics``."""
+        self._query_stats_provider = provider
+
+    def collect(self) -> None:
+        """Pull from every lazily-collected source (process shards etc.).
+
+        A hook that fails — a shard mid-shutdown, a closed queue — is
+        logged and skipped rather than failing the scrape: exposition
+        must keep working while the pipeline winds down.
+        """
+        for hook in self._refresh_hooks:
+            try:
+                hook()
+            except Exception:
+                _logger.warning("metrics refresh hook %r failed", hook, exc_info=True)
+
     def totals(self) -> Dict[str, float]:
-        """Counters summed over every shard (hwm is the max, not the sum)."""
+        """Counters summed over every shard (gauges take the max, not the sum).
+
+        The key set is derived from ``_SHARD_FAMILIES`` so a counter family
+        added there can never silently drop out of totals or the
+        ``BENCH_*.json`` snapshots.
+        """
         snapshots = [self.shard(shard_id).snapshot() for shard_id in self.shard_ids()]
         totals: Dict[str, float] = {
-            "tuples_enqueued": 0,
-            "tuples_processed": 0,
-            "tuples_dropped": 0,
-            "batches_processed": 0,
-            "detections": 0,
-            "queue_depth_hwm": 0,
-            "busy_seconds": 0.0,
-            "errors": 0,
+            key: 0.0 if key == "busy_seconds" else 0
+            for key, _metric, _kind, _help in _SHARD_FAMILIES
         }
         for snap in snapshots:
-            for key in totals:
-                if key == "queue_depth_hwm":
+            for key, _metric, kind, _help in _SHARD_FAMILIES:
+                if kind == "gauge":
                     totals[key] = max(totals[key], snap[key])
                 else:
                     totals[key] += snap[key]
         totals["busy_seconds"] = round(totals["busy_seconds"], 6)
         return totals
+
+    def merged_histograms(self) -> Dict[str, LatencyHistogram]:
+        """Every histogram family, merged across its per-shard parts."""
+        shards = [self.shard(shard_id) for shard_id in self.shard_ids()]
+        merged = {
+            "queue_wait": LatencyHistogram.merged(s.queue_wait for s in shards),
+            "batch_processing": LatencyHistogram.merged(
+                s.batch_processing for s in shards
+            ),
+            "fsync": LatencyHistogram.merged([self.durability.fsync_latency]),
+        }
+        with self._lock:
+            extra = dict(self._histograms)
+        for key, histogram in extra.items():
+            merged[key] = LatencyHistogram.merged([histogram])
+        return merged
+
+    def histogram_summaries(self) -> Dict[str, Dict[str, float]]:
+        """Plain-number digests of every family, for ``BENCH_*.json``."""
+        self.collect()
+        return {
+            key: histogram.summary()
+            for key, histogram in sorted(self.merged_histograms().items())
+        }
 
     def snapshot(self) -> Dict[str, object]:
         """Full JSON-serialisable view: per-shard, totals and durability."""
@@ -373,6 +542,10 @@ class MetricsRegistry:
             ],
             "totals": self.totals(),
             "durability": self.durability.snapshot(),
+            "histograms": {
+                key: histogram.summary()
+                for key, histogram in sorted(self.merged_histograms().items())
+            },
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -388,6 +561,7 @@ class MetricsRegistry:
         many registries into one scrape body without name collisions.  Ends
         with a newline, so bodies concatenate cleanly.
         """
+        self.collect()
         base = dict(labels or {})
         lines: List[str] = []
         shard_snapshots = [
@@ -409,6 +583,26 @@ class MetricsRegistry:
             lines.append(f"# HELP {metric} {help_text}")
             lines.append(f"# TYPE {metric} {kind}")
             lines.append(prometheus_sample(metric, durability[key], base))
+        merged = self.merged_histograms()
+        for key, metric, help_text in _HISTOGRAM_FAMILIES:
+            histogram = merged.get(key)
+            if histogram is None:
+                histogram = LatencyHistogram()
+            lines.extend(histogram_exposition(metric, help_text, histogram, base))
+        provider = self._query_stats_provider
+        if provider is not None:
+            per_query = provider()
+            for key, metric, help_text in _QUERY_FAMILIES:
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} counter")
+                for query_name in sorted(per_query):
+                    lines.append(
+                        prometheus_sample(
+                            metric,
+                            per_query[query_name].get(key, 0),
+                            {**base, "query": query_name},
+                        )
+                    )
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:

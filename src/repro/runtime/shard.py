@@ -51,6 +51,10 @@ from repro.cep.matcher import Detection, MatcherConfig
 from repro.cep.sinks import CallbackSink
 from repro.cep.views import RAW_STREAM_NAME, TRANSFORMED_STREAM_NAME, install_kinect_view
 from repro.errors import BackpressureError, RuntimeStateError, ShardFailedError
+from repro.observability.clock import monotonic_time, perf_clock
+from repro.observability.histogram import LatencyHistogram
+from repro.observability.telemetry import Telemetry, TelemetryConfig
+from repro.observability.tracing import TraceContext, use_context
 from repro.runtime.metrics import ShardMetrics
 from repro.runtime.queues import BackpressurePolicy, ShardQueue
 from repro.streams.clock import SimulatedClock
@@ -62,6 +66,7 @@ __all__ = [
     "ProcessShard",
     "RemoteShardError",
     "ShardFailure",
+    "current_detection_latency",
 ]
 
 #: How detections leave a shard: ``callback(shard_id, detection)``.
@@ -111,6 +116,11 @@ class ShardEngineSpec:
     raw_stream: str = RAW_STREAM_NAME
     view_stream: str = TRANSFORMED_STREAM_NAME
     install_view: bool = True
+    #: Telemetry knobs for the shard's side of the pipeline.  Rides the
+    #: pickle boundary with the rest of the spec, so a process shard's
+    #: child builds the same tracer/histogram configuration the parent
+    #: runs (``None`` = telemetry fully off).
+    telemetry: Optional[TelemetryConfig] = None
 
     def build(self) -> CEPEngine:
         engine = CEPEngine(clock=SimulatedClock(), matcher_config=self.matcher)
@@ -124,6 +134,12 @@ class ShardEngineSpec:
         elif self.raw_stream not in engine.streams:
             engine.create_stream(self.raw_stream)
         return engine
+
+    def build_telemetry(self) -> Optional[Telemetry]:
+        """The live telemetry bundle this spec describes (``None`` when off)."""
+        if self.telemetry is None or not self.telemetry.enabled:
+            return None
+        return Telemetry(self.telemetry)
 
 
 # ---------------------------------------------------------------------------
@@ -178,6 +194,8 @@ def _apply_control(
         return None
     if op == "capture_state":
         return engine.capture_state()
+    if op == "query_stats":
+        return engine.query_stats()
     if op == "restore_state":
         # Re-registered queries need the shard's detection callback attached,
         # exactly as a live "deploy" would wire it.
@@ -189,7 +207,99 @@ def _apply_control(
 
 #: Control ops whose result is plain data and may cross a process boundary
 #: (everything else acks with ``None`` on the process executor).
-_PICKLABLE_CONTROL_RESULTS = frozenset({"capture_state"})
+#: ``telemetry`` is handled by the worker loops themselves (it needs the
+#: shard's histograms and tracer, which ``_apply_control`` cannot see).
+_PICKLABLE_CONTROL_RESULTS = frozenset({"capture_state", "query_stats", "telemetry"})
+
+
+#: Per-thread ingest stamp of the batch currently being processed, plus the
+#: parent-listener override for latencies computed in a child process.
+_batch_meta = threading.local()
+
+
+def current_detection_latency() -> Optional[float]:
+    """Ingest→now latency of the batch being processed on this thread.
+
+    :func:`_run_batch` installs the producer's enqueue stamp for the
+    duration of the engine push, so a detection callback running
+    synchronously under it (thread shards) reads the end-to-end
+    ingest→detection latency with one clock call.  Process shards compute
+    the latency child-side at emit time, ship it with the detection, and
+    the parent listener installs it here as an override around its
+    callback.  ``None`` whenever telemetry is off — recording is then
+    skipped entirely.
+    """
+    override = getattr(_batch_meta, "override", None)
+    if override is not None:
+        return override
+    enqueued_at = getattr(_batch_meta, "enqueued_at", None)
+    if enqueued_at is None:
+        return None
+    return max(0.0, monotonic_time() - enqueued_at)
+
+
+def _run_batch(
+    engine: CEPEngine,
+    telemetry: Optional[Telemetry],
+    shard_id: int,
+    stream: str,
+    records: Sequence[Mapping[str, Any]],
+    batch_size: Optional[int],
+    meta: Optional[Any],
+) -> "tuple[float, Optional[float]]":
+    """Process one queued batch; returns ``(busy_seconds, queue_wait)``.
+
+    Shared by both executors so thread and process shards measure and
+    trace identically.  ``meta`` is the telemetry stamp the producer
+    attached at enqueue time — ``(enqueue_monotonic, trace_context)`` —
+    or ``None`` when telemetry is off, in which case this is exactly the
+    old hot path plus one ``is None`` check.
+    """
+    queue_wait: Optional[float] = None
+    trace: Optional[TraceContext] = None
+    if meta is not None:
+        enqueued_at, trace = meta
+        dequeued_at = monotonic_time()
+        queue_wait = max(0.0, dequeued_at - enqueued_at)
+    span = None
+    if trace is not None and telemetry is not None and telemetry.tracing_active:
+        telemetry.tracer.record_between(
+            "queue.wait",
+            "queue",
+            trace,
+            dequeued_at - queue_wait,
+            dequeued_at,
+            shard=shard_id,
+            tuples=len(records),
+        )
+        span = telemetry.tracer.span(
+            "shard.batch",
+            "shard",
+            trace,
+            shard=shard_id,
+            stream=stream,
+            tuples=len(records),
+        )
+    if meta is not None:
+        _batch_meta.enqueued_at = enqueued_at
+    started = perf_clock()
+    try:
+        if span is not None:
+            with use_context(span.context):
+                engine.push_many(stream, records, batch_size=batch_size)
+        else:
+            engine.push_many(stream, records, batch_size=batch_size)
+    finally:
+        busy = perf_clock() - started
+        if meta is not None:
+            _batch_meta.enqueued_at = None
+    if span is not None:
+        span.close()
+    if telemetry is not None:
+        telemetry.maybe_log_slow_batch(
+            busy, stream, len(records), shard_id=shard_id, context=trace
+        )
+    return busy, queue_wait
 
 
 class _Control:
@@ -262,11 +372,16 @@ class EngineShard(_ShardBase):
         queue_capacity: int = 2048,
         backpressure: str = BackpressurePolicy.BLOCK,
         engine_factory: Optional[Callable[[int], CEPEngine]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__(shard_id, metrics)
         self.spec = spec
         self._engine_factory = engine_factory
         self._on_detection = on_detection
+        #: Shared with the owning runtime: thread shards record spans and
+        #: histograms straight into the parent's structures, so there is
+        #: nothing to collect later (unlike process shards).
+        self.telemetry = telemetry
         self.queue = ShardQueue(queue_capacity, policy=backpressure, metrics=metrics)
         self._thread: Optional[threading.Thread] = None
         #: Shard-local deployed queries, for live introspection (progress).
@@ -313,6 +428,7 @@ class EngineShard(_ShardBase):
         stream: str,
         records: Sequence[Mapping[str, Any]],
         batch_size: Optional[int] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         """Queue a chunk of tuples for this shard, respecting backpressure.
 
@@ -320,8 +436,14 @@ class EngineShard(_ShardBase):
         policy's bound stays meaningful, and to at most ``batch_size`` so
         the worker's engine sees the same chunk boundaries an inline
         ``push_many(batch_size=…)`` would produce.
+
+        With telemetry on, each chunk carries ``(enqueue_time, trace)`` so
+        the worker can close the queue-wait histogram and continue the
+        caller's trace; with telemetry off the stamp is ``None`` and the
+        worker takes the unmeasured path.
         """
         self.raise_if_failed()
+        meta = (monotonic_time(), trace) if self.telemetry is not None else None
         limit = self.queue.capacity
         if batch_size is not None:
             limit = min(limit, batch_size)
@@ -329,7 +451,9 @@ class EngineShard(_ShardBase):
         for start in range(0, total, limit):
             chunk = records[start : start + limit]
             try:
-                self.queue.put(("tuples", stream, chunk, batch_size), weight=len(chunk))
+                self.queue.put(
+                    ("tuples", stream, chunk, batch_size, meta), weight=len(chunk)
+                )
             except RuntimeStateError:
                 # The queue closes when the worker dies; surface the cause.
                 self.raise_if_failed()
@@ -371,6 +495,9 @@ class EngineShard(_ShardBase):
                 f"shard {self.shard_id} drain timed out with work still queued"
             )
 
+    def collect_telemetry(self, timeout: Optional[float] = None) -> None:
+        """No-op: thread shards write shared histograms/spans directly."""
+
     # -- worker ------------------------------------------------------------------------
 
     def _emit(self, detection: Detection) -> None:
@@ -382,6 +509,7 @@ class EngineShard(_ShardBase):
                 engine = self._engine_factory(self.shard_id)
             else:
                 engine = self.spec.build()
+            engine.telemetry = self.telemetry
             self.engine = engine
             self._engine_ready.set()
         except Exception as error:  # noqa: BLE001 — a dead shard must report, not raise
@@ -413,12 +541,20 @@ class EngineShard(_ShardBase):
                                     self.deployed[restored.name] = restored
                         item.resolve(result=result)
                 else:
-                    _tag, stream, records, batch_size = item
-                    started = time.perf_counter()
-                    engine.push_many(stream, records, batch_size=batch_size)
-                    self.metrics.add_processed(
-                        len(records), time.perf_counter() - started
+                    _tag, stream, records, batch_size, meta = item
+                    busy, queue_wait = _run_batch(
+                        engine,
+                        self.telemetry,
+                        self.shard_id,
+                        stream,
+                        records,
+                        batch_size,
+                        meta,
                     )
+                    if queue_wait is not None:
+                        self.metrics.record_queue_wait(queue_wait)
+                        self.metrics.record_batch_seconds(busy)
+                    self.metrics.add_processed(len(records), busy)
             except Exception as error:  # noqa: BLE001 — data-path failure kills the shard
                 self._record_failure(error, traceback.format_exc())
                 self.queue.task_done()
@@ -470,13 +606,35 @@ def _process_shard_main(shard_id: int, spec: ShardEngineSpec, in_queue, out_queu
     """Entry point of a shard worker process."""
     try:
         engine = spec.build()
+        telemetry = spec.build_telemetry()
+        engine.telemetry = telemetry
     except Exception:  # noqa: BLE001 — report construction failures too
         out_queue.put(("failed", "engine construction failed", traceback.format_exc()))
         out_queue.put(("bye",))
         return
 
+    # Child-local latency histograms.  Cumulative over the shard's life;
+    # the parent *replaces* its copies on every ``telemetry`` collection,
+    # so nothing is double-counted and nothing rides the per-batch path.
+    queue_wait_histogram = LatencyHistogram()
+    batch_histogram = LatencyHistogram()
+
     def emit(detection: Detection) -> None:
-        out_queue.put(("det", detection))
+        # The e2e latency is measured here, child-side, where the ingest
+        # stamp is still live — the pipe crossing is excluded by design
+        # (it is parent dispatch, not pipeline processing).
+        out_queue.put(("det", detection, current_detection_latency()))
+
+    def telemetry_snapshot() -> Dict[str, Any]:
+        """Picklable telemetry payload; spans are drained, never re-sent."""
+        return {
+            "histograms": {
+                "queue_wait": queue_wait_histogram.to_state(),
+                "batch_processing": batch_histogram.to_state(),
+            },
+            "spans": telemetry.tracer.drain() if telemetry is not None else [],
+            "query_stats": engine.query_stats(),
+        }
 
     while True:
         message = in_queue.get()
@@ -485,14 +643,21 @@ def _process_shard_main(shard_id: int, spec: ShardEngineSpec, in_queue, out_queu
             break
         try:
             if kind == "tuples":
-                _tag, stream, records, batch_size = message
-                started = time.perf_counter()
-                engine.push_many(stream, records, batch_size=batch_size)
-                out_queue.put(("done", len(records), time.perf_counter() - started))
+                _tag, stream, records, batch_size, meta = message
+                busy, queue_wait = _run_batch(
+                    engine, telemetry, shard_id, stream, records, batch_size, meta
+                )
+                if queue_wait is not None:
+                    queue_wait_histogram.record(queue_wait)
+                    batch_histogram.record(busy)
+                out_queue.put(("done", len(records), busy))
             elif kind == "control":
                 _tag, token, op, payload = message
                 try:
-                    result = _apply_control(engine, op, payload, emit)
+                    if op == "telemetry":
+                        result = telemetry_snapshot()
+                    else:
+                        result = _apply_control(engine, op, payload, emit)
                 except Exception as error:  # noqa: BLE001 — report to the caller
                     out_queue.put(("nack", token, repr(error), traceback.format_exc()))
                 else:
@@ -570,6 +735,7 @@ class ProcessShard(_ShardBase):
         on_detection: DetectionCallback,
         queue_capacity: int = 2048,
         backpressure: str = BackpressurePolicy.BLOCK,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         super().__init__(shard_id, metrics)
         BackpressurePolicy.validate(backpressure)
@@ -580,6 +746,11 @@ class ProcessShard(_ShardBase):
                 "the thread executor"
             )
         self.spec = spec
+        #: Parent-side bundle: absorbed spans from the child land in this
+        #: tracer on :meth:`collect_telemetry`.  The child builds its own
+        #: from ``spec.telemetry``.
+        self.telemetry = telemetry
+        self._telemetry_enabled = spec.telemetry is not None and spec.telemetry.enabled
         self._on_detection = on_detection
         self._backpressure = backpressure
         self._credits = _Credits(queue_capacity)
@@ -647,8 +818,13 @@ class ProcessShard(_ShardBase):
         stream: str,
         records: Sequence[Mapping[str, Any]],
         batch_size: Optional[int] = None,
+        trace: Optional[TraceContext] = None,
     ) -> None:
         self.raise_if_failed()
+        # The stamp is parent-clock monotonic time: on the platforms the
+        # process executor targets the monotonic clock is system-wide, so
+        # the child's dequeue reading shares its epoch.
+        meta = (monotonic_time(), trace) if self._telemetry_enabled else None
         limit = self.queue_capacity
         if batch_size is not None:
             limit = min(limit, batch_size)
@@ -670,7 +846,7 @@ class ProcessShard(_ShardBase):
                     f"shard {self.shard_id} queue is full "
                     f"({self._credits.in_flight}/{self.queue_capacity} tuples in flight)"
                 )
-            self._in_queue.put(("tuples", stream, chunk, batch_size))
+            self._in_queue.put(("tuples", stream, chunk, batch_size, meta))
             self.metrics.add_enqueued(len(chunk))
             self.metrics.record_queue_depth(self._credits.in_flight)
 
@@ -702,6 +878,31 @@ class ProcessShard(_ShardBase):
         """A flush round-trip: acked only after all earlier work finished."""
         self.control("flush", timeout=timeout)
 
+    def collect_telemetry(self, timeout: Optional[float] = None) -> None:
+        """Pull the child's histograms and spans across the pipe.
+
+        Histogram states are cumulative, so the parent-side copies are
+        replaced; spans are drained child-side, so each is absorbed into
+        the parent tracer exactly once.  Quietly does nothing when
+        telemetry is off or the shard is not in a collectable state.
+        """
+        if (
+            not self._telemetry_enabled
+            or not self._started
+            or self._stopped
+            or self.failed
+        ):
+            return
+        payload = self.control("telemetry", timeout=timeout)
+        if not isinstance(payload, Mapping):
+            return
+        histograms = payload.get("histograms")
+        if isinstance(histograms, Mapping):
+            self.metrics.replace_histogram_states(histograms)
+        spans = payload.get("spans")
+        if spans and self.telemetry is not None:
+            self.telemetry.tracer.absorb(spans)
+
     # -- listener ----------------------------------------------------------------------
 
     def _listen(self) -> None:
@@ -722,7 +923,15 @@ class ProcessShard(_ShardBase):
                 continue
             kind = message[0]
             if kind == "det":
-                self._on_detection(self.shard_id, message[1])
+                latency = message[2] if len(message) > 2 else None
+                if latency is not None:
+                    _batch_meta.override = latency
+                    try:
+                        self._on_detection(self.shard_id, message[1])
+                    finally:
+                        _batch_meta.override = None
+                else:
+                    self._on_detection(self.shard_id, message[1])
             elif kind == "done":
                 _tag, count, busy = message
                 self.metrics.add_processed(count, busy)

@@ -62,6 +62,8 @@ from repro.errors import (
     SnapshotError,
     UnknownQueryError,
 )
+from repro.observability.telemetry import Telemetry
+from repro.observability.tracing import TraceContext
 from repro.runtime.metrics import MetricsRegistry
 from repro.runtime.queues import BackpressurePolicy
 from repro.runtime.results import DetectionLog
@@ -71,6 +73,7 @@ from repro.runtime.shard import (
     ProcessShard,
     ShardEngineSpec,
     ShardFailure,
+    current_detection_latency,
 )
 from repro.streams.clock import Clock, SimulatedClock
 
@@ -212,6 +215,7 @@ class ShardedRuntime:
         engine_factory: Optional[Callable[[int], CEPEngine]] = None,
         metrics: Optional[MetricsRegistry] = None,
         clock: Optional[Clock] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if shard_count < 1:
             raise ValueError("shard_count must be at least 1")
@@ -252,6 +256,21 @@ class ShardedRuntime:
         self._stopped = False
         self._worker_idents: set = set()
         self._failure_handled = False
+        #: The parent-side telemetry bundle: thread shards write into it
+        #: directly, process shards are collected into it.  Built from the
+        #: spec unless the caller hands in a shared instance (the session
+        #: does, so gateway and runtime spans land in one tracer).
+        self.telemetry = telemetry if telemetry is not None else self.spec.build_telemetry()
+        self._query_stats_cache: Dict[str, Dict[str, int]] = {}
+        if self.telemetry is not None:
+            self._e2e_histogram = self.metrics.histogram("ingest_to_detection")
+            self.metrics.add_refresh_hook(self._refresh_telemetry)
+            # The refresh hook (run by ``collect()`` before any exposition)
+            # already re-broadcasts and caches; the provider reads the cache
+            # so one scrape costs one broadcast, not two.
+            self.metrics.set_query_stats_provider(lambda: self._query_stats_cache)
+        else:
+            self._e2e_histogram = None
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -272,6 +291,7 @@ class ShardedRuntime:
                     self._on_detection,
                     queue_capacity=self.queue_capacity,
                     backpressure=self.backpressure,
+                    telemetry=self.telemetry,
                 )
             else:
                 shard = EngineShard(
@@ -282,6 +302,7 @@ class ShardedRuntime:
                     queue_capacity=self.queue_capacity,
                     backpressure=self.backpressure,
                     engine_factory=self._engine_factory,
+                    telemetry=self.telemetry,
                 )
             self._shards.append(shard)
         for shard in self._shards:
@@ -304,6 +325,13 @@ class ShardedRuntime:
         if not self._started or self._stopped:
             self._stopped = True
             return
+        if drain and not self.failed and self.telemetry is not None:
+            # Final collection while the shards still answer controls: the
+            # ``telemetry`` / ``query_stats`` controls are FIFO behind any
+            # queued tuples, so this observes everything fed so far.
+            with contextlib.suppress(Exception):
+                self.collect_telemetry(timeout=timeout)
+                self.query_stats()
         self._stopped = True
         for shard in self._shards:
             shard.stop(drain=drain and not self.failed, timeout=timeout)
@@ -500,7 +528,21 @@ class ShardedRuntime:
 
     # -- data path ---------------------------------------------------------------------
 
-    def push(self, stream_name: str, record: Mapping[str, Any]) -> None:
+    def _originate_trace(self, trace: Optional[TraceContext]) -> Optional[TraceContext]:
+        """Continue a caller's trace, or make the head sampling decision."""
+        if trace is not None:
+            return trace
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.tracing_active:
+            return telemetry.tracer.sample("ingest")
+        return None
+
+    def push(
+        self,
+        stream_name: str,
+        record: Mapping[str, Any],
+        trace: Optional[TraceContext] = None,
+    ) -> None:
         """Route one tuple to its partition's shard."""
         self._raise_if_failed()
         self._ensure_running()
@@ -508,7 +550,7 @@ class ShardedRuntime:
             tap(stream_name, (record,), None)
         shard = self._shards[self.router.shard_for(record)]
         try:
-            shard.enqueue_tuples(stream_name, [record], None)
+            shard.enqueue_tuples(stream_name, [record], None, trace=self._originate_trace(trace))
         except ShardFailedError:
             self._raise_if_failed()
             raise
@@ -519,6 +561,7 @@ class ShardedRuntime:
         stream_name: str,
         records: Iterable[Mapping[str, Any]],
         batch_size: Optional[int] = None,
+        trace: Optional[TraceContext] = None,
     ) -> int:
         """Route many tuples; returns the number accepted for routing.
 
@@ -528,6 +571,13 @@ class ShardedRuntime:
         fan-out inside each shard.  The call returns once every tuple is
         *enqueued* (subject to backpressure); use :meth:`drain` — or any
         read, which drains implicitly — to wait for processing.
+
+        ``trace`` continues a caller-started trace context (the gateway
+        passes its request trace here); without one, a sampled tracer makes
+        its head decision per call.  The routing/enqueue work is recorded
+        as an ``ingest.route`` span and the chosen context rides each
+        shard's queue, so downstream queue/shard/matcher spans share the
+        trace id across thread *and* process executors.
         """
         if batch_size is not None and batch_size < 1:
             raise ValueError("batch_size must be at least 1 when given")
@@ -537,16 +587,26 @@ class ShardedRuntime:
             records = records if isinstance(records, list) else list(records)
             for tap in self._ingest_taps:
                 tap(stream_name, records, batch_size)
+        trace = self._originate_trace(trace)
+        span = None
+        if trace is not None and self.telemetry is not None and self.telemetry.tracing_active:
+            span = self.telemetry.tracer.span(
+                "ingest.route", "ingest", trace, stream=stream_name
+            )
+        downstream = span.context if span is not None else trace
         buckets = self.router.split(records)
         count = 0
         try:
             for shard, bucket in zip(self._shards, buckets):
                 if bucket:
-                    shard.enqueue_tuples(stream_name, bucket, batch_size)
+                    shard.enqueue_tuples(stream_name, bucket, batch_size, trace=downstream)
                     count += len(bucket)
         except ShardFailedError:
             self._raise_if_failed()
             raise
+        finally:
+            if span is not None:
+                span.close(tuples=count)
         self.tuples_processed += count
         return count
 
@@ -688,8 +748,11 @@ class ShardedRuntime:
         shard's detections — in the worst case a handler feeding a full
         ``block``-policy queue would deadlock the whole runtime.
         """
+        latency = current_detection_latency() if self._e2e_histogram is not None else None
         with self._dispatch_lock:
             self.metrics.shard(shard_id).add_detections()
+            if latency is not None:
+                self._e2e_histogram.record(latency)
             self._log.record(detection)
             handle = self._queries.get(detection.query_name)
             listeners = list(self._listeners)
@@ -738,6 +801,74 @@ class ShardedRuntime:
         if self._started and not self._stopped:
             self._broadcast("clear_detections", None)
         self._log.clear()
+
+    # -- telemetry ---------------------------------------------------------------------
+
+    def query_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-query matcher counters, summed across every shard.
+
+        Broadcasts the ``query_stats`` control (FIFO behind queued work, so
+        the counters reflect everything fed before the call) and caches the
+        merged result.  From a worker/listener thread — or once the runtime
+        is stopped or failed — the cached counters are returned instead:
+        broadcasting from a worker would deadlock on its own queue.
+        """
+        if (
+            not self._started
+            or self._stopped
+            or self.failed
+            or threading.get_ident() in self._worker_idents
+        ):
+            return {name: dict(stats) for name, stats in self._query_stats_cache.items()}
+        per_shard = self._broadcast("query_stats", None)
+        merged: Dict[str, Dict[str, int]] = {}
+        for shard_stats in per_shard:
+            if not isinstance(shard_stats, Mapping):
+                continue
+            for name, counters in shard_stats.items():
+                bucket = merged.setdefault(name, {})
+                for key, value in counters.items():
+                    bucket[key] = bucket.get(key, 0) + int(value)
+        self._query_stats_cache = merged
+        return {name: dict(stats) for name, stats in merged.items()}
+
+    def collect_telemetry(self, timeout: Optional[float] = None) -> None:
+        """Pull process-shard histograms and spans parent-side.
+
+        Thread shards share the parent's structures, so their
+        ``collect_telemetry`` is a no-op; process shards answer the
+        ``telemetry`` control with cumulative histogram states (replaced
+        parent-side) and drained spans (absorbed exactly once).  Safe to
+        call any time; quietly skips when there is nothing to collect.
+        """
+        if (
+            not self._started
+            or self._stopped
+            or self.failed
+            or threading.get_ident() in self._worker_idents
+        ):
+            return
+        for shard in self._shards:
+            with contextlib.suppress(Exception):
+                shard.collect_telemetry(timeout=timeout)
+
+    def _refresh_telemetry(self) -> None:
+        """Metrics-registry refresh hook: make ``/metrics`` reads current."""
+        self.collect_telemetry(timeout=5.0)
+        with contextlib.suppress(Exception):
+            self.query_stats()
+
+    def export_trace(self) -> Dict[str, Any]:
+        """The collected spans as a Chrome trace-event document.
+
+        Collects process shards first, so an export after a drain holds the
+        full gateway → queue → shard → matcher span tree.  Empty (but
+        valid) when tracing is off.
+        """
+        if self.telemetry is None:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        self.collect_telemetry()
+        return self.telemetry.tracer.export()
 
     def reset_matchers(self) -> None:
         """Discard all partial matches on every shard."""

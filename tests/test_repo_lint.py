@@ -18,6 +18,7 @@ sys.path.insert(0, str(TOOLS))
 
 from repo_lint import (  # noqa: E402 — path set up above
     HASH_FORBIDDEN_PATHS,
+    WALL_CLOCK_FORBIDDEN_PATHS,
     lint_file,
     lint_repository,
     main,
@@ -43,7 +44,7 @@ class TestRepositoryIsClean:
     def test_cli_list_catalogue(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        assert "RL001" in out and "RL002" in out
+        assert "RL001" in out and "RL002" in out and "RL003" in out
 
     def test_script_runs_standalone(self):
         result = subprocess.run(
@@ -143,5 +144,57 @@ class TestRL002SilentExcept:
             tmp_path,
             "benchmarks/bench.py",
             "try:\n    work()\nexcept Exception:\n    pass\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+
+class TestRL003WallClock:
+    def test_time_time_on_latency_path_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/runtime/bad_timer.py",
+            "import time\nstarted = time.time()\n",
+        )
+        violations = lint_file(path, root=tmp_path)
+        assert [v.code for v in violations] == ["RL003"]
+        assert violations[0].line == 2
+        assert "perf_clock" in violations[0].message
+
+    def test_bare_time_import_call_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/gateway/bad_timer.py",
+            "from time import time\nstarted = time()\n",
+        )
+        assert [v.code for v in lint_file(path, root=tmp_path)] == ["RL003"]
+
+    @pytest.mark.parametrize("prefix", WALL_CLOCK_FORBIDDEN_PATHS)
+    def test_every_forbidden_tree_is_covered(self, tmp_path, prefix):
+        path = write_module(
+            tmp_path, f"{prefix}/bad.py", "import time\nnow = time.time()\n"
+        )
+        assert [v.code for v in lint_file(path, root=tmp_path)] == ["RL003"]
+
+    def test_clock_module_is_sanctioned(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/observability/clock.py",
+            "import time\ndef wall_clock():\n    return time.time()\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+    def test_monotonic_and_perf_counter_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/runtime/ok_timer.py",
+            "import time\ndeadline = time.monotonic() + 5\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+    def test_time_time_outside_latency_paths_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/detection/ok.py",
+            "import time\nstamp = time.time()\n",
         )
         assert lint_file(path, root=tmp_path) == []

@@ -652,6 +652,13 @@ class TestShardedSession:
     def test_inline_session_has_no_runtime(self):
         with GestureSession() as session:
             assert session.runtime is None
+            # Telemetry (on by default) gives the inline session its own
+            # registry; with telemetry off there is nothing to report.
+            assert session.metrics is not None
+        from repro.api.session import SessionConfig
+
+        with GestureSession(SessionConfig(telemetry=False)) as session:
+            assert session.runtime is None
             assert session.metrics is None
 
     def test_handler_can_feed_a_frame_that_detects_again(self):

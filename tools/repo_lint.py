@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repository-specific lint rules that generic linters do not cover.
 
-Two rules, both born from real failure modes of this codebase:
+Three rules, all born from real failure modes of this codebase:
 
 ``RL001`` — no builtin ``hash()`` on routing/persistence code paths
     CPython salts ``hash()`` per process (PYTHONHASHSEED), so a shard
@@ -18,6 +18,17 @@ Two rules, both born from real failure modes of this codebase:
     ``pass`` hides real defects with no trace.  Intentional best-effort
     suppression must be spelled ``contextlib.suppress(...)`` — greppable,
     explicit about the exception types, and reviewed as such.
+
+``RL003`` — no ``time.time()`` on latency-measurement paths
+    Wall-clock time jumps under NTP slew and DST, so a latency computed
+    from two ``time.time()`` readings can be negative or wildly wrong —
+    and every histogram it feeds is silently corrupted.  Latency paths
+    (``src/repro/runtime``, ``src/repro/gateway``,
+    ``src/repro/persistence``, ``src/repro/observability``) must take
+    their readings from :mod:`repro.observability.clock`
+    (``perf_clock`` for durations, ``monotonic_time`` for
+    cross-process span timestamps); ``observability/clock.py`` itself is
+    the one sanctioned caller of ``time.time()``.
 
 Run as a script (CI) or through ``tests/test_repo_lint.py``::
 
@@ -44,6 +55,17 @@ HASH_FORBIDDEN_PATHS = (
 
 #: Directory tree where silent broad excepts are forbidden (RL002).
 SWALLOW_FORBIDDEN_PATH = "src/repro"
+
+#: Latency-measurement trees where ``time.time()`` is forbidden (RL003).
+WALL_CLOCK_FORBIDDEN_PATHS = (
+    "src/repro/runtime",
+    "src/repro/gateway",
+    "src/repro/persistence",
+    "src/repro/observability",
+)
+
+#: The one module allowed to call ``time.time()``: the clock itself.
+WALL_CLOCK_SANCTIONED = "src/repro/observability/clock.py"
 
 
 class Violation(NamedTuple):
@@ -95,6 +117,35 @@ def _lint_hash_calls(path: Path, tree: ast.AST, relative: str) -> Iterable[Viola
             )
 
 
+def _is_wall_clock_call(node: ast.AST) -> bool:
+    """Match ``time.time()`` and ``from time import time; time()`` calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "time"
+    ):
+        return True
+    return isinstance(func, ast.Name) and func.id == "time"
+
+
+def _lint_wall_clock_calls(path: Path, tree: ast.AST, relative: str) -> Iterable[Violation]:
+    for node in ast.walk(tree):
+        if _is_wall_clock_call(node):
+            yield Violation(
+                relative,
+                node.lineno,
+                "RL003",
+                "time.time() is wall-clock and jumps under NTP/DST; latency "
+                "paths must use repro.observability.clock (perf_clock for "
+                "durations, monotonic_time for span timestamps, wall_clock "
+                "where civil time is genuinely meant)",
+            )
+
+
 def _lint_silent_excepts(path: Path, tree: ast.AST, relative: str) -> Iterable[Violation]:
     for node in ast.walk(tree):
         if _is_broad_silent_except(node):
@@ -119,6 +170,11 @@ def lint_file(path: Path, root: Optional[Path] = None) -> List[Violation]:
         violations.extend(_lint_hash_calls(path, tree, relative))
     if posix.startswith(SWALLOW_FORBIDDEN_PATH):
         violations.extend(_lint_silent_excepts(path, tree, relative))
+    if (
+        any(posix.startswith(prefix) for prefix in WALL_CLOCK_FORBIDDEN_PATHS)
+        and posix != WALL_CLOCK_SANCTIONED
+    ):
+        violations.extend(_lint_wall_clock_calls(path, tree, relative))
     return violations
 
 
@@ -140,6 +196,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list:
         print("RL001  no builtin hash() under", ", ".join(HASH_FORBIDDEN_PATHS))
         print("RL002  no silent broad 'except: pass' under", SWALLOW_FORBIDDEN_PATH)
+        print(
+            "RL003  no time.time() under",
+            ", ".join(WALL_CLOCK_FORBIDDEN_PATHS),
+            f"(except {WALL_CLOCK_SANCTIONED})",
+        )
         return 0
     violations = lint_repository()
     for violation in violations:
