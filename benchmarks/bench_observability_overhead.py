@@ -4,9 +4,12 @@ Observability that distorts what it observes is worse than none: the
 default configuration (histograms on, tracing off) must stay within 5%
 of the bare stack (``telemetry=False``) on the C5/B1 workload, and a
 sampled run (``trace_sample_rate=0.01``) is measured alongside so the
-price of tracing is recorded, not guessed.  Before any timing
-comparison, the per-query detection sequences of all three legs are
-asserted identical — telemetry must never change semantics.
+price of tracing is recorded, not guessed.  The control-plane leg runs
+the full supervision stack — background metrics sampler plus health
+watchdog — and must also stay within 5%, since both poll parent-visible
+snapshots off the hot path.  Before any timing comparison, the per-query
+detection sequences of all legs are asserted identical — telemetry must
+never change semantics.
 
 Timings interleave repetitions and keep the best of each leg, damping
 shared-runner noise the same way B3 does.  Each run also exercises the
@@ -19,6 +22,7 @@ import time
 from benchmarks.conftest import print_table, record_benchmark
 from repro.api import GestureSession
 from repro.api.session import SessionConfig
+from repro.observability.health import WatchdogConfig
 
 BATCH_SIZE = 64
 REPEATS = 5
@@ -29,6 +33,14 @@ LEGS = (
     (
         "sampled (rate 0.01)",
         SessionConfig(batch_size=BATCH_SIZE, trace_sample_rate=0.01),
+    ),
+    (
+        "control plane (sampler+watchdog)",
+        SessionConfig(
+            batch_size=BATCH_SIZE,
+            sample_interval_seconds=0.5,
+            watchdog=WatchdogConfig(),
+        ),
     ),
 )
 
@@ -59,6 +71,11 @@ def _run_leg(config, queries, frames):
             exports["histograms"] = session.metrics.histogram_summaries()
             exports["query_stats"] = session.query_stats()
             exports["trace_spans"] = len(session.export_trace()["traceEvents"])
+        if session.sampler is not None:
+            session.sampler.sample_once()
+            exports["sampler_series"] = len(session.sampler.names())
+        if session.watchdog is not None:
+            exports["health"] = session.health().status
         return len(frames) / elapsed, _per_query_detections(session.detections()), exports
 
 
@@ -88,6 +105,8 @@ def test_b7_telemetry_overhead_within_five_percent(
     assert default_histograms["ingest_to_detection"]["count"] >= 1
     assert exports["default (histograms)"]["query_stats"]
     assert exports["sampled (rate 0.01)"]["trace_spans"] >= 0
+    assert exports["control plane (sampler+watchdog)"]["sampler_series"] >= 1
+    assert exports["control plane (sampler+watchdog)"]["health"] == "ok"
 
     off_best = best["telemetry off"]
     ratios = {name: best[name] / off_best for name, _ in LEGS}
@@ -117,6 +136,12 @@ def test_b7_telemetry_overhead_within_five_percent(
             "default_histograms": default_histograms,
             "default_query_stats": exports["default (histograms)"]["query_stats"],
             "sampled_trace_spans": exports["sampled (rate 0.01)"]["trace_spans"],
+            "control_plane": {
+                "sampler_series": exports["control plane (sampler+watchdog)"][
+                    "sampler_series"
+                ],
+                "health": exports["control plane (sampler+watchdog)"]["health"],
+            },
         },
     )
 
@@ -127,6 +152,11 @@ def test_b7_telemetry_overhead_within_five_percent(
         assert ratio >= 0.95, (
             f"default telemetry throughput is {ratio:.1%} of the bare stack; "
             f"histograms must stay within 5%"
+        )
+        control_ratio = ratios["control plane (sampler+watchdog)"]
+        assert control_ratio >= 0.95, (
+            f"sampler+watchdog throughput is {control_ratio:.1%} of the bare "
+            f"stack; the control plane must stay within 5%"
         )
 
     benchmark(_run_leg, LEGS[1][1], gesture_queries, sensor_frames)

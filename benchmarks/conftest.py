@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -66,19 +67,66 @@ def pytest_collection_modifyitems(config, items):
 #: Where ``record_benchmark`` writes its JSON files.
 RESULTS_DIR = Path(__file__).resolve().parent
 
+#: ``history`` entries kept per benchmark file — old runs age out so the
+#: checked-in JSON stays reviewable.
+HISTORY_LIMIT = 20
+
+
+def _git_sha() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                cwd=RESULTS_DIR,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _load_history(path: Path) -> list:
+    """Prior runs from an existing BENCH file, oldest first.
+
+    Legacy single-run documents (no ``history`` key) become the first
+    history entry, so the perf trajectory survives the format change.
+    """
+    if not path.exists():
+        return []
+    try:
+        previous = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(previous, dict):
+        return []
+    history = previous.get("history")
+    if isinstance(history, list):
+        return history
+    previous.setdefault("git_sha", "unknown")
+    return [previous]
+
 
 def record_benchmark(name: str, payload: Mapping[str, object]) -> Path:
-    """Dump one benchmark run to ``benchmarks/BENCH_<name>.json``.
+    """Record one benchmark run in ``benchmarks/BENCH_<name>.json``.
 
     The perf trajectory of the repo lives in these files: every benchmark
     passes its configuration, throughput numbers and detection counts, and
-    the writer adds the environment (python, platform, cpu count) and a
-    wall-clock stamp.  Values must be JSON-serialisable — pass the same
-    plain rows the ``print_table`` reports use.
+    the writer adds the environment (python, platform, cpu count), a
+    wall-clock stamp and the current git SHA.  The latest run stays at the
+    top level (so existing readers keep working) and every run — keyed by
+    ``git_sha`` + ``written_at`` — is appended to a bounded ``history``
+    array, so regressions across commits are diffable in review.  Values
+    must be JSON-serialisable — pass the same plain rows the
+    ``print_table`` reports use.
     """
-    document = {
+    entry = {
         "benchmark": name,
         "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _git_sha(),
         "environment": {
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
@@ -88,6 +136,13 @@ def record_benchmark(name: str, payload: Mapping[str, object]) -> Path:
         **payload,
     }
     path = RESULTS_DIR / f"BENCH_{name}.json"
+    history = [
+        {key: value for key, value in run.items() if key != "history"}
+        for run in _load_history(path)
+    ]
+    history.append(entry)
+    history = history[-HISTORY_LIMIT:]
+    document = {**entry, "history": history}
     path.write_text(json.dumps(document, indent=2, default=str) + "\n")
     return path
 

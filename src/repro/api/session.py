@@ -117,7 +117,11 @@ from repro.errors import (
     SessionStateError,
 )
 from repro.observability.clock import perf_clock
+from repro.observability.health import HealthReport, HealthWatchdog, WatchdogConfig
+from repro.observability.profiling import UNTAGGED
+from repro.observability.slo import SLO, Alert, SLOEvaluator
 from repro.observability.telemetry import Telemetry, TelemetryConfig
+from repro.observability.timeseries import MetricsSampler
 from repro.observability.tracing import TraceContext, use_context
 from repro.persistence import (
     DurabilityConfig,
@@ -198,6 +202,27 @@ class SessionConfig:
     slow_batch_seconds:
         When set, a batch taking longer than this logs a structured
         warning on the ``repro.observability.slowlog`` logger.
+    sample_interval_seconds:
+        When set, a background
+        :class:`~repro.observability.timeseries.MetricsSampler` polls the
+        session's counters and histogram digests into windowed ring-buffer
+        series at this interval (``session.sampler``).  ``None`` (default)
+        starts no sampler thread.
+    slos:
+        Declarative :class:`~repro.observability.slo.SLO` objectives,
+        evaluated by burn-rate rules on the sampler's beat (implies a
+        sampler at the default interval when ``sample_interval_seconds``
+        is unset).  Fired alerts land on ``session.alerts``, the
+        structured alert log and the gateway's ``/alerts``.
+    watchdog:
+        A :class:`~repro.observability.health.WatchdogConfig` starts the
+        health watchdog thread: per-shard progress heartbeats, stall /
+        queue-saturation / fsync-stall detection, read via
+        ``session.health()`` and the gateway's ``/healthz``.  ``None``
+        (default) starts no watchdog.
+    profile_hz:
+        Sampling rate of the continuous per-query profiler; 0.0 (default)
+        constructs no profiler at all.  Results via ``session.profile()``.
     """
 
     matcher: MatcherConfig = field(default_factory=MatcherConfig)
@@ -217,6 +242,10 @@ class SessionConfig:
     trace_sample_rate: float = 0.0
     trace_buffer_size: int = 4096
     slow_batch_seconds: Optional[float] = None
+    sample_interval_seconds: Optional[float] = None
+    slos: Tuple[SLO, ...] = ()
+    watchdog: Optional[WatchdogConfig] = None
+    profile_hz: float = 0.0
 
     def telemetry_config(self) -> Optional[TelemetryConfig]:
         """The flat telemetry knobs as one config (``None`` when off)."""
@@ -227,6 +256,7 @@ class SessionConfig:
             trace_sample_rate=self.trace_sample_rate,
             trace_buffer_size=self.trace_buffer_size,
             slow_batch_seconds=self.slow_batch_seconds,
+            profile_hz=self.profile_hz,
         )
 
     def __post_init__(self) -> None:
@@ -248,6 +278,19 @@ class SessionConfig:
         from repro.runtime.queues import BackpressurePolicy
 
         BackpressurePolicy.validate(self.backpressure)
+        object.__setattr__(self, "slos", tuple(self.slos))  # accept any iterable
+        if self.sample_interval_seconds is not None and self.sample_interval_seconds <= 0:
+            raise ValueError("sample_interval_seconds must be positive when given")
+        if not self.telemetry and (
+            self.sample_interval_seconds is not None
+            or self.slos
+            or self.watchdog is not None
+            or self.profile_hz
+        ):
+            raise ValueError(
+                "sample_interval_seconds / slos / watchdog / profile_hz need "
+                "telemetry=True: the control plane observes the telemetry layer"
+            )
         # TelemetryConfig validates rates/bounds/threshold in its own
         # __post_init__; building it here surfaces bad knobs eagerly too.
         self.telemetry_config()
@@ -324,6 +367,9 @@ class GestureSession:
         self._durability: Optional[DurabilityManager] = None
         self._metrics: Optional[MetricsRegistry] = None
         self._telemetry: Optional[Telemetry] = None
+        self._sampler: Optional[MetricsSampler] = None
+        self._slo_evaluator: Optional[SLOEvaluator] = None
+        self._watchdog: Optional[HealthWatchdog] = None
         #: What the last :meth:`recover` replayed (``None`` on live sessions).
         self.last_recovery: Optional[RecoveryResult] = None
         self._started = False
@@ -395,6 +441,7 @@ class GestureSession:
             if self._metrics is None:
                 self._metrics = MetricsRegistry()
             self._metrics.set_query_stats_provider(self._engine.query_stats)
+        self._start_control_plane()
         self._started = True
         return self
 
@@ -449,7 +496,45 @@ class GestureSession:
             engine=runtime, querygen_config=self.config.workflow.querygen
         )
         self._init_durability(runtime)
+        self._start_control_plane()
         self._started = True
+
+    def _start_control_plane(self) -> None:
+        """Start the opted-in observability threads: sampler, SLO
+        evaluation, watchdog and the parent-side profiler.
+
+        Everything here is off-by-default — with none of the knobs set
+        this method does nothing, and the hot path is untouched either
+        way (the control plane only *reads* parent-visible state on its
+        own named threads).
+        """
+        if self._telemetry is None:
+            return
+        config = self.config
+        if config.slos or config.sample_interval_seconds is not None:
+            if config.slos:
+                self._slo_evaluator = SLOEvaluator(config.slos)
+            self._sampler = MetricsSampler(
+                interval_seconds=config.sample_interval_seconds or 0.5,
+                evaluator=self._slo_evaluator,
+            )
+            registry = self._runtime.metrics if self._runtime is not None else self._metrics
+            if registry is not None:
+                self._sampler.add_registry(registry)
+            self._sampler.start()
+        if config.watchdog is not None:
+            self._watchdog = HealthWatchdog(config.watchdog)
+            if self._runtime is not None:
+                self._watchdog.add_liveness_source(self._runtime.shard_liveness)
+            registry = self._runtime.metrics if self._runtime is not None else self._metrics
+            if registry is not None:
+                self._watchdog.add_durability_source(registry.durability.snapshot)
+            self._watchdog.start()
+        if self._telemetry.profiler is not None:
+            # Parent-side sampling: covers the inline engine and thread
+            # shards directly; process shards run their own child-side
+            # profiler whose counts are folded in on telemetry collection.
+            self._telemetry.profiler.start()
 
     def _init_durability(self, target: Any) -> None:
         """Open the event log and install the write-ahead ingest tap."""
@@ -481,10 +566,19 @@ class GestureSession:
             return
         self._closed = True
         self._started = False
+        # Control-plane threads first: their final reads observe the live
+        # runtime, and nothing may outlive the session.
+        if self._sampler is not None:
+            self._sampler.stop()
+        if self._watchdog is not None:
+            self._watchdog.stop()
         if self._runtime is not None:
             # Finish queued work, stop the workers, keep results readable.
+            # (This final collection also folds child profiler counts in.)
             self._runtime.stop(drain=True)
             self._runtime.join()
+        if self._telemetry is not None and self._telemetry.profiler is not None:
+            self._telemetry.profiler.stop()
         if self._durability is not None:
             self._durability.close()
         if self._database is not None and self._owns_database:
@@ -1023,6 +1117,89 @@ class GestureSession:
         if path is not None:
             Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
         return document
+
+    @property
+    def sampler(self) -> Optional[MetricsSampler]:
+        """The background metrics sampler, or ``None`` when not configured."""
+        return self._sampler
+
+    @property
+    def slo_evaluator(self) -> Optional[SLOEvaluator]:
+        """The burn-rate evaluator, or ``None`` without configured SLOs."""
+        return self._slo_evaluator
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """Fired burn-rate alerts, oldest first (empty without SLOs).
+
+        Stays readable after :meth:`close` — the bounded alert log is the
+        post-mortem record of what breached during the run.
+        """
+        if self._slo_evaluator is None:
+            return []
+        return self._slo_evaluator.alerts()
+
+    @property
+    def watchdog(self) -> Optional[HealthWatchdog]:
+        """The health watchdog, or ``None`` when not configured."""
+        return self._watchdog
+
+    def health(self) -> Optional[HealthReport]:
+        """The watchdog's latest report (``None`` without a watchdog).
+
+        Runs one synchronous check when the background thread has not
+        published yet, so the first read after :meth:`start` is real.
+        """
+        if self._watchdog is None:
+            return None
+        report = self._watchdog.report()
+        if report.checks == 0:
+            report = self._watchdog.check()
+        return report
+
+    def profile(self) -> Dict[str, Any]:
+        """The continuous profiler's per-query CPU attribution.
+
+        Joins the sampling profiler's tagged stack samples with
+        :meth:`query_stats`, so each deployed query reports its share of
+        sampled matcher CPU next to its matcher counters.  With
+        ``profile_hz=0`` (the default) returns ``{"enabled": False}``.
+        On a sharded session, child-shard samples are collected first so
+        the attribution spans every pid.
+        """
+        profiler = self._telemetry.profiler if self._telemetry is not None else None
+        if profiler is None:
+            return {"enabled": False, "samples": 0, "queries": {}}
+        if self._runtime is not None:
+            self._runtime.collect_telemetry()
+        snapshot = profiler.snapshot()
+        stats = self.query_stats()
+        share: Mapping[str, float] = snapshot["query_share"]  # type: ignore[assignment]
+        samples: Mapping[str, int] = snapshot["query_samples"]  # type: ignore[assignment]
+        queries: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(set(share) | set(stats)):
+            queries[name] = {
+                "cpu_share": round(float(share.get(name, 0.0)), 4),
+                "samples": int(samples.get(name, 0)),
+                "stats": dict(stats.get(name, {})),
+            }
+        return {
+            "enabled": True,
+            "hz": profiler.hz,
+            "samples": snapshot["samples"],
+            "untagged_samples": int(samples.get(UNTAGGED, 0)),
+            "queries": queries,
+            "top_stacks": snapshot["top_stacks"],
+        }
+
+    def collapsed_profile(self) -> List[str]:
+        """Folded-stack lines (``stack count``) for flamegraph tooling."""
+        profiler = self._telemetry.profiler if self._telemetry is not None else None
+        if profiler is None:
+            return []
+        if self._runtime is not None:
+            self._runtime.collect_telemetry()
+        return profiler.collapsed()
 
     def clear(self) -> None:
         """Reset for a fresh scene: events, detections, runs, transform state."""

@@ -48,7 +48,7 @@ from repro.gateway.protocol import ErrorCode
 from repro.gateway.tenants import Tenant, TenantConfig
 from repro.observability.clock import perf_clock
 from repro.observability.tracing import TraceContext
-from repro.runtime.metrics import prometheus_sample
+from repro.runtime.metrics import build_info_exposition, prometheus_sample
 
 __all__ = ["GatewayConfig", "GatewayServer"]
 
@@ -209,14 +209,18 @@ class GatewayServer:
         if request.method != "GET":
             response = http.render_response(405, b"only GET is served\n")
         elif request.path == "/healthz":
-            body = json.dumps(
-                {
-                    "status": "ok",
-                    "tenants": len(self.tenants),
-                    "connections": self.metrics.connections_active,
-                },
-                sort_keys=True,
-            ).encode("utf-8")
+            document = self._health_document()
+            body = json.dumps(document, sort_keys=True).encode("utf-8")
+            status = 503 if document["status"] == "unhealthy" else 200
+            response = http.render_response(status, body + b"\n", "application/json")
+        elif request.path == "/alerts":
+            body = json.dumps(self._alerts_document(), sort_keys=True).encode("utf-8")
+            response = http.render_response(200, body + b"\n", "application/json")
+        elif request.path == "/debug/vars":
+            # The profiler join may broadcast a telemetry collection to
+            # process shards; keep that off the event loop.
+            document = await asyncio.to_thread(self._debug_vars_document)
+            body = json.dumps(document, sort_keys=True).encode("utf-8")
             response = http.render_response(200, body + b"\n", "application/json")
         elif request.path == "/metrics":
             accept = request.header("accept")
@@ -230,9 +234,75 @@ class GatewayServer:
                     200, body, "text/plain; version=0.0.4; charset=utf-8"
                 )
         else:
-            response = http.render_response(404, b"try /healthz or /metrics\n")
+            response = http.render_response(
+                404, b"try /healthz, /metrics, /alerts or /debug/vars\n"
+            )
         writer.write(response)
         await writer.drain()
+
+    def _health_document(self) -> Dict[str, Any]:
+        """The ``/healthz`` body: gateway liveness + per-tenant watchdogs.
+
+        The overall status is the worst across every tenant session that
+        runs a health watchdog (sessions without one contribute ``ok``),
+        with each contributing reason tagged by tenant — machine-readable
+        input for load balancers and the future autoscaler.
+        """
+        rank = {"ok": 0, "degraded": 1, "unhealthy": 2}
+        status = "ok"
+        reasons: List[Dict[str, Any]] = []
+        for name, tenant in sorted(self.tenants.items()):
+            session = tenant.session
+            watchdog = getattr(session, "watchdog", None) if session is not None else None
+            if watchdog is None:
+                continue
+            report = watchdog.report()
+            if rank.get(report.status, 0) > rank[status]:
+                status = report.status
+            for reason in report.reasons:
+                reasons.append({"tenant": name, **reason.to_dict()})
+        return {
+            "status": status,
+            "reasons": reasons,
+            "tenants": len(self.tenants),
+            "connections": self.metrics.connections_active,
+        }
+
+    def _alerts_document(self) -> Dict[str, Any]:
+        """The ``/alerts`` body: every tenant's burn-rate alert log."""
+        alerts: List[Dict[str, Any]] = []
+        for name, tenant in sorted(self.tenants.items()):
+            session = tenant.session
+            evaluator = (
+                getattr(session, "slo_evaluator", None) if session is not None else None
+            )
+            if evaluator is None:
+                continue
+            for alert in evaluator.alert_log():
+                alerts.append({"tenant": name, **alert})
+        return {"alerts": alerts, "count": len(alerts)}
+
+    def _debug_vars_document(self) -> Dict[str, Any]:
+        """The ``/debug/vars`` body: live internals for humans and the
+        ``python -m repro.observability top`` dashboard.  Runs off-loop."""
+        tenants: Dict[str, Any] = {}
+        for name, tenant in sorted(self.tenants.items()):
+            session = tenant.session
+            if session is None:
+                continue
+            entry: Dict[str, Any] = {"profile": session.profile()}
+            sampler = session.sampler
+            if sampler is not None:
+                entry["series"] = sampler.latest()
+                entry["sampler_ticks"] = sampler.ticks
+            watchdog = session.watchdog
+            if watchdog is not None:
+                entry["health"] = watchdog.report().to_dict()
+            evaluator = session.slo_evaluator
+            if evaluator is not None:
+                entry["active_alerts"] = [list(key) for key in evaluator.active()]
+            tenants[name] = entry
+        return {"gateway": self.metrics.snapshot(), "tenants": tenants}
 
     def _metrics_document(self) -> Dict[str, Any]:
         return {
@@ -242,7 +312,8 @@ class GatewayServer:
 
     def _metrics_exposition(self) -> str:
         """Gateway counters + per-tenant admission and session metrics."""
-        parts = [self.metrics.to_prometheus()]
+        scrape_started = perf_clock()
+        parts = ["\n".join(build_info_exposition()) + "\n", self.metrics.to_prometheus()]
         tenant_lines: List[str] = []
         for name, tenant in sorted(self.tenants.items()):
             labels = {"tenant": name}
@@ -265,6 +336,15 @@ class GatewayServer:
             registry = session.metrics if session is not None else None
             if registry is not None:
                 parts.append(registry.to_prometheus({"tenant": name}))
+        parts.append(
+            "# HELP repro_gateway_scrape_duration_seconds Seconds this "
+            "scrape spent collecting and rendering every tenant body.\n"
+            "# TYPE repro_gateway_scrape_duration_seconds gauge\n"
+            + prometheus_sample(
+                "repro_gateway_scrape_duration_seconds", perf_clock() - scrape_started
+            )
+            + "\n"
+        )
         return "".join(parts)
 
     # -- websocket ---------------------------------------------------------------------

@@ -14,17 +14,56 @@ Three building blocks:
   trace-event export (see :mod:`repro.observability.tracing`);
 * :class:`JsonFormatter` — a stdlib ``logging`` formatter emitting one
   JSON object per line with trace-id correlation (see
-  :mod:`repro.observability.jsonlog`).
+  :mod:`repro.observability.jsonlog`);
+* :class:`TimeSeries` / :class:`MetricsSampler` — ring-buffered metric
+  history with windowed rate/delta queries, fed by a background sampler
+  polling the metric registries (see :mod:`repro.observability.timeseries`);
+* :class:`SLO` / :class:`SLOEvaluator` — declarative objectives checked
+  by multi-window burn-rate rules, producing typed :class:`Alert` events
+  (see :mod:`repro.observability.slo`);
+* :class:`HealthWatchdog` — a supervisor thread turning shard liveness
+  and durability progress into a machine-readable health report (see
+  :mod:`repro.observability.health`);
+* :class:`SamplingProfiler` — a stdlib sampling profiler with per-query
+  CPU attribution and collapsed-stack output (see
+  :mod:`repro.observability.profiling`).
 
 ``python -m repro.observability summarize trace.json`` renders a
 per-stage latency table and critical-path breakdown for an exported
-trace file.  ``docs/observability.md`` documents the semantics.
+trace file; ``python -m repro.observability top`` is a live per-query
+CPU dashboard over a gateway's ``/debug/vars``.
+``docs/observability.md`` documents the semantics.
 """
 
 from repro.observability.clock import monotonic_time, perf_clock, wall_clock
+from repro.observability.health import (
+    HealthReason,
+    HealthReport,
+    HealthWatchdog,
+    WatchdogConfig,
+)
 from repro.observability.histogram import LatencyHistogram
 from repro.observability.jsonlog import JsonFormatter, configure_json_logging
+from repro.observability.profiling import (
+    UNTAGGED,
+    SamplingProfiler,
+    render_top,
+    tag_query,
+    untag_query,
+)
+from repro.observability.slo import (
+    DEFAULT_RULES,
+    Alert,
+    BurnRateRule,
+    SLO,
+    SLOEvaluator,
+)
 from repro.observability.telemetry import Telemetry, TelemetryConfig
+from repro.observability.timeseries import (
+    MetricsSampler,
+    TimeSeries,
+    flatten_registry,
+)
 from repro.observability.tracing import (
     SpanHandle,
     TraceContext,
@@ -34,17 +73,34 @@ from repro.observability.tracing import (
 )
 
 __all__ = [
+    "Alert",
+    "BurnRateRule",
+    "DEFAULT_RULES",
+    "HealthReason",
+    "HealthReport",
+    "HealthWatchdog",
     "JsonFormatter",
     "LatencyHistogram",
+    "MetricsSampler",
+    "SLO",
+    "SLOEvaluator",
+    "SamplingProfiler",
     "SpanHandle",
     "Telemetry",
     "TelemetryConfig",
+    "TimeSeries",
     "TraceContext",
     "Tracer",
+    "UNTAGGED",
+    "WatchdogConfig",
     "configure_json_logging",
     "current_context",
+    "flatten_registry",
     "monotonic_time",
     "perf_clock",
+    "render_top",
+    "tag_query",
+    "untag_query",
     "use_context",
     "wall_clock",
 ]

@@ -1,0 +1,326 @@
+"""Declarative SLOs evaluated by multi-window burn-rate rules.
+
+An :class:`SLO` states an objective over the sampled series of a
+:class:`~repro.observability.timeseries.MetricsSampler` — e.g. *"99 % of
+sampler readings see p99 ingest→detection under 50 ms"* or *"99.9 % of
+enqueued tuples are not dropped"*.  The :class:`SLOEvaluator` turns the
+objective's error budget into **burn rates** and applies the classic
+multi-window rule: an alert fires only when the budget is burning too
+fast over *both* a long and a short window, so a single slow sample
+cannot page but a sustained regression fires within the short window.
+
+Burn rate = observed error rate ÷ budget (``1 - objective``).  A burn
+rate of 1.0 spends exactly the budget; the default rules fire at 14.4×
+(page — the budget would be gone in under 2 % of the period) and 6×
+(warn), following the shape popularised by the SRE workbook, scaled to
+this system's second-scale windows.
+
+Fired alerts are typed :class:`Alert` events and go three ways at once:
+a structured record on the ``repro.observability.alerts`` logger (JSON
+when :func:`~repro.observability.jsonlog.configure_json_logging` is on),
+a bounded in-memory log the session exposes as ``session.alerts``, and —
+through that — the gateway's ``/alerts`` endpoint.  While a condition
+persists the alert stays *active* and is not re-fired; it re-arms once
+the burn drops below threshold.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import deque
+from datetime import datetime, timezone
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.observability.clock import monotonic_time, wall_clock
+
+__all__ = ["SLO", "BurnRateRule", "Alert", "SLOEvaluator", "ALERTS_LOGGER", "DEFAULT_RULES"]
+
+#: Logger alerts are reported on (JSON-formatted when configured).
+ALERTS_LOGGER = "repro.observability.alerts"
+
+_logger = logging.getLogger(ALERTS_LOGGER)
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One (long window, short window, threshold) burn-rate condition."""
+
+    long_window_seconds: float
+    short_window_seconds: float
+    burn_threshold: float
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if self.short_window_seconds <= 0 or self.long_window_seconds <= 0:
+            raise ValueError("burn-rate windows must be positive")
+        if self.short_window_seconds > self.long_window_seconds:
+            raise ValueError("the short window must not exceed the long window")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+        if self.severity not in ("page", "warn"):
+            raise ValueError(f"severity must be 'page' or 'warn', not {self.severity!r}")
+
+
+#: The default multi-window pair, scaled to second-scale streaming windows.
+DEFAULT_RULES: Tuple[BurnRateRule, ...] = (
+    BurnRateRule(60.0, 5.0, 14.4, "page"),
+    BurnRateRule(300.0, 30.0, 6.0, "warn"),
+)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over sampled series.
+
+    Two kinds:
+
+    * ``kind="threshold"`` — ``series`` holds a gauge (a latency
+      percentile, a queue depth); a sampler reading is *bad* when it
+      exceeds ``threshold``.  The error rate over a window is the
+      fraction of readings that were bad.
+    * ``kind="ratio"`` — ``series`` and ``denominator_series`` hold
+      counters (dropped / enqueued); the error rate over a window is
+      ``delta(series) / delta(denominator_series)``.
+
+    ``objective`` is the good fraction promised (0.99 → 1 % budget).
+    Factories :meth:`latency` and :meth:`ratio` spell the common cases.
+    """
+
+    name: str
+    series: str
+    objective: float = 0.99
+    kind: str = "threshold"
+    threshold: float = 0.0
+    denominator_series: Optional[str] = None
+    rules: Tuple[BurnRateRule, ...] = DEFAULT_RULES
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("an SLO needs a name")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {self.objective!r}")
+        if self.kind not in ("threshold", "ratio"):
+            raise ValueError(f"kind must be 'threshold' or 'ratio', not {self.kind!r}")
+        if self.kind == "ratio" and not self.denominator_series:
+            raise ValueError("a ratio SLO needs a denominator_series")
+        if not self.rules:
+            raise ValueError("an SLO needs at least one burn-rate rule")
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the bad fraction the objective allows."""
+        return 1.0 - self.objective
+
+    @classmethod
+    def latency(
+        cls,
+        name: str,
+        series: str,
+        threshold_seconds: float,
+        objective: float = 0.99,
+        rules: Tuple[BurnRateRule, ...] = DEFAULT_RULES,
+    ) -> "SLO":
+        """A latency objective over a sampled percentile gauge.
+
+        Example: ``SLO.latency("ingest_p99", "hist.ingest_to_detection.p99_seconds",
+        0.050)`` — p99 ingest→detection under 50 ms.
+        """
+        return cls(
+            name=name,
+            series=series,
+            objective=objective,
+            kind="threshold",
+            threshold=threshold_seconds,
+            rules=rules,
+            description=f"{series} <= {threshold_seconds}s",
+        )
+
+    @classmethod
+    def ratio(
+        cls,
+        name: str,
+        bad_series: str,
+        total_series: str,
+        objective: float = 0.999,
+        rules: Tuple[BurnRateRule, ...] = DEFAULT_RULES,
+    ) -> "SLO":
+        """A bad/total counter-ratio objective (e.g. drop rate).
+
+        Example: ``SLO.ratio("drops", "shard.tuples_dropped",
+        "shard.tuples_enqueued")`` — at most 0.1 % of tuples dropped.
+        """
+        return cls(
+            name=name,
+            series=bad_series,
+            objective=objective,
+            kind="ratio",
+            denominator_series=total_series,
+            rules=rules,
+            description=f"{bad_series} / {total_series}",
+        )
+
+    # -- evaluation ----------------------------------------------------------------------
+
+    def error_rate(self, sampler, window_seconds: float, now: Optional[float] = None) -> float:
+        """The observed bad fraction over the window (0.0 with no data)."""
+        if self.kind == "ratio":
+            numerator = sampler.get(self.series)
+            denominator = sampler.get(self.denominator_series)
+            if numerator is None or denominator is None:
+                return 0.0
+            total = denominator.delta(window_seconds, now=now)
+            if total <= 0:
+                return 0.0
+            bad = numerator.delta(window_seconds, now=now)
+            return min(1.0, max(0.0, bad / total))
+        series = sampler.get(self.series)
+        if series is None:
+            return 0.0
+        window = series.points(window_seconds, now=now)
+        if not window:
+            return 0.0
+        bad = sum(1 for _, value in window if value > self.threshold)
+        return bad / len(window)
+
+    def burn_rate(self, sampler, window_seconds: float, now: Optional[float] = None) -> float:
+        """Error rate over the window divided by the error budget."""
+        return self.error_rate(sampler, window_seconds, now=now) / self.budget
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One fired burn-rate alert (typed, JSON-serialisable via to_dict)."""
+
+    slo: str
+    severity: str
+    burn_rate: float
+    short_burn_rate: float
+    long_window_seconds: float
+    short_window_seconds: float
+    error_rate: float
+    budget: float
+    fired_at: float
+    wall_time: str
+    detail: str = ""
+    data: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "slo": self.slo,
+            "severity": self.severity,
+            "burn_rate": round(self.burn_rate, 3),
+            "short_burn_rate": round(self.short_burn_rate, 3),
+            "long_window_seconds": self.long_window_seconds,
+            "short_window_seconds": self.short_window_seconds,
+            "error_rate": round(self.error_rate, 6),
+            "budget": round(self.budget, 6),
+            "fired_at": round(self.fired_at, 6),
+            "wall_time": self.wall_time,
+            "detail": self.detail,
+            **({"data": dict(self.data)} if self.data else {}),
+        }
+
+
+class SLOEvaluator:
+    """Evaluates a set of SLOs against a sampler; fires typed alerts.
+
+    Designed to ride the sampler's beat (``MetricsSampler(evaluator=...)``
+    calls :meth:`evaluate` after every tick) but callable standalone from
+    tests with an explicit ``now``.  Alert state machine per (SLO, rule):
+    *inactive* → *active* when both windows exceed the threshold (fires
+    exactly one :class:`Alert`), back to *inactive* when the short-window
+    burn drops below it (so a persistent condition never re-fires, and a
+    fixed-then-regressed condition fires again).
+    """
+
+    def __init__(self, slos: Tuple[SLO, ...] = (), alert_capacity: int = 256) -> None:
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {sorted(names)}")
+        self.slos: Tuple[SLO, ...] = tuple(slos)
+        self._lock = threading.Lock()
+        self._alerts: Deque[Alert] = deque(maxlen=alert_capacity)
+        self._active: Dict[Tuple[str, str], bool] = {}
+        self.evaluations = 0
+
+    # -- evaluation ----------------------------------------------------------------------
+
+    def evaluate(self, sampler, now: Optional[float] = None) -> List[Alert]:
+        """One pass over every (SLO, rule); returns newly fired alerts."""
+        stamp = monotonic_time() if now is None else now
+        fired: List[Alert] = []
+        for slo in self.slos:
+            for rule in slo.rules:
+                key = (slo.name, rule.severity)
+                long_burn = slo.burn_rate(sampler, rule.long_window_seconds, now=stamp)
+                short_burn = slo.burn_rate(sampler, rule.short_window_seconds, now=stamp)
+                breaching = (
+                    long_burn >= rule.burn_threshold and short_burn >= rule.burn_threshold
+                )
+                with self._lock:
+                    was_active = self._active.get(key, False)
+                    if breaching and not was_active:
+                        self._active[key] = True
+                    elif not breaching and was_active and short_burn < rule.burn_threshold:
+                        self._active[key] = False
+                if breaching and not was_active:
+                    alert = Alert(
+                        slo=slo.name,
+                        severity=rule.severity,
+                        burn_rate=long_burn,
+                        short_burn_rate=short_burn,
+                        long_window_seconds=rule.long_window_seconds,
+                        short_window_seconds=rule.short_window_seconds,
+                        error_rate=slo.error_rate(sampler, rule.long_window_seconds, now=stamp),
+                        budget=slo.budget,
+                        fired_at=stamp,
+                        wall_time=datetime.fromtimestamp(
+                            wall_clock(), tz=timezone.utc
+                        ).isoformat(timespec="milliseconds"),
+                        detail=slo.description,
+                    )
+                    with self._lock:
+                        self._alerts.append(alert)
+                    fired.append(alert)
+                    _logger.warning(
+                        "SLO %r burning %.1fx budget over %gs (%.1fx over %gs): %s",
+                        slo.name,
+                        long_burn,
+                        rule.long_window_seconds,
+                        short_burn,
+                        rule.short_window_seconds,
+                        slo.description or slo.series,
+                        extra={"data": alert.to_dict()},
+                    )
+        self.evaluations += 1
+        return fired
+
+    # -- readers -------------------------------------------------------------------------
+
+    def alerts(self) -> List[Alert]:
+        """Every fired alert still in the bounded log, oldest first."""
+        with self._lock:
+            return list(self._alerts)
+
+    def alert_log(self) -> List[Dict[str, object]]:
+        """The alert log as plain dictionaries (the ``/alerts`` body)."""
+        return [alert.to_dict() for alert in self.alerts()]
+
+    def active(self) -> List[Tuple[str, str]]:
+        """The (slo, severity) pairs currently breaching."""
+        with self._lock:
+            return sorted(key for key, is_active in self._active.items() if is_active)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._alerts.clear()
+            self._active.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SLOEvaluator(slos={[slo.name for slo in self.slos]}, "
+            f"alerts={len(self._alerts)}, active={self.active()})"
+        )

@@ -1,0 +1,396 @@
+"""Ring-buffer time series and the background metrics sampler.
+
+The counters and histograms of :class:`~repro.runtime.metrics.MetricsRegistry`
+answer *"how much so far"*; the control plane (SLO burn rates, the health
+watchdog, a future autoscaler) needs *"how fast right now"*.  This module
+adds the windowed layer:
+
+* :class:`TimeSeries` — a fixed-capacity ring buffer of
+  ``(monotonic_seconds, value)`` points with windowed ``rate()`` /
+  ``delta()`` / ``mean()`` queries.  Like
+  :class:`~repro.observability.histogram.LatencyHistogram` it is
+  mergeable: ``to_state()`` round-trips through JSON/pickle and
+  :meth:`TimeSeries.merge` interleaves two buffers by timestamp, so
+  series recorded in a process shard can be folded into the parent's.
+* :class:`MetricsSampler` — a named daemon thread polling every
+  registered source (a :class:`MetricsRegistry` — shard totals,
+  durability counters, merged histogram digests — gateway counters, or
+  any callable returning a flat ``{name: number}`` mapping) into one
+  series per metric, then handing the fresh window to an optional
+  :class:`~repro.observability.slo.SLOEvaluator`.
+
+The sampler reads only parent-visible state (``totals()``,
+``merged_histograms()``, plain snapshots); it never broadcasts controls
+to process shards, so a tick costs a few lock acquisitions and dict
+copies and can never block behind queued work.  Everything here is
+off-by-default: nothing starts unless a session (or test) starts it.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, bisect_right
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.observability.clock import monotonic_time
+
+__all__ = ["TimeSeries", "MetricsSampler", "flatten_registry"]
+
+#: Default per-series capacity: at the default 0.5 s interval this holds
+#: ~4 minutes of history — enough for the widest default burn-rate window.
+DEFAULT_CAPACITY = 512
+
+#: Histogram-digest keys the sampler records as gauges per family.
+_HISTOGRAM_DIGEST_KEYS = ("count", "sum_seconds", "p50_seconds", "p99_seconds", "max_seconds")
+
+
+class TimeSeries:
+    """A bounded series of ``(timestamp, value)`` points.  Thread-safe.
+
+    ``kind`` documents how to read the values: a ``"counter"`` series
+    holds monotonically increasing totals (query with :meth:`rate` /
+    :meth:`delta`), a ``"gauge"`` series holds point-in-time levels
+    (query with :meth:`mean` / :meth:`latest`).  The kind does not change
+    storage behaviour; both are capacity-bounded ring buffers.
+    """
+
+    __slots__ = ("name", "kind", "capacity", "_times", "_values", "_lock")
+
+    def __init__(self, name: str, capacity: int = DEFAULT_CAPACITY, kind: str = "gauge") -> None:
+        if capacity < 2:
+            raise ValueError("a TimeSeries needs capacity >= 2 to answer windowed queries")
+        if kind not in ("counter", "gauge"):
+            raise ValueError(f"kind must be 'counter' or 'gauge', not {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.capacity = capacity
+        # Parallel lists kept sorted by time; cheaper than a deque of
+        # tuples for the bisect-based window queries below.
+        self._times: List[float] = []
+        self._values: List[float] = []
+        self._lock = threading.Lock()
+
+    def append(self, value: float, timestamp: Optional[float] = None) -> None:
+        """Record one point (``timestamp`` defaults to monotonic now)."""
+        stamp = monotonic_time() if timestamp is None else float(timestamp)
+        with self._lock:
+            if self._times and stamp < self._times[-1]:
+                # Out-of-order insert (merged shards): keep the buffer sorted.
+                index = bisect_right(self._times, stamp)
+                self._times.insert(index, stamp)
+                self._values.insert(index, float(value))
+            else:
+                self._times.append(stamp)
+                self._values.append(float(value))
+            if len(self._times) > self.capacity:
+                del self._times[: len(self._times) - self.capacity]
+                del self._values[: len(self._values) - self.capacity]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._times)
+
+    def latest(self) -> Optional[float]:
+        with self._lock:
+            return self._values[-1] if self._values else None
+
+    def points(self, window_seconds: Optional[float] = None, now: Optional[float] = None) -> List[Tuple[float, float]]:
+        """The buffered points, optionally restricted to the last window."""
+        with self._lock:
+            times, values = list(self._times), list(self._values)
+        if window_seconds is None or not times:
+            return list(zip(times, values))
+        cutoff = (monotonic_time() if now is None else now) - window_seconds
+        start = bisect_left(times, cutoff)
+        return list(zip(times[start:], values[start:]))
+
+    # -- windowed queries ----------------------------------------------------------------
+
+    def delta(self, window_seconds: float, now: Optional[float] = None) -> float:
+        """Counter increase over the window (0.0 with <2 points).
+
+        A value drop (a restarted shard resetting its counter) clamps to
+        the newest value rather than going negative, mirroring how
+        Prometheus ``increase()`` treats counter resets.
+        """
+        window = self.points(window_seconds, now=now)
+        if len(window) < 2:
+            return 0.0
+        increase = window[-1][1] - window[0][1]
+        return window[-1][1] if increase < 0 else increase
+
+    def rate(self, window_seconds: float, now: Optional[float] = None) -> float:
+        """Per-second increase over the window (0.0 when undefined)."""
+        window = self.points(window_seconds, now=now)
+        if len(window) < 2:
+            return 0.0
+        elapsed = window[-1][0] - window[0][0]
+        if elapsed <= 0:
+            return 0.0
+        increase = window[-1][1] - window[0][1]
+        if increase < 0:
+            increase = window[-1][1]
+        return increase / elapsed
+
+    def derivative(self, window_seconds: float, now: Optional[float] = None) -> float:
+        """Per-second slope over the window; unlike :meth:`rate`, may be
+        negative (gauge going down)."""
+        window = self.points(window_seconds, now=now)
+        if len(window) < 2:
+            return 0.0
+        elapsed = window[-1][0] - window[0][0]
+        if elapsed <= 0:
+            return 0.0
+        return (window[-1][1] - window[0][1]) / elapsed
+
+    def mean(self, window_seconds: float, now: Optional[float] = None) -> float:
+        window = self.points(window_seconds, now=now)
+        if not window:
+            return 0.0
+        return sum(value for _, value in window) / len(window)
+
+    def max(self, window_seconds: float, now: Optional[float] = None) -> float:
+        window = self.points(window_seconds, now=now)
+        if not window:
+            return 0.0
+        return max(value for _, value in window)
+
+    # -- merge / serialisation -----------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        """A JSON-/pickle-safe snapshot (same idiom as the histograms)."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "capacity": self.capacity,
+                "times": list(self._times),
+                "values": list(self._values),
+            }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "TimeSeries":
+        series = cls(
+            str(state["name"]),
+            capacity=int(state.get("capacity", DEFAULT_CAPACITY)),  # type: ignore[arg-type]
+            kind=str(state.get("kind", "gauge")),
+        )
+        times = state.get("times") or []
+        values = state.get("values") or []
+        if not isinstance(times, Sequence) or not isinstance(values, Sequence):
+            raise ValueError("TimeSeries state requires 'times' and 'values' sequences")
+        if len(times) != len(values):
+            raise ValueError("TimeSeries state has mismatched times/values lengths")
+        series._times = [float(t) for t in times]
+        series._values = [float(v) for v in values]
+        return series
+
+    def merge(self, other: "TimeSeries") -> "TimeSeries":
+        """Interleave another series' points into this one by timestamp.
+
+        Series from different shards of one run share the monotonic epoch
+        (same boot), so the merged buffer reads chronologically; the
+        capacity bound keeps the newest points.  Returns ``self``.
+        """
+        for stamp, value in other.points():
+            self.append(value, timestamp=stamp)
+        return self
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name!r}, kind={self.kind}, points={len(self)}/{self.capacity})"
+
+
+def flatten_registry(registry) -> Dict[str, float]:
+    """One flat ``{series_name: value}`` reading of a metrics registry.
+
+    Covers every shard-counter family (summed totals), every durability
+    counter, and a digest (count / sum / p50 / p99 / max) of every merged
+    histogram family.  Reads only parent-visible state — no process-shard
+    broadcast — so it is safe and cheap from a background thread.
+    """
+    reading: Dict[str, float] = {}
+    for key, value in registry.totals().items():
+        reading[f"shard.{key}"] = float(value)
+    for key, value in registry.durability.snapshot().items():
+        reading[f"durability.{key}"] = float(value)
+    for family, histogram in registry.merged_histograms().items():
+        digest = histogram.summary()
+        for key in _HISTOGRAM_DIGEST_KEYS:
+            reading[f"hist.{family}.{key}"] = float(digest[key])
+    return reading
+
+
+#: Series whose flattened name ends with one of these behaves as a counter.
+_COUNTER_SUFFIXES = (
+    "_total", "enqueued", "processed", "dropped", "detections", "errors",
+    "busy_seconds", "appended", "fsyncs", "rotated", "taken", "replayed",
+    "recoveries", ".count", "sum_seconds", "snapshot_seconds",
+)
+
+
+def _series_kind(name: str) -> str:
+    return "counter" if name.endswith(_COUNTER_SUFFIXES) else "gauge"
+
+
+class MetricsSampler:
+    """Polls registered sources into ring-buffer series on a fixed beat.
+
+    Sources are ``(prefix, callable)`` pairs; each callable returns a flat
+    mapping of metric name → number and its readings land in series named
+    ``prefix + name``.  :meth:`sample_once` is public so tests (and the
+    one-shot health path) can drive the clock deterministically; the
+    background thread — constructed with a ``name=`` as repo-lint RL004
+    demands — simply calls it every ``interval_seconds``.
+
+    An optional evaluator (duck-typed: ``evaluate(sampler, now)``) runs
+    after every tick; the session installs an
+    :class:`~repro.observability.slo.SLOEvaluator` there so burn-rate
+    alerting shares the sampler's thread instead of adding another.
+    """
+
+    def __init__(
+        self,
+        interval_seconds: float = 0.5,
+        capacity: int = DEFAULT_CAPACITY,
+        evaluator: Optional[object] = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.interval_seconds = interval_seconds
+        self.capacity = capacity
+        self.evaluator = evaluator
+        self._sources: List[Tuple[str, Callable[[], Mapping[str, float]]]] = []
+        self._series: Dict[str, TimeSeries] = {}
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self.ticks = 0
+        self.source_errors = 0
+
+    # -- sources -------------------------------------------------------------------------
+
+    def add_source(self, prefix: str, reader: Callable[[], Mapping[str, float]]) -> None:
+        with self._lock:
+            self._sources.append((prefix, reader))
+
+    def add_registry(self, registry, prefix: str = "") -> None:
+        """Poll every counter and histogram family of a metrics registry."""
+        self.add_source(prefix, lambda: flatten_registry(registry))
+
+    def add_gateway_metrics(self, gateway_metrics, prefix: str = "gateway.") -> None:
+        """Poll a :class:`~repro.gateway.metrics.GatewayMetrics` snapshot."""
+        self.add_source(
+            prefix,
+            lambda: {
+                key: float(value)
+                for key, value in gateway_metrics.snapshot().items()
+                if isinstance(value, (int, float))
+            },
+        )
+
+    # -- sampling ------------------------------------------------------------------------
+
+    def sample_once(self, now: Optional[float] = None) -> None:
+        """Poll every source once; then run the evaluator (if any).
+
+        A raising source is counted and skipped — sampling must keep
+        working while the pipeline it observes winds down.
+        """
+        stamp = monotonic_time() if now is None else now
+        with self._lock:
+            sources = list(self._sources)
+        for prefix, reader in sources:
+            try:
+                reading = reader()
+            except Exception:  # noqa: BLE001 — a dying source must not kill the beat
+                self.source_errors += 1
+                continue
+            for name, value in reading.items():
+                self.series(prefix + name).append(float(value), timestamp=stamp)
+        self.ticks += 1
+        evaluator = self.evaluator
+        if evaluator is not None:
+            evaluator.evaluate(self, now=stamp)  # type: ignore[attr-defined]
+
+    def series(self, name: str) -> TimeSeries:
+        """The series for ``name`` (created on first use)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = TimeSeries(
+                    name, capacity=self.capacity, kind=_series_kind(name)
+                )
+            return series
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        with self._lock:
+            return self._series.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def latest(self) -> Dict[str, float]:
+        """Newest value of every series (series yet without points skip)."""
+        with self._lock:
+            entries = list(self._series.items())
+        reading = {}
+        for name, series in entries:
+            value = series.latest()
+            if value is not None:
+                reading[name] = value
+        return reading
+
+    def rate(self, name: str, window_seconds: float) -> float:
+        series = self.get(name)
+        return 0.0 if series is None else series.rate(window_seconds)
+
+    # -- merge / serialisation -----------------------------------------------------------
+
+    def to_state(self) -> Dict[str, object]:
+        with self._lock:
+            return {name: series.to_state() for name, series in self._series.items()}
+
+    def absorb(self, state: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold series states from another sampler (e.g. a process shard)."""
+        for name, series_state in state.items():
+            self.series(name).merge(TimeSeries.from_state(series_state))
+
+    # -- lifecycle -----------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MetricsSampler":
+        """Start the background beat (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-metrics-sampler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop and join the beat; takes one final sample so short runs
+        (shorter than one interval) still leave a window behind."""
+        thread = self._thread
+        self._stop.set()
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.sample_once()
+        # Final reading on the way out: a feed that finished within one
+        # interval is still observed, and stop() callers read fresh state.
+        self.sample_once()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsSampler(interval={self.interval_seconds}s, "
+            f"series={len(self._series)}, ticks={self.ticks}, running={self.running})"
+        )

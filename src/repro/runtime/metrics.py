@@ -20,12 +20,14 @@ import math
 import threading
 from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro.observability.clock import perf_clock as _perf_clock
 from repro.observability.histogram import LatencyHistogram
 
 __all__ = [
     "ShardMetrics",
     "DurabilityMetrics",
     "MetricsRegistry",
+    "build_info_exposition",
     "escape_label_value",
     "histogram_exposition",
     "prometheus_sample",
@@ -89,6 +91,30 @@ def prometheus_sample(
         )
         return f"{name}{{{rendered}}} {_format_value(value)}"
     return f"{name} {_format_value(value)}"
+
+
+def build_info_exposition(labels: Optional[Mapping[str, object]] = None) -> List[str]:
+    """The ``repro_build_info`` family: a constant ``1`` whose labels
+    carry the package version and Python runtime — the standard way to
+    join any scraped series with "what build produced this".
+    """
+    import platform
+
+    from repro import __version__
+
+    return [
+        "# HELP repro_build_info Build and runtime identity (constant 1).",
+        "# TYPE repro_build_info gauge",
+        prometheus_sample(
+            "repro_build_info",
+            1,
+            {
+                **(labels or {}),
+                "version": __version__,
+                "python": platform.python_version(),
+            },
+        ),
+    ]
 
 
 #: Shard counter families: snapshot key -> (metric suffix, type, help).
@@ -561,9 +587,10 @@ class MetricsRegistry:
         many registries into one scrape body without name collisions.  Ends
         with a newline, so bodies concatenate cleanly.
         """
+        scrape_started = _perf_clock()
         self.collect()
         base = dict(labels or {})
-        lines: List[str] = []
+        lines: List[str] = list(build_info_exposition(base))
         shard_snapshots = [
             self.shard(shard_id).snapshot() for shard_id in self.shard_ids()
         ]
@@ -603,6 +630,19 @@ class MetricsRegistry:
                             {**base, "query": query_name},
                         )
                     )
+        # Self-timed: how long this scrape's collect + render took.  The
+        # collect() above dominates (it may broadcast to process shards),
+        # which is exactly what an operator watching scrape cost cares about.
+        lines.append(
+            "# HELP repro_scrape_duration_seconds Seconds this registry "
+            "spent collecting and rendering the exposition."
+        )
+        lines.append("# TYPE repro_scrape_duration_seconds gauge")
+        lines.append(
+            prometheus_sample(
+                "repro_scrape_duration_seconds", _perf_clock() - scrape_started, base
+            )
+        )
         return "\n".join(lines) + "\n"
 
     def __repr__(self) -> str:

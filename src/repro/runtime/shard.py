@@ -619,6 +619,13 @@ def _process_shard_main(shard_id: int, spec: ShardEngineSpec, in_queue, out_queu
     queue_wait_histogram = LatencyHistogram()
     batch_histogram = LatencyHistogram()
 
+    # Child-side continuous profiler: samples this process's threads and
+    # ships counts to the parent on ``telemetry`` collections (drained,
+    # like spans, so the parent folds increments, never re-counts).
+    profiler = telemetry.profiler if telemetry is not None else None
+    if profiler is not None:
+        profiler.start()
+
     def emit(detection: Detection) -> None:
         # The e2e latency is measured here, child-side, where the ingest
         # stamp is still live — the pipe crossing is excluded by design
@@ -627,7 +634,7 @@ def _process_shard_main(shard_id: int, spec: ShardEngineSpec, in_queue, out_queu
 
     def telemetry_snapshot() -> Dict[str, Any]:
         """Picklable telemetry payload; spans are drained, never re-sent."""
-        return {
+        snapshot = {
             "histograms": {
                 "queue_wait": queue_wait_histogram.to_state(),
                 "batch_processing": batch_histogram.to_state(),
@@ -635,6 +642,12 @@ def _process_shard_main(shard_id: int, spec: ShardEngineSpec, in_queue, out_queu
             "spans": telemetry.tracer.drain() if telemetry is not None else [],
             "query_stats": engine.query_stats(),
         }
+        if profiler is not None:
+            # Drain semantics: ship the accumulated counts and reset, so
+            # the parent's absorb() is a pure increment.
+            snapshot["profile"] = profiler.to_state()
+            profiler.clear()
+        return snapshot
 
     while True:
         message = in_queue.get()
@@ -667,6 +680,8 @@ def _process_shard_main(shard_id: int, spec: ShardEngineSpec, in_queue, out_queu
         except Exception as error:  # noqa: BLE001 — data-path failure kills the shard
             out_queue.put(("failed", repr(error), traceback.format_exc()))
             break
+    if profiler is not None:
+        profiler.stop()
     out_queue.put(("bye",))
 
 
@@ -902,6 +917,15 @@ class ProcessShard(_ShardBase):
         spans = payload.get("spans")
         if spans and self.telemetry is not None:
             self.telemetry.tracer.absorb(spans)
+        profile = payload.get("profile")
+        if (
+            isinstance(profile, Mapping)
+            and self.telemetry is not None
+            and self.telemetry.profiler is not None
+        ):
+            # Child counts are drained on collection, so this is a pure
+            # increment on the parent profiler.
+            self.telemetry.profiler.absorb(profile)
 
     # -- listener ----------------------------------------------------------------------
 

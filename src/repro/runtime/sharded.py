@@ -858,6 +858,42 @@ class ShardedRuntime:
         with contextlib.suppress(Exception):
             self.query_stats()
 
+    def shard_liveness(self) -> List[Dict[str, float]]:
+        """One cheap parent-visible liveness row per shard.
+
+        The health watchdog's input: worker aliveness, current backlog
+        (enqueued − processed − dropped), processed count (the progress
+        heartbeat), and live queue occupancy.  Reads only parent-side
+        counters and thread/process flags — no control broadcast, so it
+        never blocks behind queued work and is safe from any thread.
+        """
+        rows: List[Dict[str, float]] = []
+        for shard in self._shards:
+            snapshot = shard.metrics.snapshot()
+            queue = getattr(shard, "queue", None)
+            if queue is not None:  # thread shard
+                depth, capacity = queue.depth, queue.capacity
+            else:  # process shard: parent-side credit accounting
+                depth = shard._credits.in_flight
+                capacity = shard.queue_capacity
+            rows.append(
+                {
+                    "shard_id": shard.shard_id,
+                    "alive": bool(shard.alive),
+                    "failed": bool(shard.failed),
+                    "backlog": max(
+                        0.0,
+                        snapshot["tuples_enqueued"]
+                        - snapshot["tuples_processed"]
+                        - snapshot["tuples_dropped"],
+                    ),
+                    "tuples_processed": snapshot["tuples_processed"],
+                    "queue_depth": float(depth),
+                    "queue_capacity": float(capacity),
+                }
+            )
+        return rows
+
     def export_trace(self) -> Dict[str, Any]:
         """The collected spans as a Chrome trace-event document.
 

@@ -557,3 +557,158 @@ class TestShutdown:
                 assert snapshot["loop_lag_max_seconds"] >= 0.0
 
         run(scenario())
+
+
+class TestControlPlaneEndpoints:
+    """/alerts, /debug/vars, the degraded /healthz and build info."""
+
+    def control_tenant(self):
+        from repro.observability.health import WatchdogConfig
+        from repro.observability.slo import SLO, BurnRateRule
+
+        slo = SLO.latency(
+            "ingest_p99",
+            "hist.ingest_to_detection.p99_seconds",
+            threshold_seconds=1e-12,  # every sampled p99 violates
+            rules=(BurnRateRule(5.0, 0.5, 2.0),),
+        )
+        return TenantConfig(
+            session=SessionConfig(
+                sample_interval_seconds=0.02,
+                slos=(slo,),
+                watchdog=WatchdogConfig(
+                    interval_seconds=0.05,
+                    stall_after_seconds=0.3,
+                    saturation_after_seconds=0.3,
+                ),
+                profile_hz=100.0,
+            )
+        )
+
+    def test_alerts_endpoint_reports_fired_alerts(self):
+        tenants = {"ctl": self.control_tenant()}
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                client = await connect(server, "ctl")
+                await client.deploy(HIGH)
+                await client.send_tuples(make_frames(), stream="kinect_t")
+                await client.drain()
+
+                session = server.tenants["ctl"].session
+                loop = asyncio.get_running_loop()
+
+                def force_evaluation():
+                    session.sampler.sample_once()
+                    session.sampler.sample_once()
+
+                await loop.run_in_executor(None, force_evaluation)
+                status, body = await http_get(server, "/alerts")
+                assert status == 200
+                document = json.loads(body)
+                assert document["count"] >= 1
+                alert = document["alerts"][0]
+                assert alert["tenant"] == "ctl"
+                assert alert["slo"] == "ingest_p99"
+                assert alert["severity"] == "page"
+
+        run(scenario())
+
+    def test_alerts_endpoint_empty_without_slos(self):
+        async def scenario():
+            async with serve() as server:
+                await connect(server, "t1")
+                status, body = await http_get(server, "/alerts")
+                assert status == 200
+                assert json.loads(body) == {"alerts": [], "count": 0}
+
+        run(scenario())
+
+    def test_debug_vars_serves_profile_series_and_health(self):
+        tenants = {"ctl": self.control_tenant()}
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                client = await connect(server, "ctl")
+                await client.deploy(HIGH)
+                await client.send_tuples(make_frames(rounds=40), stream="kinect_t")
+                await client.drain()
+
+                session = server.tenants["ctl"].session
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, session.sampler.sample_once)
+                status, body = await http_get(server, "/debug/vars")
+                assert status == 200
+                document = json.loads(body)
+                entry = document["tenants"]["ctl"]
+                assert entry["profile"]["enabled"]
+                assert entry["health"]["status"] in ("ok", "degraded")
+                assert entry["sampler_ticks"] >= 0
+                assert "shard.tuples_processed" in entry["series"]
+                assert "gateway" in document
+
+        run(scenario())
+
+    def test_forced_stall_degrades_healthz_naming_the_shard(self):
+        tenants = {"ctl": self.control_tenant()}
+
+        async def scenario():
+            async with serve(tenants=tenants) as server:
+                await connect(server, "ctl")
+                session = server.tenants["ctl"].session
+                session.watchdog.add_liveness_source(
+                    lambda: [
+                        {
+                            "shard_id": 9,
+                            "alive": True,
+                            "backlog": 9,
+                            "tuples_processed": 42,
+                        }
+                    ]
+                )
+                deadline = asyncio.get_running_loop().time() + 10.0
+                while True:
+                    status, body = await http_get(server, "/healthz")
+                    document = json.loads(body)
+                    if document["status"] == "degraded":
+                        break
+                    assert asyncio.get_running_loop().time() < deadline
+                    await asyncio.sleep(0.05)
+                # Degraded serves 200 (load balancers keep routing); only
+                # unhealthy turns 503.
+                assert status == 200
+                subjects = {reason["subject"] for reason in document["reasons"]}
+                assert "shard-9" in subjects
+                tenancy = {reason["tenant"] for reason in document["reasons"]}
+                assert tenancy == {"ctl"}
+
+        run(scenario())
+
+    def test_metrics_expositions_carry_build_info_and_scrape_duration(self):
+        async def scenario():
+            async with serve() as server:
+                client = await connect(server, "t1")
+                await client.deploy(HIGH)
+                await client.send_tuples(
+                    [{"ts": 1.0, "player": 1, "rhand_y": 500.0}], stream="kinect_t"
+                )
+                await client.drain()
+                _, body = await http_get(server, "/metrics")
+                return body
+
+        body = run(scenario())
+        assert "# TYPE repro_build_info gauge" in body
+        assert 'repro_build_info{' in body
+        assert 'version="' in body and 'python="' in body
+        assert "# TYPE repro_gateway_scrape_duration_seconds gauge" in body
+        assert "repro_gateway_scrape_duration_seconds" in body
+
+    def test_session_prometheus_carries_build_info(self):
+        with GestureSession(SessionConfig()) as session:
+            session.deploy(HIGH)
+            session.feed(
+                [{"ts": 1.0, "player": 1, "rhand_y": 500.0}], stream="kinect_t"
+            )
+            text = session.metrics.to_prometheus()
+        assert text.splitlines()[0].startswith("# HELP repro_build_info")
+        assert "repro_scrape_duration_seconds" in text.splitlines()[-1]

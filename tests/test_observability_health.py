@@ -1,0 +1,321 @@
+"""Health watchdog: stall, saturation and fsync detection without false
+positives on idle (the ``ReplayController.pause()`` case in particular).
+
+Unit tests drive :meth:`HealthWatchdog.check` with an explicit clock and
+a scripted liveness source; the integration tests exercise real sessions
+— a forced stall must flip health to ``degraded`` naming the shard, and
+a paused replay must not.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api.session import GestureSession, SessionConfig
+from repro.observability.health import (
+    HealthReason,
+    HealthReport,
+    HealthWatchdog,
+    WatchdogConfig,
+)
+
+HIGH = 'SELECT "high" MATCHING kinect_t(rhand_y > 450);'
+
+CONFIG = WatchdogConfig(
+    interval_seconds=0.05,
+    stall_after_seconds=1.0,
+    saturation_ratio=0.9,
+    saturation_after_seconds=1.0,
+    fsync_stall_seconds=1.0,
+)
+
+
+class ScriptedShards:
+    """A liveness source whose rows the test mutates between checks."""
+
+    def __init__(self, *rows):
+        self.rows = list(rows)
+
+    def __call__(self):
+        return [dict(row) for row in self.rows]
+
+
+def shard_row(shard_id=0, alive=True, backlog=0, processed=0, depth=None, capacity=None):
+    row = {
+        "shard_id": shard_id,
+        "alive": alive,
+        "backlog": backlog,
+        "tuples_processed": processed,
+    }
+    if depth is not None:
+        row["queue_depth"] = depth
+        row["queue_capacity"] = capacity
+    return row
+
+
+class TestWatchdogConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"interval_seconds": 0.0},
+            {"stall_after_seconds": 0.0},
+            {"saturation_ratio": 0.0},
+            {"saturation_ratio": 1.5},
+            {"saturation_after_seconds": 0.0},
+            {"fsync_stall_seconds": -1.0},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WatchdogConfig(**kwargs)
+
+
+class TestShardChecks:
+    def make(self, *rows):
+        watchdog = HealthWatchdog(CONFIG)
+        source = ScriptedShards(*rows)
+        watchdog.add_liveness_source(source)
+        return watchdog, source
+
+    def test_progressing_shard_is_ok(self):
+        watchdog, source = self.make(shard_row(backlog=5, processed=10))
+        assert watchdog.check(now=0.0).ok
+        source.rows[0]["tuples_processed"] = 20
+        for now in (1.0, 2.0, 3.0):
+            source.rows[0]["tuples_processed"] += 10
+            assert watchdog.check(now=now).ok
+
+    def test_stalled_shard_degrades_then_goes_unhealthy(self):
+        watchdog, _ = self.make(shard_row(shard_id=2, backlog=7, processed=10))
+        assert watchdog.check(now=0.0).ok
+        report = watchdog.check(now=1.5)
+        assert report.status == "degraded"
+        (reason,) = report.reasons
+        assert reason.code == "shard-stalled"
+        assert reason.subject == "shard-2"
+        assert "shard-2" in reason.detail
+        assert reason.data["backlog"] == 7
+        # 3x the stall window with still no progress: unhealthy.
+        report = watchdog.check(now=3.5)
+        assert report.status == "unhealthy"
+
+    def test_progress_resets_the_stall_clock(self):
+        watchdog, source = self.make(shard_row(backlog=7, processed=10))
+        watchdog.check(now=0.0)
+        source.rows[0]["tuples_processed"] = 11
+        assert watchdog.check(now=1.5).ok
+        # Frozen again, but the mark was refreshed at 1.5.
+        assert watchdog.check(now=2.0).ok
+        assert watchdog.check(now=2.7).status == "degraded"
+
+    def test_idle_shard_never_stalls(self):
+        # Backlog zero with a frozen processed counter is idle, not stuck —
+        # exactly what a paused replay looks like.
+        watchdog, _ = self.make(shard_row(backlog=0, processed=1000))
+        for now in (0.0, 5.0, 50.0, 500.0):
+            assert watchdog.check(now=now).ok
+
+    def test_dead_shard_with_backlog_is_unhealthy(self):
+        watchdog, _ = self.make(shard_row(shard_id=1, alive=False, backlog=3))
+        report = watchdog.check(now=0.0)
+        assert report.status == "unhealthy"
+        (reason,) = report.reasons
+        assert reason.code == "shard-dead"
+        assert reason.subject == "shard-1"
+
+    def test_dead_drained_shard_is_ok(self):
+        # A worker that exited with nothing pending (clean shutdown).
+        watchdog, _ = self.make(shard_row(alive=False, backlog=0))
+        assert watchdog.check(now=0.0).ok
+
+    def test_saturated_queue_degrades_after_sustained_window(self):
+        row = shard_row(backlog=90, processed=10, depth=95, capacity=100)
+        watchdog, source = self.make(row)
+        watchdog.check(now=0.0)
+        source.rows[0]["tuples_processed"] = 50  # progressing, just full
+        report = watchdog.check(now=1.5)
+        codes = {reason.code for reason in report.reasons}
+        assert "queue-saturated" in codes
+        assert report.status == "degraded"
+        # Queue drains: the saturation clock resets.
+        source.rows[0]["queue_depth"] = 10
+        source.rows[0]["tuples_processed"] = 90
+        assert watchdog.check(now=2.0).ok
+        source.rows[0]["queue_depth"] = 95
+        source.rows[0]["tuples_processed"] = 130
+        assert watchdog.check(now=2.5).ok  # newly saturated, not sustained
+
+    def test_raising_source_counts_not_crashes(self):
+        watchdog = HealthWatchdog(CONFIG)
+        watchdog.add_liveness_source(lambda: (_ for _ in ()).throw(RuntimeError()))
+        assert watchdog.check(now=0.0).ok
+        assert watchdog.source_errors == 1
+
+
+class TestFsyncChecks:
+    def test_appends_without_fsyncs_degrade(self):
+        counters = {"entries_appended": 0, "fsyncs": 0}
+        watchdog = HealthWatchdog(CONFIG)
+        watchdog.add_durability_source(lambda: dict(counters))
+        assert watchdog.check(now=0.0).ok
+        counters["entries_appended"] = 50  # appends flowing, fsync frozen
+        assert watchdog.check(now=0.5).ok  # mark set at 0.5
+        report = watchdog.check(now=2.0)
+        assert report.status == "degraded"
+        (reason,) = report.reasons
+        assert reason.code == "fsync-stalled"
+        assert reason.subject == "durability"
+
+    def test_advancing_fsyncs_stay_ok(self):
+        counters = {"entries_appended": 0, "fsyncs": 0}
+        watchdog = HealthWatchdog(CONFIG)
+        watchdog.add_durability_source(lambda: dict(counters))
+        for now in (0.0, 1.0, 2.0, 3.0):
+            counters["entries_appended"] += 10
+            counters["fsyncs"] += 1
+            assert watchdog.check(now=now).ok
+
+    def test_no_appends_is_idle_not_stalled(self):
+        counters = {"entries_appended": 100, "fsyncs": 7}
+        watchdog = HealthWatchdog(CONFIG)
+        watchdog.add_durability_source(lambda: dict(counters))
+        for now in (0.0, 5.0, 50.0):
+            assert watchdog.check(now=now).ok
+
+
+class TestProbesAndReport:
+    def test_probe_reasons_fold_into_status(self):
+        watchdog = HealthWatchdog(CONFIG)
+        watchdog.add_probe(
+            lambda: [
+                HealthReason(
+                    code="consumer-slow",
+                    severity="degraded",
+                    subject="gateway",
+                    detail="2 slow detection consumers",
+                )
+            ]
+        )
+        report = watchdog.check(now=0.0)
+        assert report.status == "degraded"
+        assert report.reasons[0].code == "consumer-slow"
+
+    def test_worst_severity_wins(self):
+        watchdog = HealthWatchdog(CONFIG)
+        watchdog.add_probe(
+            lambda: [
+                HealthReason("a", "degraded", "x", ""),
+                HealthReason("b", "unhealthy", "y", ""),
+            ]
+        )
+        assert watchdog.check(now=0.0).status == "unhealthy"
+
+    def test_report_to_dict_shape(self):
+        watchdog = HealthWatchdog(CONFIG)
+        body = watchdog.check(now=0.0).to_dict()
+        assert body["status"] == "ok"
+        assert body["reasons"] == []
+        assert body["checks"] == 1
+
+    def test_report_never_blocks_on_sources(self):
+        gate = threading.Event()
+
+        def slow_source():
+            gate.wait(5.0)
+            return []
+
+        watchdog = HealthWatchdog(CONFIG)
+        watchdog.add_liveness_source(slow_source)
+        started = time.perf_counter()
+        report = watchdog.report()  # cached, must not call the source
+        assert time.perf_counter() - started < 1.0
+        assert isinstance(report, HealthReport)
+        gate.set()
+
+    def test_background_thread_is_named(self):
+        watchdog = HealthWatchdog(CONFIG)
+        watchdog.start()
+        try:
+            assert watchdog.running
+            assert "repro-health-watchdog" in {
+                thread.name for thread in threading.enumerate()
+            }
+        finally:
+            watchdog.stop()
+        assert not watchdog.running
+
+
+class TestSessionIntegration:
+    def watchdog_config(self):
+        return WatchdogConfig(
+            interval_seconds=0.05,
+            stall_after_seconds=0.3,
+            saturation_after_seconds=0.3,
+            fsync_stall_seconds=5.0,
+        )
+
+    def test_forced_stall_degrades_naming_the_shard(self):
+        config = SessionConfig(shards=2, watchdog=self.watchdog_config())
+        with GestureSession(config) as session:
+            session.deploy(HIGH)
+            # Forced stall: a poisoned liveness reading reports shard 9
+            # (a subject the real source does not refresh) with backlog
+            # and a frozen processed counter.
+            session.watchdog.add_liveness_source(
+                lambda: [shard_row(shard_id=9, backlog=9, processed=42)]
+            )
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                report = session.health()
+                if report.status == "degraded":
+                    break
+                time.sleep(0.05)
+            assert report.status == "degraded"
+            subjects = {reason.subject for reason in report.reasons}
+            assert "shard-9" in subjects
+
+    def test_live_session_reports_ok(self):
+        config = SessionConfig(shards=2, watchdog=self.watchdog_config())
+        with GestureSession(config) as session:
+            session.deploy(HIGH)
+            frames = [
+                {"ts": index * 0.01, "player": 1 + index % 3, "rhand_y": 500.0}
+                for index in range(60)
+            ]
+            session.feed(frames, stream="kinect_t")
+            session.drain()
+            time.sleep(0.5)  # several watchdog beats over the idle pipeline
+            report = session.health()
+            assert report.ok, report.to_dict()
+
+    def test_paused_replay_is_not_a_stall(self, tmp_path):
+        # A watched durable session records a feed, then replays its own
+        # log with the controller paused mid-stream: the watched pipeline
+        # idles and must stay ok well beyond the stall window (the
+        # ReplayController.pause() case).
+        from repro.persistence import DurabilityConfig
+
+        config = SessionConfig(watchdog=self.watchdog_config())
+        durability = DurabilityConfig(tmp_path / "log")
+        with GestureSession(config, durability=durability) as session:
+            session.deploy(HIGH)
+            frames = [
+                {"ts": index * 0.01, "player": 1 + index % 3, "rhand_y": 500.0}
+                for index in range(60)
+            ]
+            # Feed in chunks: each chunk is one log entry, so the replay
+            # below can pause with entries still pending.
+            for start in range(0, len(frames), 6):
+                session.feed(frames[start : start + 6], stream="kinect_t")
+            controller = session.replay(config=SessionConfig())
+            applied = controller.step(3)
+            assert applied > 0
+            controller.pause()
+            assert not controller.finished
+            time.sleep(1.2)  # 4x the stall window while paused
+            report = session.health()
+            assert report.ok, report.to_dict()
+            controller.target.close()

@@ -246,3 +246,100 @@ class TestSlowBatchConfig:
     def test_invalid_telemetry_config_rejected(self, field, value):
         with pytest.raises(ValueError):
             SessionConfig(**{field: value})
+
+
+def boom(value):
+    """Poison UDF; module-level so it pickles to process shards."""
+    return 1 / 0
+
+
+class TestTelemetryUnderFailure:
+    """Telemetry merging when a process shard dies, and ring overflow."""
+
+    def test_process_shard_death_leaves_parent_telemetry_mergeable(self):
+        from repro.errors import ShardFailedError
+        from repro.observability.telemetry import TelemetryConfig
+        from repro.runtime import HashPartitionRouter, ShardedRuntime
+        from repro.runtime.shard import ShardEngineSpec
+
+        spec = ShardEngineSpec(
+            install_view=False,
+            raw_stream="kinect_t",
+            telemetry=TelemetryConfig(trace_sample_rate=1.0, profile_hz=100.0),
+        )
+        router = HashPartitionRouter(2)
+        p_bad = 1
+        p_good = next(
+            p for p in range(2, 20)
+            if router.shard_for_key(p) != router.shard_for_key(p_bad)
+        )
+        runtime = ShardedRuntime(shard_count=2, spec=spec, executor="process")
+        runtime.start()
+        try:
+            runtime.register_function("boom", boom, 1)
+            runtime.register_query(HIGH)
+            # Healthy work on both shards, pulled parent-side while alive.
+            clean = [
+                {"ts": index * 0.01, "player": player, "rhand_y": 500.0}
+                for index in range(30)
+                for player in (p_bad, p_good)
+            ]
+            runtime.push_many("kinect_t", clean)
+            runtime.drain()
+            runtime.collect_telemetry(timeout=10.0)
+            merged_before = runtime.metrics.merged_histograms()
+            count_before = merged_before["batch_processing"].count
+            assert count_before >= 1
+
+            # The boom() query poisons the next tuple on one partition.
+            runtime.register_query(
+                'SELECT "b" MATCHING kinect_t(boom(rhand_y) > 0);'
+            )
+            runtime.push_many(
+                "kinect_t", [{"ts": 9.0, "player": p_bad, "rhand_y": 1.0}]
+            )
+            with pytest.raises(ShardFailedError):
+                runtime.drain()
+            assert runtime.failed
+
+            # The collected telemetry survives the death: parent-side
+            # merges still read, and further collection is a safe no-op.
+            runtime.collect_telemetry(timeout=1.0)
+            merged_after = runtime.metrics.merged_histograms()
+            assert merged_after["batch_processing"].count >= count_before
+            assert runtime.telemetry.tracer.spans() is not None
+            liveness = runtime.shard_liveness()
+            assert {row["shard_id"] for row in liveness} == {0, 1}
+        finally:
+            import contextlib
+
+            with contextlib.suppress(ShardFailedError):
+                runtime.stop()
+
+    def test_tracer_ring_overflow_keeps_newest_spans(self):
+        from repro.observability.tracing import Tracer
+
+        tracer = Tracer(sample_rate=1.0, buffer_size=8)
+        context = tracer.sample("req")
+        for index in range(50):
+            tracer.record(
+                f"span-{index}", "shard", context.child("shard"),
+                float(index), float(index) + 0.5,
+            )
+        spans = tracer.spans()
+        assert len(spans) == 8
+        assert [event["name"] for event in spans] == [
+            f"span-{index}" for index in range(42, 50)
+        ]
+        # An absorb over capacity is bounded the same way and stays sorted.
+        tracer.absorb(
+            [
+                {"name": f"late-{index}", "ph": "X", "ts": 1e9 + index, "dur": 1.0}
+                for index in range(20)
+            ]
+        )
+        absorbed = tracer.spans()
+        assert len(absorbed) == 8
+        assert all(event["name"].startswith("late-") for event in absorbed)
+        timestamps = [event["ts"] for event in absorbed]
+        assert timestamps == sorted(timestamps)

@@ -1,0 +1,263 @@
+"""The sampling profiler: tagging, attribution, merging, rendering.
+
+Unit tests drive :meth:`SamplingProfiler.sample_once` against threads
+parked at known points, so attribution is deterministic.  The acceptance
+tests run a skewed two-query workload through a real session — inline
+and across process shards — and require >=80% of the sampled matcher CPU
+charged to the heavy query.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api.session import GestureSession, SessionConfig
+from repro.observability import profiling
+from repro.observability.profiling import (
+    UNTAGGED,
+    SamplingProfiler,
+    render_top,
+    tag_query,
+    untag_query,
+)
+
+HEAVY = 'SELECT "heavy" MATCHING busy_t(rhand_y > 450);'
+LIGHT = 'SELECT "light" MATCHING quiet_t(rhand_y > 450);'
+
+
+class ParkedWorker:
+    """A thread parked inside a recognisably named function, optionally
+    tagged as matcher work for a query."""
+
+    def __init__(self, name, query=None):
+        self.query = query
+        self.ready = threading.Event()
+        self.release = threading.Event()
+        self.thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+
+    def _run(self):
+        if self.query is not None:
+            tag_query(self.query)
+        try:
+            self._parked_in_matcher()
+        finally:
+            if self.query is not None:
+                untag_query()
+
+    def _parked_in_matcher(self):
+        self.ready.set()
+        self.release.wait(10.0)
+
+    def __enter__(self):
+        self.thread.start()
+        assert self.ready.wait(5.0)
+        return self
+
+    def __exit__(self, *exc):
+        self.release.set()
+        self.thread.join(5.0)
+
+
+@pytest.fixture
+def profiler():
+    instance = SamplingProfiler(hz=200.0)
+    # Activate tagging without starting the wall-clock thread: samples
+    # are taken explicitly so counts are deterministic.
+    profiling._ACTIVE_PROFILERS += 1
+    try:
+        yield instance
+    finally:
+        profiling._ACTIVE_PROFILERS -= 1
+        profiling._TAGS.clear()
+
+
+class TestTagging:
+    def test_tagging_is_noop_without_active_profiler(self):
+        assert profiling._ACTIVE_PROFILERS == 0
+        tag_query("q")
+        assert profiling._TAGS == {}
+        untag_query()  # must not raise either
+
+    def test_tags_set_and_cleared_when_active(self, profiler):
+        tag_query("q")
+        assert profiling._TAGS[threading.get_ident()] == "q"
+        untag_query()
+        assert threading.get_ident() not in profiling._TAGS
+
+    def test_stop_of_last_profiler_clears_tags(self):
+        instance = SamplingProfiler(hz=50.0)
+        instance.start()
+        try:
+            tag_query("leftover")
+            assert profiling._TAGS
+        finally:
+            instance.stop()
+        assert profiling._TAGS == {}
+        assert profiling._ACTIVE_PROFILERS == 0
+
+
+class TestSampling:
+    def test_samples_attribute_to_tagged_query(self, profiler):
+        with ParkedWorker("repro-shard-0", query="swipe"):
+            for _ in range(5):
+                profiler.sample_once()
+        samples = profiler.query_samples()
+        assert samples["swipe"] == 5
+        assert profiler.query_share() == {"swipe": 1.0}
+
+    def test_untagged_threads_fall_into_untagged_bucket(self, profiler):
+        with ParkedWorker("repro-aux"):
+            profiler.sample_once()
+        assert profiler.query_samples()[UNTAGGED] >= 1
+        # The untagged bucket never appears in the share.
+        assert UNTAGGED not in profiler.query_share()
+
+    def test_share_splits_across_queries(self, profiler):
+        with ParkedWorker("w1", query="heavy"), ParkedWorker("w2", query="light"):
+            for _ in range(4):
+                profiler.sample_once()
+        share = profiler.query_share()
+        assert share["heavy"] == pytest.approx(0.5)
+        assert share["light"] == pytest.approx(0.5)
+
+    def test_collapsed_stack_rooted_at_thread_name(self, profiler):
+        with ParkedWorker("repro-shard-3", query="swipe"):
+            profiler.sample_once()
+        lines = profiler.collapsed()
+        mine = [line for line in lines if "_parked_in_matcher" in line]
+        assert mine, lines
+        stack, count = mine[0].rsplit(" ", 1)
+        assert stack.startswith("repro-shard-3;")
+        assert int(count) >= 1
+        # Frames are ordered outermost -> innermost.
+        assert stack.index("_run") < stack.index("_parked_in_matcher")
+
+    def test_profiler_skips_its_own_thread(self, profiler):
+        profiler.sample_once()
+        assert all(
+            "sample_once" not in line.rsplit(";", 1)[-1]
+            for line in profiler.collapsed()
+        )
+
+
+class TestStateAndMerge:
+    def test_state_roundtrip_and_absorb_sums(self, profiler):
+        with ParkedWorker("w", query="swipe"):
+            profiler.sample_once()
+            profiler.sample_once()
+        state = profiler.to_state()
+        sink = SamplingProfiler(hz=100.0)
+        sink.absorb(state)
+        sink.absorb(state)
+        assert sink.samples == 2 * profiler.samples
+        assert sink.query_samples()["swipe"] == 4
+
+    def test_clear_resets_counts(self, profiler):
+        with ParkedWorker("w", query="swipe"):
+            profiler.sample_once()
+        profiler.clear()
+        assert profiler.samples == 0
+        assert profiler.query_samples() == {}
+        assert profiler.collapsed() == []
+
+    def test_snapshot_is_json_shaped(self, profiler):
+        with ParkedWorker("w", query="swipe"):
+            profiler.sample_once()
+        snapshot = profiler.snapshot()
+        assert snapshot["samples"] >= 1
+        assert snapshot["query_samples"]["swipe"] == 1
+        assert snapshot["top_stacks"][0]["count"] >= 1
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0.0)
+
+    def test_thread_is_named(self):
+        instance = SamplingProfiler(hz=50.0)
+        instance.start()
+        try:
+            assert "repro-profiler" in {t.name for t in threading.enumerate()}
+        finally:
+            instance.stop()
+
+
+class TestRenderTop:
+    def test_renders_queries_and_stacks(self, profiler):
+        with ParkedWorker("w", query="swipe"):
+            profiler.sample_once()
+        text = render_top(profiler.snapshot())
+        assert "QUERY" in text and "CPU%" in text
+        assert "swipe" in text
+        assert "HOTTEST STACKS" in text
+
+    def test_untagged_row_has_no_percentage(self, profiler):
+        with ParkedWorker("w"):
+            profiler.sample_once()
+        line = next(
+            line for line in render_top(profiler.snapshot()).splitlines()
+            if UNTAGGED in line
+        )
+        assert "%" not in line
+
+
+def skewed_workload(heavy_tuples=30000, light_tuples=300):
+    """Frames for two streams: ~100x more work for the heavy query."""
+    heavy = [
+        {"ts": index * 0.001, "player": 1 + index % 4, "rhand_y": 500.0}
+        for index in range(heavy_tuples)
+    ]
+    light = [
+        {"ts": index * 0.001, "player": 1 + index % 4, "rhand_y": 500.0}
+        for index in range(light_tuples)
+    ]
+    return heavy, light
+
+
+def run_skewed(config):
+    heavy, light = skewed_workload()
+    with GestureSession(config) as session:
+        session.deploy(HEAVY)
+        session.deploy(LIGHT)
+        session.feed(light, stream="quiet_t")
+        session.feed(heavy, stream="busy_t")
+        session.drain()
+        profile = session.profile()
+    return profile
+
+
+class TestSessionAttribution:
+    def assert_heavy_dominates(self, profile):
+        assert profile["enabled"]
+        assert profile["samples"] > 0
+        queries = profile["queries"]
+        assert "heavy" in queries, profile
+        share = queries["heavy"]["cpu_share"]
+        assert share >= 0.8, profile
+        # The join carries the engine's per-query stats alongside.
+        assert queries["heavy"]["stats"]["runs_started"] > 0
+
+    def test_inline_attribution_hits_the_heavy_query(self):
+        profile = run_skewed(
+            SessionConfig(profile_hz=300.0, batch_size=512)
+        )
+        self.assert_heavy_dominates(profile)
+
+    def test_process_shard_attribution_merges_to_parent(self):
+        profile = run_skewed(
+            SessionConfig(
+                shards=4,
+                shard_executor="process",
+                profile_hz=300.0,
+                batch_size=512,
+            )
+        )
+        self.assert_heavy_dominates(profile)
+
+    def test_profile_disabled_reports_shape(self):
+        with GestureSession(SessionConfig()) as session:
+            profile = session.profile()
+        assert profile == {"enabled": False, "samples": 0, "queries": {}}

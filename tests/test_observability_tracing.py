@@ -256,8 +256,34 @@ class TestSummarizeCli:
         assert cli_main(["summarize", str(tmp_path / "absent.json")]) == 2
         assert "cannot read" in capsys.readouterr().err
 
-    def test_empty_document_exits_two(self, tmp_path, capsys):
+    def test_empty_document_is_not_an_error(self, tmp_path, capsys):
         path = tmp_path / "empty.json"
         path.write_text('{"traceEvents": []}', encoding="utf-8")
+        assert cli_main(["summarize", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "no complete" in captured.out
+        assert captured.err == ""
+
+    def test_malformed_document_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"spans": []}', encoding="utf-8")
         assert cli_main(["summarize", str(path)]) == 2
-        assert "no complete" in capsys.readouterr().err
+        assert "traceEvents" in capsys.readouterr().err
+
+    def test_json_output_is_machine_readable(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(make_document()), encoding="utf-8")
+        assert cli_main(["summarize", str(path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["spans"] == 3
+        assert set(document["stages"]) == {"gateway", "queue", "shard"}
+        assert document["critical_path"]["traces"] == 1
+        shares = document["critical_path"]["stage_share"]
+        assert abs(sum(entry["share"] for entry in shares.values()) - 1.0) < 1e-9
+
+    def test_json_output_for_empty_trace(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text('{"traceEvents": []}', encoding="utf-8")
+        assert cli_main(["summarize", str(path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == {"spans": 0, "stages": {}, "critical_path": {}}

@@ -44,7 +44,7 @@ class TestRepositoryIsClean:
     def test_cli_list_catalogue(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
-        assert "RL001" in out and "RL002" in out and "RL003" in out
+        assert "RL001" in out and "RL002" in out and "RL003" in out and "RL004" in out
 
     def test_script_runs_standalone(self):
         result = subprocess.run(
@@ -196,5 +196,53 @@ class TestRL003WallClock:
             tmp_path,
             "src/repro/detection/ok.py",
             "import time\nstamp = time.time()\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+
+class TestRL004UnnamedThreads:
+    def test_unnamed_thread_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/runtime/bad_thread.py",
+            "import threading\nworker = threading.Thread(target=print, daemon=True)\n",
+        )
+        violations = lint_file(path, root=tmp_path)
+        assert [v.code for v in violations] == ["RL004"]
+        assert violations[0].line == 2
+        assert "name=" in violations[0].message
+
+    def test_bare_thread_import_flagged(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/gateway/bad_thread.py",
+            "from threading import Thread\nworker = Thread(target=print)\n",
+        )
+        assert [v.code for v in lint_file(path, root=tmp_path)] == ["RL004"]
+
+    def test_named_thread_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/runtime/ok_thread.py",
+            "import threading\n"
+            "worker = threading.Thread(target=print, name='repro-worker', daemon=True)\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+    def test_kwargs_splat_assumed_named(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "src/repro/runtime/splat_thread.py",
+            "import threading\n"
+            "def spawn(**kwargs):\n"
+            "    return threading.Thread(target=print, **kwargs)\n",
+        )
+        assert lint_file(path, root=tmp_path) == []
+
+    def test_outside_src_repro_allowed(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "tools/helper.py",
+            "import threading\nworker = threading.Thread(target=print)\n",
         )
         assert lint_file(path, root=tmp_path) == []

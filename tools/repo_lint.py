@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Repository-specific lint rules that generic linters do not cover.
 
-Three rules, all born from real failure modes of this codebase:
+Four rules, all born from real failure modes of this codebase:
 
 ``RL001`` — no builtin ``hash()`` on routing/persistence code paths
     CPython salts ``hash()`` per process (PYTHONHASHSEED), so a shard
@@ -29,6 +29,14 @@ Three rules, all born from real failure modes of this codebase:
     (``perf_clock`` for durations, ``monotonic_time`` for
     cross-process span timestamps); ``observability/clock.py`` itself is
     the one sanctioned caller of ``time.time()``.
+
+``RL004`` — every background thread is constructed with ``name=``
+    The sampling profiler uses the thread name as the root of every
+    collapsed stack, the watchdog and sampler name themselves in health
+    reports, and ``threading.enumerate()`` dumps are how stalls get
+    debugged — an anonymous ``Thread-7`` is unattributable in all three.
+    Every ``threading.Thread(...)`` constructed under ``src/repro`` must
+    pass a ``name=`` keyword (``repro-<role>`` by convention).
 
 Run as a script (CI) or through ``tests/test_repo_lint.py``::
 
@@ -66,6 +74,9 @@ WALL_CLOCK_FORBIDDEN_PATHS = (
 
 #: The one module allowed to call ``time.time()``: the clock itself.
 WALL_CLOCK_SANCTIONED = "src/repro/observability/clock.py"
+
+#: Directory tree where anonymous threads are forbidden (RL004).
+THREAD_NAME_REQUIRED_PATH = "src/repro"
 
 
 class Violation(NamedTuple):
@@ -146,6 +157,37 @@ def _lint_wall_clock_calls(path: Path, tree: ast.AST, relative: str) -> Iterable
             )
 
 
+def _is_unnamed_thread_ctor(node: ast.AST) -> bool:
+    """Match ``threading.Thread(...)`` / ``Thread(...)`` without ``name=``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    is_thread = (
+        isinstance(func, ast.Attribute)
+        and func.attr == "Thread"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+    ) or (isinstance(func, ast.Name) and func.id == "Thread")
+    if not is_thread:
+        return False
+    if any(keyword.arg is None for keyword in node.keywords):  # **kwargs: assume named
+        return False
+    return not any(keyword.arg == "name" for keyword in node.keywords)
+
+
+def _lint_unnamed_threads(path: Path, tree: ast.AST, relative: str) -> Iterable[Violation]:
+    for node in ast.walk(tree):
+        if _is_unnamed_thread_ctor(node):
+            yield Violation(
+                relative,
+                node.lineno,
+                "RL004",
+                "threading.Thread(...) without name=; anonymous threads are "
+                "unattributable in profiler collapsed stacks, health reports "
+                "and threading.enumerate() dumps — pass name='repro-<role>'",
+            )
+
+
 def _lint_silent_excepts(path: Path, tree: ast.AST, relative: str) -> Iterable[Violation]:
     for node in ast.walk(tree):
         if _is_broad_silent_except(node):
@@ -170,6 +212,8 @@ def lint_file(path: Path, root: Optional[Path] = None) -> List[Violation]:
         violations.extend(_lint_hash_calls(path, tree, relative))
     if posix.startswith(SWALLOW_FORBIDDEN_PATH):
         violations.extend(_lint_silent_excepts(path, tree, relative))
+    if posix.startswith(THREAD_NAME_REQUIRED_PATH):
+        violations.extend(_lint_unnamed_threads(path, tree, relative))
     if (
         any(posix.startswith(prefix) for prefix in WALL_CLOCK_FORBIDDEN_PATHS)
         and posix != WALL_CLOCK_SANCTIONED
@@ -200,6 +244,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "RL003  no time.time() under",
             ", ".join(WALL_CLOCK_FORBIDDEN_PATHS),
             f"(except {WALL_CLOCK_SANCTIONED})",
+        )
+        print(
+            "RL004  every threading.Thread under",
+            THREAD_NAME_REQUIRED_PATH,
+            "must pass name=",
         )
         return 0
     violations = lint_repository()
